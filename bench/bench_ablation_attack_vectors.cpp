@@ -1,0 +1,96 @@
+// Ablation: attack vectors beyond DDoS (the paper's §III-G.3 future work:
+// "subtle data manipulation or temporal pattern disruption warrant
+// investigation").  Evaluates the spike-trained detector against
+//   - DDoS volume spikes (the paper's threat model),
+//   - false data injection (subtle sustained bias),
+//   - ramp attacks (gradual temporal distortion),
+// reporting detection quality and mitigation restoration error per vector.
+#include <iostream>
+#include <memory>
+
+#include "anomaly/filter.hpp"
+#include "attack/ddos_injector.hpp"
+#include "attack/fdi_injector.hpp"
+#include "attack/ramp_injector.hpp"
+#include "core/report.hpp"
+#include "core/scenario_runner.hpp"
+#include "metrics/regression.hpp"
+
+using namespace evfl;
+using namespace evfl::core;
+
+int main(int argc, char** argv) {
+  std::cout << std::unitbuf;  // progress lines reach redirected logs promptly
+  ExperimentConfig cfg;
+  // Ablations compare vectors against each other; a reduced study window
+  // keeps the sweep fast without changing the ordering (--hours overrides).
+  cfg.generator.hours = 2000;
+  try {
+    apply_cli_overrides(cfg, argc, argv);
+  } catch (const Error& e) {
+    std::cerr << "argument error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "=== Ablation: attack vectors vs the spike-trained detector ===\n"
+            << "config: " << describe(cfg) << "\n\n";
+
+  tensor::Rng root(cfg.seed);
+  const std::vector<data::TimeSeries> clean =
+      datagen::generate_clients(cfg.generator);
+
+  // Fit one filter per client on clean training data (as in the paper).
+  std::vector<std::unique_ptr<anomaly::EvChargingAnomalyFilter>> filters;
+  for (const data::TimeSeries& series : clean) {
+    tensor::Rng filter_rng = root.split();
+    auto filter = std::make_unique<anomaly::EvChargingAnomalyFilter>(
+        cfg.filter, filter_rng);
+    const data::TrainTestSplit split =
+        data::temporal_split(series, cfg.train_fraction);
+    filter->fit(split.train, filter_rng);
+    filters.push_back(std::move(filter));
+    std::cout << "fitted filter for " << series.name << "\n";
+  }
+  std::cout << "\n";
+
+  const attack::DdosInjector ddos(cfg.ddos);
+  const attack::FalseDataInjector fdi;
+  const attack::RampInjector ramp;
+  const std::vector<const attack::Injector*> injectors = {&ddos, &fdi, &ramp};
+
+  TableWriter table({"Attack", "Precision", "Recall", "F1", "FPR%",
+                     "attacked MAE", "restored MAE", "restored%"});
+  for (const attack::Injector* injector : injectors) {
+    metrics::ConfusionMatrix total;
+    double attacked_mae = 0.0, restored_mae = 0.0;
+    for (std::size_t c = 0; c < clean.size(); ++c) {
+      data::TimeSeries attacked;
+      tensor::Rng attack_rng = root.split();
+      injector->inject(clean[c], attacked, attack_rng);
+
+      const anomaly::FilterResult result = filters[c]->filter(attacked);
+      total += metrics::confusion(attacked.labels, result.flags);
+      attacked_mae +=
+          metrics::mean_absolute_error(clean[c].values, attacked.values) /
+          clean.size();
+      restored_mae += metrics::mean_absolute_error(
+                          clean[c].values, result.filtered.values) /
+                      clean.size();
+    }
+    const metrics::DetectionMetrics m = metrics::from_confusion(total);
+    const double restored_pct =
+        attacked_mae > 0.0
+            ? (attacked_mae - restored_mae) / attacked_mae * 100.0
+            : 0.0;
+    table.add_row({attack::to_string(injector->kind()), fmt(m.precision, 3),
+                   fmt(m.recall, 3), fmt(m.f1, 3),
+                   fmt(m.false_positive_rate * 100.0, 2), fmt(attacked_mae, 3),
+                   fmt(restored_mae, 3), fmt(restored_pct, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: ddos detected well (paper's threat model); "
+               "fdi largely evades the spike-trained detector (recall ~ 0); "
+               "ramp partially detected near its apex.\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks of the substrate hot paths (google-benchmark): GEMM
+// kernels at LSTM-relevant shapes, LSTM forward/backward, autoencoder
+// scoring, wire serialization, and FedAvg aggregation.
+#include <benchmark/benchmark.h>
+
+#include "anomaly/autoencoder.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/serialize.hpp"
+#include "forecast/model.hpp"
+#include "nn/loss.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+using namespace evfl;
+
+namespace {
+
+tensor::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  tensor::Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+void BM_MatmulLstmGateShape(benchmark::State& state) {
+  // The LSTM hot call: [batch x hidden] x [hidden x 4*hidden].
+  const std::size_t h = static_cast<std::size_t>(state.range(0));
+  const tensor::Matrix a = random_matrix(32, h, 1);
+  const tensor::Matrix b = random_matrix(h, 4 * h, 2);
+  tensor::Matrix c(32, 4 * h);
+  for (auto _ : state) {
+    c.set_zero();
+    tensor::matmul_acc(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * h * 4 * h);
+}
+BENCHMARK(BM_MatmulLstmGateShape)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_MatmulTn(benchmark::State& state) {
+  const std::size_t h = static_cast<std::size_t>(state.range(0));
+  const tensor::Matrix a = random_matrix(32, h, 3);
+  const tensor::Matrix b = random_matrix(32, 4 * h, 4);
+  tensor::Matrix c(h, 4 * h);
+  for (auto _ : state) {
+    c.set_zero();
+    tensor::matmul_tn_acc(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatmulTn)->Arg(50);
+
+void BM_ForecasterForward(benchmark::State& state) {
+  tensor::Rng rng(5);
+  forecast::ForecasterConfig cfg;  // paper architecture LSTM(50)
+  nn::Sequential model = forecast::make_forecaster(cfg, rng);
+  tensor::Tensor3 x(32, 24, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(0, 1);
+  for (auto _ : state) {
+    tensor::Tensor3 y = model.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ForecasterForward);
+
+void BM_ForecasterTrainStep(benchmark::State& state) {
+  tensor::Rng rng(6);
+  forecast::ForecasterConfig cfg;
+  nn::Sequential model = forecast::make_forecaster(cfg, rng);
+  nn::MseLoss loss;
+  tensor::Tensor3 x(32, 24, 1), y(32, 1, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(0, 1);
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = rng.uniform(0, 1);
+  for (auto _ : state) {
+    const tensor::Tensor3 pred = model.forward(x, true);
+    model.zero_grads();
+    const nn::LossResult lr = loss.value_and_grad(pred, y);
+    model.backward(lr.grad);
+    benchmark::DoNotOptimize(model.get_grads().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ForecasterTrainStep);
+
+void BM_SerializeWeights(benchmark::State& state) {
+  fl::WeightUpdate u;
+  u.client_id = 1;
+  u.sample_count = 3456;
+  tensor::Rng rng(7);
+  u.weights.resize(10921);  // paper forecaster parameter count
+  for (float& w : u.weights) w = rng.normal();
+  for (auto _ : state) {
+    const auto bytes = fl::serialize(u);
+    const fl::WeightUpdate back = fl::deserialize_update(bytes);
+    benchmark::DoNotOptimize(back.weights.data());
+  }
+  state.SetBytesProcessed(state.iterations() * u.weights.size() *
+                          sizeof(float));
+}
+BENCHMARK(BM_SerializeWeights);
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(8);
+  std::vector<fl::WeightUpdate> updates(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    updates[c].client_id = static_cast<int>(c);
+    updates[c].sample_count = 1000 + c;
+    updates[c].weights.resize(10921);
+    for (float& w : updates[c].weights) w = rng.normal();
+  }
+  for (auto _ : state) {
+    const auto avg = fl::fed_avg(updates);
+    benchmark::DoNotOptimize(avg.data());
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(3)->Arg(30);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(1 << 16);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::crc32(payload.data(), payload.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_Crc32);
+
+void BM_AutoencoderScore(benchmark::State& state) {
+  tensor::Rng rng(9);
+  anomaly::AutoencoderConfig cfg;
+  cfg.window = 24;
+  cfg.encoder_units = 12;  // shrunken: scoring-path shape, not training cost
+  cfg.latent_units = 6;
+  cfg.max_epochs = 1;
+  anomaly::LstmAutoencoder ae(cfg, rng);
+  std::vector<float> series(500);
+  for (float& v : series) v = rng.uniform(0, 1);
+  ae.train(series, rng);
+  for (auto _ : state) {
+    const auto scores = ae.score(series);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * series.size());
+}
+BENCHMARK(BM_AutoencoderScore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Reproduces Table II (client-specific anomaly detection precision / recall
+// / F1) and the in-text §III-C aggregates: overall precision 0.913 and
+// false positive rate 1.21%.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario_runner.hpp"
+
+using namespace evfl;
+using namespace evfl::core;
+
+int main(int argc, char** argv) {
+  std::cout << std::unitbuf;  // progress lines reach redirected logs promptly
+  ExperimentConfig cfg;
+  // The table/figure benches share one expensive pipeline pass (generation,
+  // attack injection, autoencoder fitting) through an on-disk cache keyed
+  // by the config fingerprint.  Pass --cache-dir "" to disable.
+  cfg.cache_dir = "bench_cache";
+  try {
+    apply_cli_overrides(cfg, argc, argv);
+  } catch (const Error& e) {
+    std::cerr << "argument error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "=== Table II: client-specific anomaly detection results ===\n"
+            << "config: " << describe(cfg) << "\n\n";
+
+  ScenarioRunner runner(cfg);
+  const DetectionReport report = runner.detection_report();
+
+  TableWriter table({"Client (zone)", "Precision", "Recall", "F1",
+                     "paper P", "paper R", "paper F1"});
+  for (std::size_t c = 0; c < report.per_client.size(); ++c) {
+    const auto& [zone, m] = report.per_client[c];
+    const PaperDetectionRow& p = kPaperTable2.at(c);
+    table.add_row({std::to_string(c + 1) + " (" + zone + ")",
+                   fmt(m.precision, 3), fmt(m.recall, 3), fmt(m.f1, 3),
+                   fmt(p.precision, 3), fmt(p.recall, 3), fmt(p.f1, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n--- aggregate detection (in-text §III-C) ---\n";
+  std::cout << "overall precision:    measured " << fmt(report.aggregate.precision, 3)
+            << "   (paper " << fmt(kPaperOverallPrecision, 3) << ")\n";
+  std::cout << "false positive rate:  measured "
+            << fmt(report.aggregate.false_positive_rate * 100.0, 2)
+            << "%   (paper " << fmt(kPaperFalsePositiveRate * 100.0, 2)
+            << "%)\n";
+  std::cout << "overall recall:       measured " << fmt(report.aggregate.recall, 3)
+            << "\n";
+  std::cout << "overall F1:           measured " << fmt(report.aggregate.f1, 3)
+            << "\n";
+
+  std::cout << "\n--- confusion matrices ---\n";
+  TableWriter cmt({"Client", "TP", "FP", "FN", "TN"});
+  for (const auto& [zone, m] : report.per_client) {
+    cmt.add_row({zone, std::to_string(m.cm.tp), std::to_string(m.cm.fp),
+                 std::to_string(m.cm.fn), std::to_string(m.cm.tn)});
+  }
+  cmt.add_row({"all", std::to_string(report.aggregate.cm.tp),
+               std::to_string(report.aggregate.cm.fp),
+               std::to_string(report.aggregate.cm.fn),
+               std::to_string(report.aggregate.cm.tn)});
+  cmt.print(std::cout);
+
+  // The paper's qualitative finding: zone 108's natural spikes resemble
+  // attack signatures, so its recall is the worst of the three.
+  const double recall_108 = report.per_client.at(2).second.recall;
+  const double recall_102 = report.per_client.at(0).second.recall;
+  const double recall_105 = report.per_client.at(1).second.recall;
+  std::cout << "\nzone 108 hardest to detect (lowest recall): "
+            << ((recall_108 < recall_102 && recall_108 < recall_105)
+                    ? "REPRODUCED"
+                    : "NOT reproduced")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Anomaly detection and mitigation walkthrough: inject a DDoS attack into a
+// charging-volume series, detect it with the LSTM-autoencoder filter, and
+// repair it with gap-tolerant linear interpolation — the paper's
+// EVChargingAnomalyFilter pipeline in isolation.
+//
+//   ./anomaly_filtering            # writes anomaly_demo.csv
+#include <iostream>
+
+#include "anomaly/filter.hpp"
+#include "attack/ddos_injector.hpp"
+#include "data/csv.hpp"
+#include "datagen/shenzhen.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/regression.hpp"
+
+using namespace evfl;
+
+int main() {
+  // Clean series for the "hard" zone 108 (natural spikes resemble attacks).
+  datagen::GeneratorConfig gen;
+  gen.hours = 2000;
+  tensor::Rng rng(11);
+  const data::TimeSeries clean =
+      datagen::generate_zone(datagen::zone_108(), gen, rng);
+
+  // Simulate a coordinated DDoS campaign against the zone's telemetry.
+  attack::DdosConfig attack_cfg;
+  attack_cfg.bursts = 20;
+  const attack::DdosInjector injector(attack_cfg);
+  data::TimeSeries attacked;
+  const attack::InjectionSummary inj = injector.inject(clean, attacked, rng);
+  std::cout << "injected " << inj.points_attacked << " anomalous hours in "
+            << inj.bursts << " bursts (mean intensity x" << inj.mean_multiplier
+            << ", derived from the 10.6x network-level multiplier)\n";
+
+  // Fit the filter on the clean training region only (paper: the
+  // autoencoder is trained exclusively on normal data).
+  anomaly::FilterConfig filter_cfg;
+  filter_cfg.autoencoder.window = 24;
+  filter_cfg.autoencoder.encoder_units = 24;  // shrunk for a fast demo
+  filter_cfg.autoencoder.latent_units = 12;
+  filter_cfg.autoencoder.max_epochs = 25;
+  anomaly::EvChargingAnomalyFilter filter(filter_cfg, rng);
+
+  const data::TrainTestSplit split = data::temporal_split(clean, 0.8);
+  std::cout << "training autoencoder on " << split.train.size()
+            << " clean hours...\n";
+  const nn::FitHistory hist = filter.fit(split.train, rng);
+  std::cout << "trained " << hist.epochs_run << " epochs"
+            << (hist.stopped_early ? " (early-stopped)" : "")
+            << ", detection threshold (" << filter.config().threshold.param
+            << "th pct train MSE): " << filter.threshold() << "\n";
+
+  // Detect + repair.
+  const anomaly::FilterResult result = filter.filter(attacked);
+  const metrics::DetectionMetrics dm =
+      metrics::evaluate_detection(attacked.labels, result.flags);
+  std::cout << "\ndetection: precision " << dm.precision << ", recall "
+            << dm.recall << ", F1 " << dm.f1 << ", FPR "
+            << dm.false_positive_rate * 100 << "%\n";
+  std::cout << "repaired " << result.segments.size()
+            << " merged segments (gap tolerance "
+            << filter_cfg.gap_tolerance << ")\n";
+
+  const double attacked_mae =
+      metrics::mean_absolute_error(clean.values, attacked.values);
+  const double restored_mae =
+      metrics::mean_absolute_error(clean.values, result.filtered.values);
+  std::cout << "damage (MAE vs clean): attacked " << attacked_mae
+            << " -> filtered " << restored_mae << " ("
+            << (attacked_mae - restored_mae) / attacked_mae * 100
+            << "% of damage repaired)\n";
+
+  // Dump everything for plotting.
+  std::vector<float> flags_f(result.flags.begin(), result.flags.end());
+  std::vector<float> truth_f(attacked.labels.begin(), attacked.labels.end());
+  data::write_columns_csv(
+      {"clean", "attacked", "filtered", "score", "flagged", "truth"},
+      {clean.values, attacked.values, result.filtered.values, result.scores,
+       flags_f, truth_f},
+      "anomaly_demo.csv");
+  std::cout << "\nseries + scores written to anomaly_demo.csv\n";
+  return 0;
+}

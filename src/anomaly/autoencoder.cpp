@@ -1,0 +1,85 @@
+#include "anomaly/autoencoder.hpp"
+
+#include "data/window.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/repeat_vector.hpp"
+
+namespace evfl::anomaly {
+
+LstmAutoencoder::LstmAutoencoder(AutoencoderConfig cfg, tensor::Rng& rng)
+    : cfg_(cfg) {
+  EVFL_REQUIRE(cfg_.window >= 2, "autoencoder window must be >= 2");
+  using namespace nn;
+  model_.emplace<Lstm>(cfg_.encoder_units, /*return_sequences=*/true, rng,
+                       /*input_features=*/1);
+  model_.emplace<Dropout>(cfg_.dropout, rng);
+  model_.emplace<Lstm>(cfg_.latent_units, /*return_sequences=*/false, rng,
+                       cfg_.encoder_units);
+  model_.emplace<RepeatVector>(cfg_.window);
+  model_.emplace<Lstm>(cfg_.latent_units, /*return_sequences=*/true, rng,
+                       cfg_.latent_units);
+  model_.emplace<Dropout>(cfg_.dropout, rng);
+  model_.emplace<Lstm>(cfg_.encoder_units, /*return_sequences=*/true, rng,
+                       cfg_.latent_units);
+  model_.emplace<Dense>(1, Activation::kLinear, rng, cfg_.encoder_units);
+}
+
+nn::FitHistory LstmAutoencoder::train(const std::vector<float>& scaled_normal,
+                                      tensor::Rng& rng) {
+  const tensor::Tensor3 windows =
+      data::make_autoencoder_windows(scaled_normal, cfg_.window);
+  const std::size_t n = windows.batch();
+
+  // Hold out the chronological tail of the training windows for early
+  // stopping — a temporal validation split, consistent with the paper's
+  // leak-free train/test methodology.
+  std::size_t n_val =
+      static_cast<std::size_t>(static_cast<double>(n) * cfg_.val_fraction);
+  if (n_val == 0 && n >= 10) n_val = 1;
+  const std::size_t n_train = n - n_val;
+  EVFL_REQUIRE(n_train > 0, "autoencoder: no training windows");
+
+  const tensor::Tensor3 x_train = windows.batch_slice(0, n_train);
+  nn::MseLoss loss;
+  nn::Adam adam(cfg_.learning_rate);
+  nn::Trainer trainer(model_, loss, adam, rng);
+
+  nn::FitConfig fit;
+  fit.epochs = cfg_.max_epochs;
+  fit.batch_size = cfg_.batch_size;
+  if (n_val > 0) {
+    fit.early_stopping = nn::EarlyStopping{cfg_.patience, 0.0f, true};
+    const tensor::Tensor3 x_val = windows.batch_slice(n_train, n);
+    const nn::FitHistory hist =
+        trainer.fit(x_train, x_train, fit, &x_val, &x_val);
+    trained_ = true;
+    return hist;
+  }
+  const nn::FitHistory hist = trainer.fit(x_train, x_train, fit);
+  trained_ = true;
+  return hist;
+}
+
+tensor::Tensor3 LstmAutoencoder::reconstruct(
+    const std::vector<float>& scaled_series) {
+  EVFL_REQUIRE(trained_, "autoencoder not trained");
+  const tensor::Tensor3 windows =
+      data::make_autoencoder_windows(scaled_series, cfg_.window);
+  return nn::predict_batched(model_, windows);
+}
+
+std::vector<float> LstmAutoencoder::score(
+    const std::vector<float>& scaled_series) {
+  EVFL_REQUIRE(trained_, "autoencoder not trained");
+  const tensor::Tensor3 windows =
+      data::make_autoencoder_windows(scaled_series, cfg_.window);
+  const tensor::Tensor3 recon = nn::predict_batched(model_, windows);
+  return data::per_point_reconstruction_error(
+      windows, recon, scaled_series.size(), cfg_.score_aggregation);
+}
+
+}  // namespace evfl::anomaly

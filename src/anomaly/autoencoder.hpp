@@ -1,0 +1,62 @@
+// LSTM autoencoder for unsupervised anomaly detection (§II-B).
+//
+// Architecture per the paper: encoder LSTM 50 -> 25, decoder 25 -> 50 with
+// dropout 0.2, trained only on normal data; anomalies are scored by MSE
+// between input windows and their reconstructions.  Expressed in Keras
+// terms:
+//   LSTM(50, return_sequences=True) -> Dropout(0.2) -> LSTM(25)
+//   -> RepeatVector(window) -> LSTM(25, return_sequences=True)
+//   -> Dropout(0.2) -> LSTM(50, return_sequences=True)
+//   -> TimeDistributed(Dense(1))
+#pragma once
+
+#include <vector>
+
+#include "data/window.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/rng.hpp"
+
+namespace evfl::anomaly {
+
+struct AutoencoderConfig {
+  std::size_t window = 24;      // reconstruction window (= lookback hours)
+  std::size_t encoder_units = 50;
+  std::size_t latent_units = 25;
+  float dropout = 0.2f;
+  float learning_rate = 1e-3f;
+  std::size_t max_epochs = 25;
+  std::size_t batch_size = 32;
+  std::size_t patience = 10;    // early stopping (paper: patience = 10)
+  double val_fraction = 0.1;    // tail of the training windows held out
+  /// Per-point score aggregation across covering windows.  kMin keeps
+  /// burst-induced window errors from smearing onto neighbouring normal
+  /// points (see data::ErrorAggregation).
+  data::ErrorAggregation score_aggregation = data::ErrorAggregation::kMin;
+};
+
+class LstmAutoencoder {
+ public:
+  LstmAutoencoder(AutoencoderConfig cfg, tensor::Rng& rng);
+
+  /// Train on scaled *normal* series values; returns the fit history.
+  nn::FitHistory train(const std::vector<float>& scaled_normal,
+                       tensor::Rng& rng);
+
+  /// Per-point reconstruction MSE over a scaled series (length preserved).
+  std::vector<float> score(const std::vector<float>& scaled_series);
+
+  /// Reconstruct the windows of a scaled series (exposed for examples).
+  tensor::Tensor3 reconstruct(const std::vector<float>& scaled_series);
+
+  const AutoencoderConfig& config() const { return cfg_; }
+  nn::Sequential& model() { return model_; }
+  bool trained() const { return trained_; }
+
+ private:
+  AutoencoderConfig cfg_;
+  nn::Sequential model_;
+  bool trained_ = false;
+};
+
+}  // namespace evfl::anomaly

@@ -1,0 +1,85 @@
+#include "anomaly/filter.hpp"
+
+#include <algorithm>
+
+#include "data/window.hpp"
+
+namespace evfl::anomaly {
+
+EvChargingAnomalyFilter::EvChargingAnomalyFilter(FilterConfig cfg,
+                                                 tensor::Rng& rng)
+    : cfg_(cfg), autoencoder_(cfg.autoencoder, rng) {}
+
+nn::FitHistory EvChargingAnomalyFilter::fit(const data::TimeSeries& clean_train,
+                                            tensor::Rng& rng) {
+  clean_train.validate();
+  EVFL_REQUIRE(clean_train.size() > cfg_.autoencoder.window,
+               "training series shorter than autoencoder window");
+  scaler_.fit(clean_train.values);
+  const std::vector<float> scaled = scaler_.transform(clean_train.values);
+  const nn::FitHistory hist = autoencoder_.train(scaled, rng);
+  train_scores_ = autoencoder_.score(scaled);
+  threshold_ = compute_threshold(train_scores_, cfg_.threshold);
+  fitted_ = true;
+  return hist;
+}
+
+void EvChargingAnomalyFilter::set_threshold_rule(const ThresholdRule& rule) {
+  EVFL_REQUIRE(fitted_, "set_threshold_rule before fit");
+  cfg_.threshold = rule;
+  threshold_ = compute_threshold(train_scores_, rule);
+}
+
+std::vector<float> EvChargingAnomalyFilter::score(
+    const data::TimeSeries& series) {
+  EVFL_REQUIRE(fitted_, "score before fit");
+  return autoencoder_.score(scaler_.transform(series.values));
+}
+
+std::vector<std::uint8_t> EvChargingAnomalyFilter::detect(
+    const data::TimeSeries& series) {
+  const std::vector<float> s = score(series);
+  std::vector<std::uint8_t> flags(s.size(), 0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    flags[i] = s[i] > threshold_ ? 1 : 0;
+  }
+  return flags;
+}
+
+FilterResult EvChargingAnomalyFilter::filter(const data::TimeSeries& series) {
+  EVFL_REQUIRE(fitted_, "filter before fit");
+  FilterResult result;
+  result.scores = score(series);
+  result.threshold = threshold_;
+  result.flags.assign(result.scores.size(), 0);
+  for (std::size_t i = 0; i < result.scores.size(); ++i) {
+    result.flags[i] = result.scores[i] > threshold_ ? 1 : 0;
+  }
+  result.segments = merge_segments(result.flags, cfg_.gap_tolerance);
+
+  result.filtered = series;
+  result.filtered.name = series.name + "+filtered";
+
+  // Mitigation: the paper's linear interpolation by default, or one of the
+  // future-work imputation strategies if configured.
+  if (cfg_.imputation.method == ImputationMethod::kModelReconstruction) {
+    // The autoencoder's own per-point reconstruction, mapped back to
+    // physical units, repairs the flagged points.
+    const std::vector<float> scaled = scaler_.transform(series.values);
+    const tensor::Tensor3 recon = autoencoder().reconstruct(scaled);
+    const std::vector<float> recon_scaled =
+        data::per_point_reconstruction(recon, series.size());
+    const std::vector<float> recon_raw = scaler_.inverse(recon_scaled);
+    impute_segments(result.filtered.values, result.segments, result.flags,
+                    cfg_.imputation, &recon_raw);
+  } else {
+    impute_segments(result.filtered.values, result.segments, result.flags,
+                    cfg_.imputation);
+  }
+  // The filtered series is what downstream forecasting consumes; from its
+  // point of view the repaired data is "clean".
+  result.filtered.init_clean_labels();
+  return result;
+}
+
+}  // namespace evfl::anomaly

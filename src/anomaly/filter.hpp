@@ -1,0 +1,85 @@
+// EvChargingAnomalyFilter — the paper's EVChargingAnomalyFilter class:
+// LSTM-autoencoder detection plus interpolation-based mitigation.
+//
+// Lifecycle:
+//   1. fit(clean_train)   — fit a MinMax scaler, train the autoencoder on
+//                           normal data only, set the detection threshold
+//                           (a percentile of training reconstruction MSE;
+//                           see ThresholdRule for the calibrated default).
+//   2. detect(series)     — per-point anomaly flags for any series.
+//   3. filter(series)     — detect, merge anomalous segments allowing gaps
+//                           <= gap_tolerance, and linearly interpolate each
+//                           merged segment between its non-anomalous
+//                           boundary points (paper's filter_anomalies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "anomaly/autoencoder.hpp"
+#include "anomaly/imputation.hpp"
+#include "anomaly/segments.hpp"
+#include "anomaly/threshold.hpp"
+#include "data/scaler.hpp"
+#include "data/timeseries.hpp"
+
+namespace evfl::anomaly {
+
+struct FilterConfig {
+  AutoencoderConfig autoencoder;
+  ThresholdRule threshold;           // default: 98th percentile
+  std::size_t gap_tolerance = 2;     // paper: gaps <= 2 timestamps merged
+  ImputationConfig imputation;       // paper default: linear interpolation
+};
+
+struct FilterResult {
+  data::TimeSeries filtered;           // interpolated series
+  std::vector<std::uint8_t> flags;     // raw per-point detections
+  std::vector<Segment> segments;       // merged segments that were repaired
+  float threshold = 0.0f;
+  std::vector<float> scores;           // per-point reconstruction MSE
+};
+
+class EvChargingAnomalyFilter {
+ public:
+  EvChargingAnomalyFilter(FilterConfig cfg, tensor::Rng& rng);
+
+  /// Train on a clean (normal) training series; returns the AE fit history.
+  nn::FitHistory fit(const data::TimeSeries& clean_train, tensor::Rng& rng);
+
+  bool fitted() const { return fitted_; }
+  float threshold() const { return threshold_; }
+  const data::MinMaxScaler& scaler() const { return scaler_; }
+  const FilterConfig& config() const { return cfg_; }
+
+  /// Per-point anomaly scores (reconstruction MSE in scaled space).
+  std::vector<float> score(const data::TimeSeries& series);
+
+  /// Per-point anomaly flags under the fitted threshold.
+  std::vector<std::uint8_t> detect(const data::TimeSeries& series);
+
+  /// Full mitigation pipeline (the paper's filter_anomalies).
+  FilterResult filter(const data::TimeSeries& series);
+
+  /// Re-threshold without retraining (ablations).  Requires fit() first.
+  void set_threshold_rule(const ThresholdRule& rule);
+
+  /// Swap the mitigation strategy without retraining (ablations).
+  void set_imputation(const ImputationConfig& imputation) {
+    cfg_.imputation = imputation;
+  }
+
+  /// The underlying autoencoder (reconstruction-based repair, examples).
+  LstmAutoencoder& autoencoder() { return autoencoder_; }
+
+ private:
+  FilterConfig cfg_;
+  LstmAutoencoder autoencoder_;
+  data::MinMaxScaler scaler_;
+  std::vector<float> train_scores_;
+  float threshold_ = 0.0f;
+  bool fitted_ = false;
+};
+
+}  // namespace evfl::anomaly

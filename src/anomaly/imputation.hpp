@@ -1,0 +1,55 @@
+// Mitigation (imputation) strategies for anomalous segments.
+//
+// The paper repairs anomalies with linear interpolation and explicitly
+// flags "more sophisticated reconstruction techniques ... or advanced
+// time-series imputation methods" as future work (§III-G.3).  This module
+// implements that future work alongside the paper's baseline:
+//
+//   kLinear         — the paper's method: straight line between the nearest
+//                     trustworthy neighbours.
+//   kSeasonalNaive  — replace each anomalous point with the value one
+//                     season (24 h) earlier, falling back to linear when the
+//                     seasonal reference is itself anomalous.
+//   kSpline         — Catmull-Rom cubic through the four nearest trustworthy
+//                     anchor points; smoother than linear on long segments.
+//   kModelReconstruction — use a model-provided reconstruction (e.g. the
+//                     LSTM autoencoder's own output) for the repaired points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anomaly/segments.hpp"
+
+namespace evfl::anomaly {
+
+enum class ImputationMethod {
+  kLinear,
+  kSeasonalNaive,
+  kSpline,
+  kModelReconstruction,
+};
+
+std::string to_string(ImputationMethod method);
+
+struct ImputationConfig {
+  ImputationMethod method = ImputationMethod::kLinear;
+  std::size_t season = 24;  // hours per season for kSeasonalNaive
+};
+
+/// Repair `values` over `segments` using the chosen method.  `flags` marks
+/// untrustworthy points (used to find valid seasonal/spline anchors);
+/// `reconstruction` is required for kModelReconstruction (same length as
+/// values) and ignored otherwise.
+void impute_segments(std::vector<float>& values,
+                     const std::vector<Segment>& segments,
+                     const std::vector<std::uint8_t>& flags,
+                     const ImputationConfig& cfg,
+                     const std::vector<float>* reconstruction = nullptr);
+
+/// Catmull-Rom interpolation at parameter t in [0,1] between p1 and p2 with
+/// outer tangent anchors p0 and p3 (exposed for testing).
+float catmull_rom(float p0, float p1, float p2, float p3, float t);
+
+}  // namespace evfl::anomaly

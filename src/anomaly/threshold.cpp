@@ -1,0 +1,59 @@
+#include "anomaly/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "data/timeseries.hpp"
+
+namespace evfl::anomaly {
+
+std::string to_string(ThresholdKind kind) {
+  switch (kind) {
+    case ThresholdKind::kPercentile: return "percentile";
+    case ThresholdKind::kMeanStd: return "mean+k*std";
+    case ThresholdKind::kMad: return "mad";
+  }
+  return "?";
+}
+
+float percentile(std::vector<float> values, double pct) {
+  EVFL_REQUIRE(!values.empty(), "percentile of empty vector");
+  EVFL_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile out of [0,100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<float>(values[lo] +
+                            frac * (values[hi] - values[lo]));
+}
+
+float median(std::vector<float> values) { return percentile(std::move(values), 50.0); }
+
+float compute_threshold(const std::vector<float>& train_scores,
+                        const ThresholdRule& rule) {
+  EVFL_REQUIRE(!train_scores.empty(), "threshold from empty scores");
+  switch (rule.kind) {
+    case ThresholdKind::kPercentile:
+      return percentile(train_scores, rule.param);
+    case ThresholdKind::kMeanStd: {
+      const data::SeriesStats s = data::compute_stats(train_scores);
+      return s.mean + static_cast<float>(rule.param) * s.stddev;
+    }
+    case ThresholdKind::kMad: {
+      const float med = median(train_scores);
+      std::vector<float> dev;
+      dev.reserve(train_scores.size());
+      for (float v : train_scores) dev.push_back(std::abs(v - med));
+      const float mad = median(std::move(dev));
+      // 1.4826 scales MAD to the std of a normal distribution.
+      return med + static_cast<float>(rule.param) * 1.4826f * mad;
+    }
+  }
+  EVFL_ASSERT(false, "unknown threshold kind");
+  return 0.0f;
+}
+
+}  // namespace evfl::anomaly

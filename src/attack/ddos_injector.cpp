@@ -1,0 +1,72 @@
+#include "attack/ddos_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evfl::attack {
+
+DdosInjector::DdosInjector(DdosConfig cfg) : cfg_(cfg) {
+  EVFL_REQUIRE(cfg_.min_burst_hours >= 1, "bursts need >= 1 hour");
+  EVFL_REQUIRE(cfg_.max_burst_hours >= cfg_.min_burst_hours,
+               "max_burst_hours < min_burst_hours");
+  EVFL_REQUIRE(cfg_.min_multiplier > 1.0f, "min_multiplier must exceed 1");
+  EVFL_REQUIRE(cfg_.damping > 0.0f && cfg_.damping <= 1.0f,
+               "damping must be in (0,1]");
+}
+
+float DdosInjector::max_volume_multiplier() const {
+  const sim::TrafficModel model(cfg_.traffic);
+  return std::pow(static_cast<float>(model.nominal_multiplier()),
+                  cfg_.damping);
+}
+
+InjectionSummary DdosInjector::inject(const data::TimeSeries& clean,
+                                      data::TimeSeries& attacked,
+                                      tensor::Rng& rng) const {
+  clean.validate();
+  EVFL_REQUIRE(clean.size() > cfg_.max_burst_hours,
+               "series too short for configured bursts");
+
+  attacked = clean;
+  attacked.name = clean.name + "+ddos";
+  attacked.init_clean_labels();
+
+  const float mult_hi = std::max(max_volume_multiplier(),
+                                 cfg_.min_multiplier + 0.01f);
+
+  InjectionSummary summary;
+  summary.kind = AttackKind::kDdos;
+  double mult_sum = 0.0;
+
+  for (std::size_t b = 0; b < cfg_.bursts; ++b) {
+    const std::size_t len =
+        cfg_.min_burst_hours +
+        rng.index(cfg_.max_burst_hours - cfg_.min_burst_hours + 1);
+    const std::size_t start = rng.index(clean.size() - len + 1);
+    const float burst_mult = rng.log_uniform(cfg_.min_multiplier, mult_hi);
+
+    for (std::size_t i = start; i < start + len; ++i) {
+      const float jitter =
+          1.0f + cfg_.within_burst_jitter * rng.normal(0.0f, 1.0f);
+      const float m = std::max(burst_mult * jitter, 1.05f);
+      if (attacked.labels[i] == 0) {
+        // First burst touching this point: inflate from the clean value.
+        attacked.values[i] = clean.values[i] * m;
+        attacked.labels[i] = 1;
+        ++summary.points_attacked;
+        mult_sum += m;
+      } else {
+        // Overlapping bursts compound, as coordinated floods do.
+        attacked.values[i] = std::max(attacked.values[i], clean.values[i] * m);
+      }
+    }
+    ++summary.bursts;
+  }
+
+  if (summary.points_attacked > 0) {
+    summary.mean_multiplier = mult_sum / summary.points_attacked;
+  }
+  return summary;
+}
+
+}  // namespace evfl::attack

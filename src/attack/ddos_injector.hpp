@@ -1,0 +1,47 @@
+// DDoS-like anomaly injection for charging-volume series.
+//
+// Following §II-B of the paper, network-level attack characteristics
+// (normal 33 kp/s vs attack 350.5 kp/s, i.e. a 10.6x intensity multiplier)
+// are translated into irregular volume spikes: during an attack burst the
+// reported charging volume is inflated by a per-burst multiplier drawn from
+// the traffic model's intensity distribution (log-uniform between
+// `min_multiplier` and a damped share of the network multiplier — flooding
+// saturates data-collection pipelines, it does not multiply physical demand
+// by 10x, so the volume-domain multiplier is sub-linear in packet rate).
+#pragma once
+
+#include "attack/scenario.hpp"
+#include "sim/traffic_model.hpp"
+
+namespace evfl::attack {
+
+struct DdosConfig {
+  std::size_t bursts = 36;          // attack windows over the study period
+  std::size_t min_burst_hours = 2;
+  std::size_t max_burst_hours = 8;
+  float min_multiplier = 1.25f;     // weakest volume inflation
+  /// Exponent mapping the network-domain multiplier into the volume domain:
+  /// max volume multiplier = network_multiplier ^ damping (10.6^0.55 ≈ 3.7).
+  float damping = 0.55f;
+  float within_burst_jitter = 0.15f;  // relative spike-to-spike variation
+  sim::TrafficModelConfig traffic;    // source of the network multiplier
+};
+
+class DdosInjector : public Injector {
+ public:
+  explicit DdosInjector(DdosConfig cfg = {});
+
+  InjectionSummary inject(const data::TimeSeries& clean,
+                          data::TimeSeries& attacked,
+                          tensor::Rng& rng) const override;
+  AttackKind kind() const override { return AttackKind::kDdos; }
+
+  const DdosConfig& config() const { return cfg_; }
+  /// The volume-domain multiplier ceiling derived from the traffic model.
+  float max_volume_multiplier() const;
+
+ private:
+  DdosConfig cfg_;
+};
+
+}  // namespace evfl::attack

@@ -1,0 +1,55 @@
+#include "attack/fdi_injector.hpp"
+
+#include <algorithm>
+
+namespace evfl::attack {
+
+FalseDataInjector::FalseDataInjector(FdiConfig cfg) : cfg_(cfg) {
+  EVFL_REQUIRE(cfg_.min_window_hours >= 1, "FDI window needs >= 1 hour");
+  EVFL_REQUIRE(cfg_.max_window_hours >= cfg_.min_window_hours,
+               "FDI max window < min window");
+  EVFL_REQUIRE(cfg_.bias_sigma > 0.0f, "bias_sigma must be positive");
+}
+
+InjectionSummary FalseDataInjector::inject(const data::TimeSeries& clean,
+                                           data::TimeSeries& attacked,
+                                           tensor::Rng& rng) const {
+  clean.validate();
+  EVFL_REQUIRE(clean.size() > cfg_.max_window_hours,
+               "series too short for configured FDI windows");
+
+  attacked = clean;
+  attacked.name = clean.name + "+fdi";
+  attacked.init_clean_labels();
+
+  const data::SeriesStats stats = data::compute_stats(clean.values);
+  const float bias_mag = cfg_.bias_sigma * stats.stddev;
+
+  InjectionSummary summary;
+  summary.kind = AttackKind::kFdi;
+  double ratio_sum = 0.0;
+
+  for (std::size_t w = 0; w < cfg_.windows; ++w) {
+    const std::size_t len =
+        cfg_.min_window_hours +
+        rng.index(cfg_.max_window_hours - cfg_.min_window_hours + 1);
+    const std::size_t start = rng.index(clean.size() - len + 1);
+    const float sign = (cfg_.alternate_sign && (w % 2 == 1)) ? -1.0f : 1.0f;
+
+    for (std::size_t i = start; i < start + len; ++i) {
+      if (attacked.labels[i] != 0) continue;
+      const float biased = std::max(clean.values[i] + sign * bias_mag, 0.0f);
+      attacked.values[i] = biased;
+      attacked.labels[i] = 1;
+      ++summary.points_attacked;
+      if (clean.values[i] > 0.0f) ratio_sum += biased / clean.values[i];
+    }
+    ++summary.bursts;
+  }
+  if (summary.points_attacked > 0) {
+    summary.mean_multiplier = ratio_sum / summary.points_attacked;
+  }
+  return summary;
+}
+
+}  // namespace evfl::attack

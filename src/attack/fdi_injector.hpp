@@ -1,0 +1,33 @@
+// False Data Injection: the paper's future-work attack vector — subtle,
+// sustained additive bias on measured volume that stays inside normal
+// variation, designed to evade spike-based detectors.  Used by the
+// attack-vector ablation bench.
+#pragma once
+
+#include "attack/scenario.hpp"
+
+namespace evfl::attack {
+
+struct FdiConfig {
+  std::size_t windows = 10;
+  std::size_t min_window_hours = 24;
+  std::size_t max_window_hours = 96;
+  /// Bias as a fraction of the series' standard deviation (subtle: < 1 σ).
+  float bias_sigma = 0.8f;
+  bool alternate_sign = true;  // alternate inflation/deflation per window
+};
+
+class FalseDataInjector : public Injector {
+ public:
+  explicit FalseDataInjector(FdiConfig cfg = {});
+
+  InjectionSummary inject(const data::TimeSeries& clean,
+                          data::TimeSeries& attacked,
+                          tensor::Rng& rng) const override;
+  AttackKind kind() const override { return AttackKind::kFdi; }
+
+ private:
+  FdiConfig cfg_;
+};
+
+}  // namespace evfl::attack

@@ -1,0 +1,55 @@
+#include "attack/ramp_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evfl::attack {
+
+RampInjector::RampInjector(RampConfig cfg) : cfg_(cfg) {
+  EVFL_REQUIRE(cfg_.min_ramp_hours >= 2, "ramps need >= 2 hours");
+  EVFL_REQUIRE(cfg_.max_ramp_hours >= cfg_.min_ramp_hours,
+               "max ramp < min ramp");
+  EVFL_REQUIRE(cfg_.peak_multiplier > 1.0f, "peak_multiplier must exceed 1");
+}
+
+InjectionSummary RampInjector::inject(const data::TimeSeries& clean,
+                                      data::TimeSeries& attacked,
+                                      tensor::Rng& rng) const {
+  clean.validate();
+  EVFL_REQUIRE(clean.size() > cfg_.max_ramp_hours,
+               "series too short for configured ramps");
+
+  attacked = clean;
+  attacked.name = clean.name + "+ramp";
+  attacked.init_clean_labels();
+
+  InjectionSummary summary;
+  summary.kind = AttackKind::kRamp;
+  double mult_sum = 0.0;
+
+  for (std::size_t r = 0; r < cfg_.ramps; ++r) {
+    const std::size_t len =
+        cfg_.min_ramp_hours +
+        rng.index(cfg_.max_ramp_hours - cfg_.min_ramp_hours + 1);
+    const std::size_t start = rng.index(clean.size() - len + 1);
+
+    for (std::size_t i = start; i < start + len; ++i) {
+      if (attacked.labels[i] != 0) continue;
+      // Triangular profile: 1 at the edges, peak_multiplier at the centre.
+      const float pos = static_cast<float>(i - start) / (len - 1);
+      const float tri = 1.0f - std::abs(2.0f * pos - 1.0f);
+      const float m = 1.0f + (cfg_.peak_multiplier - 1.0f) * tri;
+      attacked.values[i] = clean.values[i] * m;
+      attacked.labels[i] = 1;
+      ++summary.points_attacked;
+      mult_sum += m;
+    }
+    ++summary.bursts;
+  }
+  if (summary.points_attacked > 0) {
+    summary.mean_multiplier = mult_sum / summary.points_attacked;
+  }
+  return summary;
+}
+
+}  // namespace evfl::attack

@@ -1,0 +1,30 @@
+// Ramp attack: temporal-pattern disruption (paper future work §III-G) —
+// the adversary gradually ramps reported volume up and back down over a
+// window, distorting the daily shape without abrupt spikes.
+#pragma once
+
+#include "attack/scenario.hpp"
+
+namespace evfl::attack {
+
+struct RampConfig {
+  std::size_t ramps = 12;
+  std::size_t min_ramp_hours = 12;
+  std::size_t max_ramp_hours = 48;
+  float peak_multiplier = 2.2f;  // multiplier at the apex of the ramp
+};
+
+class RampInjector : public Injector {
+ public:
+  explicit RampInjector(RampConfig cfg = {});
+
+  InjectionSummary inject(const data::TimeSeries& clean,
+                          data::TimeSeries& attacked,
+                          tensor::Rng& rng) const override;
+  AttackKind kind() const override { return AttackKind::kRamp; }
+
+ private:
+  RampConfig cfg_;
+};
+
+}  // namespace evfl::attack

@@ -1,0 +1,15 @@
+#include "attack/scenario.hpp"
+
+namespace evfl::attack {
+
+std::string to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone: return "none";
+    case AttackKind::kDdos: return "ddos";
+    case AttackKind::kFdi: return "fdi";
+    case AttackKind::kRamp: return "ramp";
+  }
+  return "?";
+}
+
+}  // namespace evfl::attack

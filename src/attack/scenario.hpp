@@ -1,0 +1,39 @@
+// Attack scenario plumbing shared by all injectors.
+#pragma once
+
+#include <string>
+
+#include "data/timeseries.hpp"
+#include "tensor/rng.hpp"
+
+namespace evfl::attack {
+
+enum class AttackKind {
+  kNone,
+  kDdos,   // volume spikes from flooding (the paper's primary threat model)
+  kFdi,    // false data injection: subtle sustained bias (future work §III-G)
+  kRamp,   // temporal pattern disruption: gradual ramps (future work §III-G)
+};
+
+std::string to_string(AttackKind kind);
+
+/// What an injector did to a series — used by reports and tests.
+struct InjectionSummary {
+  AttackKind kind = AttackKind::kNone;
+  std::size_t bursts = 0;
+  std::size_t points_attacked = 0;
+  double mean_multiplier = 0.0;  // mean |attacked/clean| over attacked points
+};
+
+/// Common interface: produce an attacked copy of `clean` with ground-truth
+/// labels set, never mutating the input.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  virtual InjectionSummary inject(const data::TimeSeries& clean,
+                                  data::TimeSeries& attacked,
+                                  tensor::Rng& rng) const = 0;
+  virtual AttackKind kind() const = 0;
+};
+
+}  // namespace evfl::attack

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace evfl::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::cerr << "EVFL_ASSERT failed: " << expr << "\n  at " << file << ":"
+            << line << "\n  " << msg << std::endl;
+  std::abort();
+}
+
+}  // namespace evfl::detail

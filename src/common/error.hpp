@@ -1,0 +1,53 @@
+// Error handling primitives shared by every evfl module.
+//
+// Contract violations (bad arguments, shape mismatches, protocol errors)
+// throw evfl::Error.  Internal invariants use EVFL_ASSERT, which is active
+// in all build types: this library backs experiments whose conclusions
+// depend on numerical correctness, so silent corruption is never acceptable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace evfl {
+
+/// Base exception for all evfl failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on shape or dimension mismatches in tensor / nn code.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed serialized payloads (fl wire format, CSV, ...).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace evfl
+
+/// Always-on invariant check.  `msg` may use stream-free string concatenation.
+#define EVFL_ASSERT(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::evfl::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)
+
+/// Contract check on public API arguments: throws evfl::Error.
+#define EVFL_REQUIRE(expr, msg)                     \
+  do {                                              \
+    if (!(expr)) {                                  \
+      throw ::evfl::Error(std::string("requirement failed: ") + (msg)); \
+    }                                               \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace evfl::core {
+
+void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    try {
+      if (key == "--seed") {
+        cfg.seed = std::stoull(value);
+        cfg.generator.seed = cfg.seed + 1;
+      } else if (key == "--rounds") {
+        cfg.federated_rounds = std::stoul(value);
+      } else if (key == "--epochs") {
+        cfg.epochs_per_round = std::stoul(value);
+      } else if (key == "--hours") {
+        cfg.generator.hours = std::stoul(value);
+      } else if (key == "--lstm-units") {
+        cfg.forecaster.lstm_units = std::stoul(value);
+      } else if (key == "--seq-len") {
+        cfg.forecaster.sequence_length = std::stoul(value);
+        cfg.filter.autoencoder.window = cfg.forecaster.sequence_length;
+      } else if (key == "--bursts") {
+        cfg.ddos.bursts = std::stoul(value);
+      } else if (key == "--threshold-pct") {
+        cfg.filter.threshold.kind = anomaly::ThresholdKind::kPercentile;
+        cfg.filter.threshold.param = std::stod(value);
+      } else if (key == "--gap-tolerance") {
+        cfg.filter.gap_tolerance = std::stoul(value);
+      } else if (key == "--train-fraction") {
+        cfg.train_fraction = std::stod(value);
+      } else if (key == "--threaded") {
+        cfg.threaded = std::stoi(value) != 0;
+      } else if (key == "--ae-epochs") {
+        cfg.filter.autoencoder.max_epochs = std::stoul(value);
+      } else if (key == "--damping") {
+        cfg.ddos.damping = std::stof(value);
+      } else if (key == "--cache-dir") {
+        cfg.cache_dir = value;
+      } else {
+        throw Error("unknown option: " + key);
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw Error("bad value for " + key + ": '" + value + "'");
+    }
+  }
+  if (argc >= 2 && (argc - 1) % 2 != 0) {
+    throw Error("options must come in --key value pairs");
+  }
+}
+
+std::string describe(const ExperimentConfig& cfg) {
+  std::ostringstream os;
+  os << "seq=" << cfg.forecaster.sequence_length
+     << " lstm=" << cfg.forecaster.lstm_units
+     << " rounds=" << cfg.federated_rounds
+     << " epochs/round=" << cfg.epochs_per_round
+     << " lr=" << cfg.forecaster.learning_rate
+     << " batch=" << cfg.forecaster.batch_size
+     << " hours=" << cfg.generator.hours
+     << " bursts=" << cfg.ddos.bursts
+     << " threshold=" << anomaly::to_string(cfg.filter.threshold.kind) << "("
+     << cfg.filter.threshold.param << ")"
+     << " seed=" << cfg.seed;
+  return os.str();
+}
+
+}  // namespace evfl::core

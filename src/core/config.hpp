@@ -1,0 +1,54 @@
+// Experiment configuration: one struct holding every knob of the paper's
+// pipeline, defaulted to the published hyperparameters, plus a tiny CLI
+// override parser shared by all bench binaries and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anomaly/filter.hpp"
+#include "attack/ddos_injector.hpp"
+#include "datagen/shenzhen.hpp"
+#include "fl/fedavg.hpp"
+#include "forecast/model.hpp"
+
+namespace evfl::core {
+
+struct ExperimentConfig {
+  datagen::GeneratorConfig generator;      // 4,344 hourly points, 3 zones
+  attack::DdosConfig ddos;
+  anomaly::FilterConfig filter;            // AE 50->25->25->50, 98th pct
+  forecast::ForecasterConfig forecaster;   // LSTM 50, Dense 10 relu, Dense 1
+  fl::FedAvgConfig fedavg;
+
+  std::size_t federated_rounds = 5;        // FEDERATED_ROUNDS
+  std::size_t epochs_per_round = 10;       // EPOCHS_PER_ROUND
+  double train_fraction = 0.8;             // 80/20 temporal split
+  std::uint64_t seed = 42;
+  bool threaded = false;                   // ThreadedDriver instead of Sync
+
+  /// The paper's centralized baseline pools "combined sequences from all
+  /// clients ... without [per-client] preprocessing" (§II-C-1): one global
+  /// scaling.  Set false to give the centralized model per-client scaling
+  /// instead (ablation).
+  bool centralized_shared_scaler = true;
+
+  /// When non-empty, prepare_clients() caches its output (generated,
+  /// attacked and filtered series plus detection flags) in this directory,
+  /// keyed by a config fingerprint.  Lets the per-table bench binaries
+  /// share one expensive autoencoder-fitting pass.
+  std::string cache_dir;
+};
+
+/// Apply "--key value" overrides.  Known keys:
+///   --seed N  --rounds N  --epochs N  --hours N  --lstm-units N
+///   --seq-len N  --bursts N  --threshold-pct X  --gap-tolerance N
+///   --train-fraction X  --threaded 0|1  --ae-epochs N  --damping X
+/// Unknown keys throw evfl::Error (typos must not silently run the default).
+void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv);
+
+/// One-line render of the headline parameters (for bench banners).
+std::string describe(const ExperimentConfig& cfg);
+
+}  // namespace evfl::core

@@ -1,0 +1,91 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace evfl::core {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  EVFL_REQUIRE(!headers_.empty(), "table needs headers");
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  EVFL_REQUIRE(cells.size() == headers_.size(),
+               "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c]
+         << " | ";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+const std::vector<PaperScenarioRow> kPaperTable1 = {
+    {"Clean Data", "Federated", 3.3859, 5.3162, 0.9075, 80.85},
+    {"Attacked Data", "Federated", 4.4134, 6.2835, 0.8707, 80.33},
+    {"Filtered Data", "Federated", 3.9801, 5.7921, 0.8883, 85.95},
+    {"Filtered Data", "Centralized", 6.1644, 8.6040, 0.7536, 101.46},
+};
+
+const std::vector<PaperDetectionRow> kPaperTable2 = {
+    {"102", 0.907, 0.584, 0.710},
+    {"105", 0.955, 0.591, 0.730},
+    {"108", 0.859, 0.354, 0.501},
+};
+
+const std::vector<PaperClientRow> kPaperTable3 = {
+    {"102", "Federated", 3.9801, 5.7921, 0.8883},
+    {"102", "Centralized", 6.8277, 8.4567, 0.7646},
+    {"105", "Federated", 5.2215, 5.5876, 0.8350},
+    {"105", "Centralized", 6.5100, 8.1582, 0.7463},
+    {"108", "Federated", 5.0459, 6.2328, 0.7792},
+    {"108", "Centralized", 5.1554, 9.1659, 0.6356},
+};
+
+double recovery_percent(double r2_clean, double r2_attacked,
+                        double r2_filtered) {
+  const double lost = r2_clean - r2_attacked;
+  if (lost <= 0.0) return 0.0;
+  return (r2_filtered - r2_attacked) / lost * 100.0;
+}
+
+void add_scenario_rows(TableWriter& table, const ScenarioResult& result) {
+  for (const ClientEvaluation& ev : result.per_client) {
+    table.add_row({to_string(result.scenario), result.architecture,
+                   "zone " + ev.zone, fmt(ev.regression.mae),
+                   fmt(ev.regression.rmse), fmt(ev.regression.r2),
+                   fmt(result.train_seconds, 2)});
+  }
+}
+
+}  // namespace evfl::core

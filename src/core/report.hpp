@@ -1,0 +1,67 @@
+// Table rendering and the paper's published reference values, so every
+// bench binary prints paper-vs-measured side by side.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/scenario_runner.hpp"
+
+namespace evfl::core {
+
+/// Fixed-width text table writer.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 4);
+
+// ---- Published values (for side-by-side comparison) -------------------------
+
+/// Table I — complete performance comparison for Client 1.
+struct PaperScenarioRow {
+  const char* scenario;
+  const char* architecture;
+  double mae, rmse, r2, time_s;
+};
+extern const std::vector<PaperScenarioRow> kPaperTable1;
+
+/// Table II — client-specific anomaly detection results.
+struct PaperDetectionRow {
+  const char* zone;
+  double precision, recall, f1;
+};
+extern const std::vector<PaperDetectionRow> kPaperTable2;
+
+/// Table III — client-specific comparison on filtered data.
+struct PaperClientRow {
+  const char* zone;
+  const char* architecture;
+  double mae, rmse, r2;
+};
+extern const std::vector<PaperClientRow> kPaperTable3;
+
+/// In-text §III-C aggregates.
+inline constexpr double kPaperOverallPrecision = 0.913;
+inline constexpr double kPaperFalsePositiveRate = 0.0121;
+inline constexpr double kPaperRecoveryPercent = 47.9;
+inline constexpr double kPaperFederatedR2Gain = 15.2;   // % over centralized
+inline constexpr double kPaperTrainingSpeedup = 18.1;   // % faster than central
+
+/// Attack-induced loss recovered by filtering, in percent:
+/// (r2_filtered - r2_attacked) / (r2_clean - r2_attacked) * 100.
+double recovery_percent(double r2_clean, double r2_attacked,
+                        double r2_filtered);
+
+/// Render a ScenarioResult's per-client block into a table writer.
+void add_scenario_rows(TableWriter& table, const ScenarioResult& result);
+
+}  // namespace evfl::core

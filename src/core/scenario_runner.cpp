@@ -1,0 +1,157 @@
+#include "core/scenario_runner.hpp"
+
+#include "forecast/centralized.hpp"
+#include "metrics/timer.hpp"
+#include "nn/trainer.hpp"
+
+namespace evfl::core {
+
+ScenarioRunner::ScenarioRunner(ExperimentConfig cfg) : cfg_(std::move(cfg)) {}
+
+const std::vector<ClientData>& ScenarioRunner::clients() {
+  if (!clients_) clients_ = prepare_clients(cfg_);
+  return *clients_;
+}
+
+ClientEvaluation ScenarioRunner::evaluate_model(nn::Sequential& model,
+                                                const PreparedClient& prepared) {
+  ClientEvaluation ev;
+  ev.zone = prepared.zone;
+  ev.actual = prepared.test_actual;
+
+  const tensor::Tensor3 pred = nn::predict_batched(model, prepared.test.x);
+  ev.predicted.reserve(pred.batch());
+  for (std::size_t i = 0; i < pred.batch(); ++i) {
+    ev.predicted.push_back(prepared.scaler.inverse_one(pred(i, 0, 0)));
+  }
+  ev.regression = metrics::evaluate_regression(ev.actual, ev.predicted);
+  return ev;
+}
+
+ScenarioResult ScenarioRunner::run_federated(DataScenario scenario) {
+  const std::vector<ClientData>& data = clients();
+
+  std::vector<PreparedClient> prepared;
+  prepared.reserve(data.size());
+  for (const ClientData& cd : data) {
+    prepared.push_back(window_scenario(cd, scenario, cfg_));
+  }
+
+  tensor::Rng root(cfg_.seed ^ 0xFEDAu);
+  const forecast::ForecasterConfig model_cfg = cfg_.forecaster;
+  const fl::ModelFactory factory = [&model_cfg](tensor::Rng& r) {
+    return forecast::make_forecaster(model_cfg, r);
+  };
+
+  fl::ClientConfig client_cfg;
+  client_cfg.epochs_per_round = cfg_.epochs_per_round;
+  client_cfg.batch_size = cfg_.forecaster.batch_size;
+  client_cfg.learning_rate = cfg_.forecaster.learning_rate;
+
+  std::vector<std::unique_ptr<fl::Client>> fl_clients;
+  for (std::size_t c = 0; c < prepared.size(); ++c) {
+    fl_clients.push_back(std::make_unique<fl::Client>(
+        static_cast<int>(c), prepared[c].train.x, prepared[c].train.y, factory,
+        client_cfg, root.split()));
+  }
+
+  // The server seeds the global model with its own initialization.
+  tensor::Rng server_rng = root.split();
+  nn::Sequential init_model = forecast::make_forecaster(model_cfg, server_rng);
+  fl::Server server(init_model.get_weights(), cfg_.fedavg);
+  fl::InMemoryNetwork net;
+
+  const metrics::WallTimer timer;
+  fl::FederatedRunResult run;
+  if (cfg_.threaded) {
+    fl::ThreadedDriver driver(server, fl_clients, net);
+    run = driver.run(cfg_.federated_rounds);
+  } else {
+    fl::SyncDriver driver(server, fl_clients, net);
+    run = driver.run(cfg_.federated_rounds);
+  }
+
+  ScenarioResult result;
+  result.scenario = scenario;
+  result.architecture = "Federated";
+  result.wall_seconds = timer.seconds();
+  result.train_seconds = run.simulated_parallel_seconds;
+  result.rounds = run.rounds;
+  result.network = run.network;
+  result.global_weights = run.final_weights;
+
+  for (std::size_t c = 0; c < prepared.size(); ++c) {
+    result.per_client.push_back(
+        evaluate_model(fl_clients[c]->model(), prepared[c]));
+  }
+  return result;
+}
+
+ScenarioResult ScenarioRunner::run_centralized(DataScenario scenario) {
+  const std::vector<ClientData>& data = clients();
+
+  // The centralized baseline pools all clients jointly with one global
+  // scaling (see ExperimentConfig::centralized_shared_scaler).
+  data::MinMaxScaler shared;
+  const data::MinMaxScaler* shared_ptr = nullptr;
+  if (cfg_.centralized_shared_scaler) {
+    shared = fit_shared_scaler(data, scenario, cfg_);
+    shared_ptr = &shared;
+  }
+
+  std::vector<PreparedClient> prepared;
+  std::vector<data::SequenceDataset> train_sets;
+  for (const ClientData& cd : data) {
+    prepared.push_back(window_scenario(cd, scenario, cfg_, shared_ptr));
+    train_sets.push_back(prepared.back().train);
+  }
+
+  forecast::CentralizedConfig central_cfg;
+  central_cfg.model = cfg_.forecaster;
+  central_cfg.epochs = cfg_.federated_rounds * cfg_.epochs_per_round;
+  central_cfg.batch_size = cfg_.forecaster.batch_size;
+
+  tensor::Rng rng(cfg_.seed ^ 0xCE17u);
+  const metrics::WallTimer timer;
+  forecast::CentralizedResult central =
+      forecast::train_centralized(train_sets, central_cfg, rng);
+
+  ScenarioResult result;
+  result.scenario = scenario;
+  result.architecture = "Centralized";
+  result.wall_seconds = timer.seconds();
+  result.train_seconds = central.train_seconds;
+
+  for (const PreparedClient& pc : prepared) {
+    result.per_client.push_back(evaluate_model(central.model, pc));
+  }
+  return result;
+}
+
+DetectionReport ScenarioRunner::detection_report() {
+  DetectionReport report;
+  metrics::ConfusionMatrix total;
+  for (const ClientData& cd : clients()) {
+    const metrics::DetectionMetrics m = detection_metrics(cd);
+    total += m.cm;
+    report.per_client.emplace_back(cd.zone, m);
+  }
+  report.aggregate = metrics::from_confusion(total);
+  return report;
+}
+
+ClientEvaluation ScenarioRunner::evaluate_weights(
+    const std::vector<float>& weights, std::size_t client_index,
+    DataScenario scenario) {
+  const std::vector<ClientData>& data = clients();
+  EVFL_REQUIRE(client_index < data.size(), "client index out of range");
+  const PreparedClient prepared =
+      window_scenario(data[client_index], scenario, cfg_);
+
+  tensor::Rng rng(cfg_.seed ^ 0xE7A1u);
+  nn::Sequential model = forecast::make_forecaster(cfg_.forecaster, rng);
+  model.set_weights(weights);
+  return evaluate_model(model, prepared);
+}
+
+}  // namespace evfl::core

@@ -1,0 +1,82 @@
+// ScenarioRunner — drives the paper's four experimental scenarios (§III-A):
+//   1. Federated LSTM on Clean Data
+//   2. Federated LSTM on Attacked Data
+//   3. Federated LSTM on Filtered Data
+//   4. Centralized LSTM on Filtered Data
+// over the shared pipeline output, and reports regression metrics per
+// client in original units plus detection metrics for Table II.
+//
+// Federated per-client metrics evaluate each client's local model after its
+// final round of local training (the personalized model the paper's "local
+// specialization" analysis describes); the aggregated global weights are
+// also exposed for the FedAvg ablation.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "fl/driver.hpp"
+#include "metrics/regression.hpp"
+
+namespace evfl::core {
+
+struct ClientEvaluation {
+  std::string zone;
+  metrics::RegressionMetrics regression;
+  std::vector<float> actual;     // original units
+  std::vector<float> predicted;  // original units
+};
+
+struct ScenarioResult {
+  DataScenario scenario = DataScenario::kClean;
+  std::string architecture;      // "Federated" / "Centralized"
+  std::vector<ClientEvaluation> per_client;
+
+  /// Training time in the deployment's natural execution model:
+  /// federated = simulated-parallel seconds (slowest client per round),
+  /// centralized = single-node wall seconds.
+  double train_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  // Federated-only diagnostics (empty/zero for centralized).
+  std::vector<fl::RoundMetrics> rounds;
+  fl::NetworkStats network;
+  std::vector<float> global_weights;
+};
+
+struct DetectionReport {
+  std::vector<std::pair<std::string, metrics::DetectionMetrics>> per_client;
+  metrics::DetectionMetrics aggregate;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ExperimentConfig cfg);
+
+  const ExperimentConfig& config() const { return cfg_; }
+
+  /// Pipeline output (generated lazily, cached — all scenarios share it).
+  const std::vector<ClientData>& clients();
+
+  ScenarioResult run_federated(DataScenario scenario);
+  ScenarioResult run_centralized(DataScenario scenario);
+
+  /// Table II + the aggregate precision / FPR quoted in §III-C.
+  DetectionReport detection_report();
+
+  /// Evaluate an arbitrary model (e.g. the aggregated global weights) on
+  /// one client's test set for a scenario.
+  ClientEvaluation evaluate_weights(const std::vector<float>& weights,
+                                    std::size_t client_index,
+                                    DataScenario scenario);
+
+ private:
+  ClientEvaluation evaluate_model(nn::Sequential& model,
+                                  const PreparedClient& prepared);
+
+  ExperimentConfig cfg_;
+  std::optional<std::vector<ClientData>> clients_;
+};
+
+}  // namespace evfl::core

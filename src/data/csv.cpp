@@ -1,0 +1,102 @@
+#include "data/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace evfl::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) out.push_back(field);
+  return out;
+}
+
+}  // namespace
+
+void write_series_csv(const TimeSeries& series, std::ostream& os) {
+  series.validate();
+  // 9 significant digits: lossless float round-trip, so cached pipelines
+  // reproduce uncached runs bit-for-bit.
+  os << std::setprecision(9);
+  const bool labelled = series.has_labels();
+  os << "index,value" << (labelled ? ",label" : "") << "\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    os << i << "," << series.values[i];
+    if (labelled) os << "," << static_cast<int>(series.labels[i]);
+    os << "\n";
+  }
+}
+
+void write_series_csv(const TimeSeries& series, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open for write: " + path);
+  write_series_csv(series, os);
+}
+
+TimeSeries read_series_csv(std::istream& is) {
+  TimeSeries series;
+  std::string line;
+  if (!std::getline(is, line)) throw FormatError("CSV: empty file");
+  const auto header = split_line(line);
+  if (header.size() < 2 || header[0] != "index" || header[1] != "value") {
+    throw FormatError("CSV: unexpected header '" + line + "'");
+  }
+  const bool labelled = header.size() >= 3 && header[2] == "label";
+  std::size_t row = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_line(line);
+    if (fields.size() < (labelled ? 3u : 2u)) {
+      throw FormatError("CSV: short row " + std::to_string(row));
+    }
+    try {
+      series.values.push_back(std::stof(fields[1]));
+      if (labelled) {
+        series.labels.push_back(
+            static_cast<std::uint8_t>(std::stoi(fields[2]) != 0));
+      }
+    } catch (const std::exception&) {
+      throw FormatError("CSV: unparsable row " + std::to_string(row));
+    }
+    ++row;
+  }
+  series.validate();
+  return series;
+}
+
+TimeSeries read_series_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open for read: " + path);
+  TimeSeries s = read_series_csv(is);
+  s.name = path;
+  return s;
+}
+
+void write_columns_csv(const std::vector<std::string>& names,
+                       const std::vector<std::vector<float>>& columns,
+                       const std::string& path) {
+  EVFL_REQUIRE(names.size() == columns.size(),
+               "write_columns_csv: names/columns mismatch");
+  EVFL_REQUIRE(!columns.empty(), "write_columns_csv: no columns");
+  const std::size_t n = columns[0].size();
+  for (const auto& c : columns) {
+    EVFL_REQUIRE(c.size() == n, "write_columns_csv: ragged columns");
+  }
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open for write: " + path);
+  os << "index";
+  for (const auto& name : names) os << "," << name;
+  os << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << i;
+    for (const auto& c : columns) os << "," << c[i];
+    os << "\n";
+  }
+}
+
+}  // namespace evfl::data

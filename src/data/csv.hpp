@@ -1,0 +1,27 @@
+// Minimal CSV reading/writing for time series and experiment dumps
+// (figure-reproduction benches emit prediction series as CSV).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/timeseries.hpp"
+
+namespace evfl::data {
+
+/// Write "index,value[,label]" rows with a header.
+void write_series_csv(const TimeSeries& series, const std::string& path);
+void write_series_csv(const TimeSeries& series, std::ostream& os);
+
+/// Read back what write_series_csv produced (labels column optional).
+TimeSeries read_series_csv(const std::string& path);
+TimeSeries read_series_csv(std::istream& is);
+
+/// Write aligned named columns: header "index,<name0>,<name1>,...".  All
+/// columns must share a length.
+void write_columns_csv(const std::vector<std::string>& names,
+                       const std::vector<std::vector<float>>& columns,
+                       const std::string& path);
+
+}  // namespace evfl::data

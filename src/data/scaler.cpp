@@ -1,0 +1,45 @@
+#include "data/scaler.hpp"
+
+#include <algorithm>
+
+namespace evfl::data {
+
+void MinMaxScaler::fit(const std::vector<float>& values) {
+  EVFL_REQUIRE(!values.empty(), "MinMaxScaler::fit on empty data");
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  min_ = *lo;
+  max_ = *hi;
+  const float range = max_ - min_;
+  scale_ = range > 0.0f ? 1.0f / range : 1.0f;
+  fitted_ = true;
+}
+
+float MinMaxScaler::transform_one(float v) const {
+  require_fitted();
+  return (v - min_) * scale_;
+}
+
+float MinMaxScaler::inverse_one(float v) const {
+  require_fitted();
+  return v / scale_ + min_;
+}
+
+std::vector<float> MinMaxScaler::transform(
+    const std::vector<float>& values) const {
+  require_fitted();
+  std::vector<float> out;
+  out.reserve(values.size());
+  for (float v : values) out.push_back(transform_one(v));
+  return out;
+}
+
+std::vector<float> MinMaxScaler::inverse(
+    const std::vector<float>& values) const {
+  require_fitted();
+  std::vector<float> out;
+  out.reserve(values.size());
+  for (float v : values) out.push_back(inverse_one(v));
+  return out;
+}
+
+}  // namespace evfl::data

@@ -1,0 +1,40 @@
+// MinMaxScaler matching scikit-learn semantics: fit on the training split,
+// map to [0, 1], inverse-transform predictions back to physical units so
+// MAE / RMSE / R² are reported in original charging-volume units as in the
+// paper's tables.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace evfl::data {
+
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  void fit(const std::vector<float>& values);
+  bool fitted() const { return fitted_; }
+
+  float transform_one(float v) const;
+  float inverse_one(float v) const;
+
+  std::vector<float> transform(const std::vector<float>& values) const;
+  std::vector<float> inverse(const std::vector<float>& values) const;
+
+  float data_min() const { return min_; }
+  float data_max() const { return max_; }
+
+ private:
+  void require_fitted() const {
+    EVFL_REQUIRE(fitted_, "MinMaxScaler used before fit()");
+  }
+
+  float min_ = 0.0f;
+  float scale_ = 1.0f;  // 1 / (max - min), 1 for constant series
+  float max_ = 0.0f;
+  bool fitted_ = false;
+};
+
+}  // namespace evfl::data

@@ -1,0 +1,62 @@
+#include "data/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evfl::data {
+
+std::size_t TimeSeries::anomaly_count() const {
+  std::size_t n = 0;
+  for (std::uint8_t l : labels) n += (l != 0);
+  return n;
+}
+
+TimeSeries TimeSeries::slice(std::size_t begin, std::size_t end) const {
+  EVFL_REQUIRE(begin <= end && end <= values.size(),
+               "TimeSeries::slice range invalid");
+  TimeSeries out;
+  out.name = name;
+  out.values.assign(values.begin() + begin, values.begin() + end);
+  if (!labels.empty()) {
+    out.labels.assign(labels.begin() + begin, labels.begin() + end);
+  }
+  return out;
+}
+
+TrainTestSplit temporal_split(const TimeSeries& series, double train_fraction) {
+  EVFL_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+               "train_fraction must be in (0,1)");
+  series.validate();
+  const std::size_t n = series.size();
+  EVFL_REQUIRE(n >= 2, "temporal_split needs at least 2 points");
+  const std::size_t split =
+      static_cast<std::size_t>(static_cast<double>(n) * train_fraction);
+  TrainTestSplit out;
+  out.split_index = split;
+  out.train = series.slice(0, split);
+  out.test = series.slice(split, n);
+  return out;
+}
+
+SeriesStats compute_stats(const std::vector<float>& values) {
+  SeriesStats s;
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (float v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = static_cast<float>(sum / values.size());
+  double var = 0.0;
+  for (float v : values) {
+    const double d = v - s.mean;
+    var += d * d;
+  }
+  s.stddev = static_cast<float>(std::sqrt(var / values.size()));
+  return s;
+}
+
+}  // namespace evfl::data

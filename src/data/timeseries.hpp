@@ -1,0 +1,60 @@
+// Univariate hourly time series with aligned anomaly labels — the unit of
+// data every pipeline stage (generation, attack injection, filtering,
+// scaling, windowing) consumes and produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace evfl::data {
+
+/// A univariate series sampled at a fixed 1-hour cadence.
+struct TimeSeries {
+  std::string name;                 // e.g. "zone-102"
+  std::vector<float> values;        // charging volume per hour
+  std::vector<std::uint8_t> labels; // 1 = anomalous point; empty = all clean
+
+  std::size_t size() const { return values.size(); }
+  bool has_labels() const { return !labels.empty(); }
+
+  /// Labels vector sized to values, all zero.
+  void init_clean_labels() { labels.assign(values.size(), 0); }
+
+  /// Throws if labels exist but are misaligned.
+  void validate() const {
+    if (!labels.empty() && labels.size() != values.size()) {
+      throw Error("TimeSeries '" + name + "': labels/values length mismatch");
+    }
+  }
+
+  /// Count of labelled anomalous points.
+  std::size_t anomaly_count() const;
+
+  /// Sub-series [begin, end) preserving labels.
+  TimeSeries slice(std::size_t begin, std::size_t end) const;
+};
+
+/// Temporal split: first `train_fraction` of points for training, the rest
+/// for testing (the paper uses 80/20 with no shuffling).
+struct TrainTestSplit {
+  TimeSeries train;
+  TimeSeries test;
+  std::size_t split_index = 0;
+};
+
+TrainTestSplit temporal_split(const TimeSeries& series, double train_fraction);
+
+/// Simple summary statistics used by generators and tests.
+struct SeriesStats {
+  float mean = 0.0f;
+  float stddev = 0.0f;
+  float min = 0.0f;
+  float max = 0.0f;
+};
+
+SeriesStats compute_stats(const std::vector<float>& values);
+
+}  // namespace evfl::data

@@ -1,0 +1,127 @@
+#include "data/window.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace evfl::data {
+
+SequenceDataset make_forecast_sequences(const std::vector<float>& series,
+                                        std::size_t lookback) {
+  EVFL_REQUIRE(lookback > 0, "lookback must be positive");
+  EVFL_REQUIRE(series.size() > lookback,
+               "series too short for lookback window");
+  const std::size_t n = series.size() - lookback;
+  SequenceDataset ds;
+  ds.lookback = lookback;
+  ds.x = Tensor3(n, lookback, 1);
+  ds.y = Tensor3(n, 1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < lookback; ++t) {
+      ds.x(i, t, 0) = series[i + t];
+    }
+    ds.y(i, 0, 0) = series[i + lookback];
+  }
+  return ds;
+}
+
+Tensor3 make_autoencoder_windows(const std::vector<float>& series,
+                                 std::size_t window) {
+  EVFL_REQUIRE(window > 0, "window must be positive");
+  EVFL_REQUIRE(series.size() >= window, "series too short for window");
+  const std::size_t n = series.size() - window + 1;
+  Tensor3 x(n, window, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < window; ++t) {
+      x(i, t, 0) = series[i + t];
+    }
+  }
+  return x;
+}
+
+std::vector<float> per_point_reconstruction(const Tensor3& recon,
+                                            std::size_t series_length) {
+  const std::size_t n = recon.batch();
+  const std::size_t w = recon.time();
+  EVFL_REQUIRE(series_length == n + w - 1,
+               "series_length inconsistent with window count");
+  std::vector<double> acc(series_length, 0.0);
+  std::vector<std::size_t> cover(series_length, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < w; ++t) {
+      acc[i + t] += recon(i, t, 0);
+      ++cover[i + t];
+    }
+  }
+  std::vector<float> out(series_length, 0.0f);
+  for (std::size_t p = 0; p < series_length; ++p) {
+    EVFL_ASSERT(cover[p] > 0, "uncovered point in reconstruction");
+    out[p] = static_cast<float>(acc[p] / cover[p]);
+  }
+  return out;
+}
+
+std::string to_string(ErrorAggregation agg) {
+  switch (agg) {
+    case ErrorAggregation::kMean: return "mean";
+    case ErrorAggregation::kMin: return "min";
+    case ErrorAggregation::kMedian: return "median";
+  }
+  return "?";
+}
+
+std::vector<float> per_point_reconstruction_error(const Tensor3& windows,
+                                                  const Tensor3& recon,
+                                                  std::size_t series_length,
+                                                  ErrorAggregation agg) {
+  EVFL_REQUIRE(windows.same_shape(recon),
+               "reconstruction shape mismatch: " + windows.shape_str() +
+                   " vs " + recon.shape_str());
+  const std::size_t n = windows.batch();
+  const std::size_t w = windows.time();
+  EVFL_REQUIRE(series_length == n + w - 1,
+               "series_length inconsistent with window count");
+
+  // Collect each point's per-window squared errors.
+  std::vector<std::vector<float>> per_point(series_length);
+  for (auto& v : per_point) v.reserve(w);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < w; ++t) {
+      const float d = windows(i, t, 0) - recon(i, t, 0);
+      per_point[i + t].push_back(d * d);
+    }
+  }
+
+  std::vector<float> out(series_length, 0.0f);
+  for (std::size_t p = 0; p < series_length; ++p) {
+    std::vector<float>& errs = per_point[p];
+    EVFL_ASSERT(!errs.empty(), "uncovered point in reconstruction error");
+    switch (agg) {
+      case ErrorAggregation::kMean: {
+        double acc = 0.0;
+        for (float e : errs) acc += e;
+        out[p] = static_cast<float>(acc / errs.size());
+        break;
+      }
+      case ErrorAggregation::kMin:
+        out[p] = *std::min_element(errs.begin(), errs.end());
+        break;
+      case ErrorAggregation::kMedian: {
+        const std::size_t mid = errs.size() / 2;
+        std::nth_element(errs.begin(), errs.begin() + mid, errs.end());
+        float m = errs[mid];
+        if (errs.size() % 2 == 0) {
+          const float lower =
+              *std::max_element(errs.begin(), errs.begin() + mid);
+          m = 0.5f * (m + lower);
+        }
+        out[p] = m;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace evfl::data

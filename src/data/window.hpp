@@ -1,0 +1,61 @@
+// Sliding-window sequence construction: turns a scaled series into
+// (X, y) supervised pairs with a `lookback`-step history per sample
+// (the paper uses SEQUENCE_LENGTH = 24 hours), plus the window matrix the
+// autoencoder reconstructs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor3.hpp"
+
+namespace evfl::data {
+
+using tensor::Tensor3;
+
+/// Supervised forecasting dataset: X [N, lookback, 1], y [N, 1, 1] where
+/// y[i] is the value immediately after window i.
+struct SequenceDataset {
+  Tensor3 x;
+  Tensor3 y;
+  std::size_t lookback = 0;
+  /// Index into the source series of the target of sample i (= i + lookback).
+  std::size_t target_offset(std::size_t i) const { return i + lookback; }
+};
+
+/// Build forecasting pairs.  Requires series.size() > lookback.
+SequenceDataset make_forecast_sequences(const std::vector<float>& series,
+                                        std::size_t lookback);
+
+/// Build autoencoder windows: X [N, window, 1] where sample i covers source
+/// points [i, i + window).  Stride-1 sliding.
+Tensor3 make_autoencoder_windows(const std::vector<float>& series,
+                                 std::size_t window);
+
+/// Per-point mean reconstructed *value* across every window position that
+/// covers the point — the model-based repair signal for
+/// anomaly::ImputationMethod::kModelReconstruction.
+std::vector<float> per_point_reconstruction(const Tensor3& recon,
+                                            std::size_t series_length);
+
+/// How a point's squared reconstruction errors from its covering windows
+/// collapse into one anomaly score.
+///
+/// kMin is the anomaly-detection default: an attacked point corrupts every
+/// window containing it, but a *normal* point near an attack always has at
+/// least one covering window free of the attack — taking the minimum stops
+/// burst errors from smearing onto adjacent normal points (false
+/// positives).  kMean/kMedian are exposed for ablations.
+enum class ErrorAggregation { kMean, kMin, kMedian };
+
+std::string to_string(ErrorAggregation agg);
+
+/// Per-point aggregation of per-window, per-position reconstruction errors:
+/// point_error[p] = agg over every window position that covers p of the
+/// squared reconstruction error at p.  `recon` and `windows` are the
+/// autoencoder output/input of make_autoencoder_windows.
+std::vector<float> per_point_reconstruction_error(
+    const Tensor3& windows, const Tensor3& recon, std::size_t series_length,
+    ErrorAggregation agg = ErrorAggregation::kMean);
+
+}  // namespace evfl::data

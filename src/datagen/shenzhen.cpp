@@ -1,0 +1,95 @@
+#include "datagen/shenzhen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evfl::datagen {
+
+namespace {
+constexpr float kTwoPi = 6.2831853f;
+
+/// Periodic Gaussian bump centred on `peak_hour` with circular distance on
+/// the 24 h clock.
+float daily_bump(float hour_of_day, float peak_hour, float width, float amp) {
+  float d = std::abs(hour_of_day - peak_hour);
+  d = std::min(d, 24.0f - d);
+  return amp * std::exp(-(d * d) / (2.0f * width * width));
+}
+}  // namespace
+
+float expected_demand(const ZoneProfile& p, std::size_t hour_index,
+                      std::size_t start_weekday, std::size_t total_hours) {
+  const float hour_of_day = static_cast<float>(hour_index % 24);
+  const std::size_t day = hour_index / 24;
+  const std::size_t weekday = (start_weekday + day) % 7;
+  const bool weekend = weekday >= 5;
+
+  float v = p.base_load;
+  v += p.growth_rate * static_cast<float>(hour_index) / 1000.0f;
+  v += daily_bump(hour_of_day, p.morning_peak_hour, p.morning_peak_width,
+                  p.morning_peak_amp);
+  v += daily_bump(hour_of_day, p.evening_peak_hour, p.evening_peak_width,
+                  p.evening_peak_amp);
+  v -= daily_bump(hour_of_day, 3.5f, 2.5f, p.overnight_dip);
+
+  // Smooth within-week wave (hour-of-week phase).
+  const float how = static_cast<float>(((start_weekday * 24) + hour_index) %
+                                       (7 * 24));
+  v += p.weekly_wave_amp * std::sin(kTwoPi * how / (7.0f * 24.0f));
+
+  if (weekend) v *= p.weekend_factor;
+
+  // One slow seasonal cycle across the whole study window (autumn → winter).
+  if (total_hours > 0) {
+    const float phase =
+        static_cast<float>(hour_index) / static_cast<float>(total_hours);
+    v += p.seasonal_drift_amp * std::sin(kTwoPi * 0.5f * phase);
+  }
+  return std::max(v, 0.0f);
+}
+
+data::TimeSeries generate_zone(const ZoneProfile& p,
+                               const GeneratorConfig& cfg,
+                               tensor::Rng& rng) {
+  EVFL_REQUIRE(cfg.hours > 0, "generator needs hours > 0");
+  data::TimeSeries series;
+  series.name = "zone-" + p.zone_id;
+  series.values.reserve(cfg.hours);
+
+  float noise = 0.0f;        // AR(1) state
+  float spike_level = 0.0f;  // ongoing natural spike episode
+  for (std::size_t h = 0; h < cfg.hours; ++h) {
+    const float mean = expected_demand(p, h, cfg.start_weekday, cfg.hours);
+    noise = p.ar_coeff * noise + rng.normal(0.0f, p.noise_std);
+
+    if (spike_level > 0.0f) {
+      // Episode continues with probability spike_persistence, decaying.
+      spike_level = rng.bernoulli(p.spike_persistence)
+                        ? spike_level * rng.uniform(0.55f, 0.85f)
+                        : 0.0f;
+      if (spike_level < 1.0f) spike_level = 0.0f;
+    }
+    if (rng.bernoulli(p.spike_prob)) {
+      // New natural demand spike: exponential-ish magnitude.
+      spike_level =
+          p.spike_scale * (0.5f + rng.log_uniform(0.5f, 2.5f) / 2.5f);
+    }
+
+    const float v = mean + noise + spike_level;
+    series.values.push_back(std::max(v, 0.0f));
+  }
+  series.init_clean_labels();
+  return series;
+}
+
+std::vector<data::TimeSeries> generate_clients(const GeneratorConfig& cfg) {
+  tensor::Rng root(cfg.seed);
+  std::vector<data::TimeSeries> out;
+  for (const ZoneProfile& p : {zone_102(), zone_105(), zone_108()}) {
+    tensor::Rng child = root.split();
+    out.push_back(generate_zone(p, cfg, child));
+  }
+  return out;
+}
+
+}  // namespace evfl::datagen

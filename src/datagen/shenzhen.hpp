@@ -1,0 +1,35 @@
+// Synthetic Shenzhen-like EV charging demand generator (dataset substitute —
+// see DESIGN.md §1).  Produces hourly region-level charging-volume series
+// structurally equivalent to the paper's Sept 2022 – Feb 2023 study window.
+#pragma once
+
+#include <vector>
+
+#include "data/timeseries.hpp"
+#include "datagen/zone_profile.hpp"
+#include "tensor/rng.hpp"
+
+namespace evfl::datagen {
+
+struct GeneratorConfig {
+  std::size_t hours = 4344;     // the paper's per-zone timestamp count
+  std::size_t start_weekday = 3;  // 2022-09-01 was a Thursday (Mon = 0)
+  std::uint64_t seed = 2022;
+};
+
+/// Deterministic expected demand (no noise/spikes) for one hour — exposed
+/// separately so tests can verify seasonality independent of noise.
+float expected_demand(const ZoneProfile& profile, std::size_t hour_index,
+                      std::size_t start_weekday, std::size_t total_hours);
+
+/// Generate one zone's series: expectation + AR(1) noise + natural spikes,
+/// floored at zero.  Labels are initialized clean (all zero).
+data::TimeSeries generate_zone(const ZoneProfile& profile,
+                               const GeneratorConfig& cfg,
+                               tensor::Rng& rng);
+
+/// Generate the paper's three clients (zones 102, 105, 108) with independent
+/// noise streams derived from cfg.seed.
+std::vector<data::TimeSeries> generate_clients(const GeneratorConfig& cfg);
+
+}  // namespace evfl::datagen

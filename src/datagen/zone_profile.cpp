@@ -1,0 +1,93 @@
+#include "datagen/zone_profile.hpp"
+
+#include "common/error.hpp"
+
+namespace evfl::datagen {
+
+// The three presets are deliberately *structurally* heterogeneous — not just
+// rescaled copies of one another.  Per-client MinMax scaling normalizes
+// level and amplitude away, so the heterogeneity that drives the paper's
+// centralized-compromise effect must live in the temporal shape itself:
+// different peak hours, different weekday/weekend regimes, different noise
+// persistence.  Zone 102 is a commuter district (morning + evening peaks),
+// zone 105 a business district (single morning-to-midday peak, weekday
+// heavy), and zone 108 a leisure/night-charging district (late-night peak,
+// weekend heavy, spiky).
+
+ZoneProfile zone_102() {
+  ZoneProfile p;
+  p.zone_id = "102";
+  p.base_load = 52.0f;
+  p.growth_rate = 1.2f;
+  p.morning_peak_amp = 20.0f;
+  p.morning_peak_hour = 8.5f;
+  p.morning_peak_width = 2.0f;
+  p.evening_peak_amp = 30.0f;
+  p.evening_peak_hour = 19.0f;
+  p.evening_peak_width = 2.8f;
+  p.overnight_dip = 18.0f;
+  p.weekend_factor = 0.85f;
+  p.weekly_wave_amp = 3.0f;
+  p.noise_std = 3.6f;
+  p.ar_coeff = 0.55f;
+  p.spike_prob = 0.003f;
+  p.spike_scale = 22.0f;
+  p.spike_persistence = 0.10f;  // isolated one-hour spikes
+  return p;
+}
+
+ZoneProfile zone_105() {
+  ZoneProfile p;
+  p.zone_id = "105";
+  p.base_load = 44.0f;
+  p.growth_rate = 0.8f;
+  // Single broad business-hours peak: no evening commute bump at all.
+  p.morning_peak_amp = 34.0f;
+  p.morning_peak_hour = 11.0f;
+  p.morning_peak_width = 3.5f;
+  p.evening_peak_amp = 0.0f;
+  p.evening_peak_hour = 18.0f;
+  p.overnight_dip = 14.0f;
+  p.weekend_factor = 0.55f;  // business district: weekends nearly idle
+  p.weekly_wave_amp = 4.0f;
+  p.noise_std = 3.2f;
+  p.ar_coeff = 0.4f;
+  p.spike_prob = 0.002f;
+  p.spike_scale = 18.0f;
+  return p;
+}
+
+ZoneProfile zone_108() {
+  ZoneProfile p;
+  p.zone_id = "108";
+  p.base_load = 47.0f;
+  p.growth_rate = 1.0f;
+  // Leisure district + overnight fleet charging: activity peaks late night,
+  // almost the inverse of zone 102's commuter shape.
+  p.morning_peak_amp = 8.0f;
+  p.morning_peak_hour = 13.0f;
+  p.morning_peak_width = 3.0f;
+  p.evening_peak_amp = 28.0f;
+  p.evening_peak_hour = 22.5f;
+  p.evening_peak_width = 3.5f;
+  p.overnight_dip = 6.0f;    // nights stay busy
+  p.weekend_factor = 1.25f;  // weekends are the rush
+  p.weekly_wave_amp = 2.0f;
+  p.noise_std = 5.5f;
+  p.ar_coeff = 0.65f;
+  // The "hard" zone: frequent large *persistent* natural spike episodes
+  // that mimic DDoS bursts, inflating the zone's detection threshold.
+  p.spike_prob = 0.012f;
+  p.spike_scale = 38.0f;
+  p.spike_persistence = 0.75f;
+  return p;
+}
+
+ZoneProfile zone_by_id(const std::string& zone_id) {
+  if (zone_id == "102") return zone_102();
+  if (zone_id == "105") return zone_105();
+  if (zone_id == "108") return zone_108();
+  throw Error("unknown zone id: " + zone_id);
+}
+
+}  // namespace evfl::datagen

@@ -1,0 +1,53 @@
+#include "fl/client.hpp"
+
+#include "metrics/timer.hpp"
+
+namespace evfl::fl {
+
+Client::Client(int id, tensor::Tensor3 x_train, tensor::Tensor3 y_train,
+               const ModelFactory& factory, ClientConfig cfg, tensor::Rng rng)
+    : id_(id),
+      cfg_(cfg),
+      x_(std::move(x_train)),
+      y_(std::move(y_train)),
+      rng_(std::move(rng)),
+      model_(factory(rng_)),
+      optimizer_(cfg.learning_rate) {
+  EVFL_REQUIRE(x_.batch() == y_.batch(), "client data x/y mismatch");
+  EVFL_REQUIRE(x_.batch() > 0, "client has no training data");
+  EVFL_REQUIRE(model_.weight_count() > 0,
+               "model factory must build layers eagerly");
+}
+
+WeightUpdate Client::train_round(const GlobalModel& global) {
+  const metrics::WallTimer timer;
+  model_.set_weights(global.weights);
+
+  nn::Trainer trainer(model_, loss_, optimizer_, rng_);
+  nn::FitConfig fit;
+  fit.epochs = cfg_.epochs_per_round;
+  fit.batch_size = cfg_.batch_size;
+  const nn::FitHistory hist = trainer.fit(x_, y_, fit);
+  last_train_seconds_ = timer.seconds();
+
+  WeightUpdate update;
+  update.client_id = id_;
+  update.round = global.round;
+  update.sample_count = sample_count();
+  update.weights = model_.get_weights();
+  update.train_loss = hist.train_loss.empty() ? 0.0f : hist.train_loss.back();
+  return update;
+}
+
+void Client::serve(InMemoryNetwork& net, std::size_t rounds,
+                   double timeout_ms) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::optional<Message> msg = net.receive(id_, timeout_ms);
+    if (!msg) return;  // server went away or broadcast was dropped
+    const GlobalModel global = deserialize_global(msg->bytes);
+    WeightUpdate update = train_round(global);
+    net.send(Message{id_, kServerNode, serialize(update)});
+  }
+}
+
+}  // namespace evfl::fl

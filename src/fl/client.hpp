@@ -1,0 +1,68 @@
+// Federated client: owns a private local dataset and a local model replica.
+// The only artefacts that ever leave it are serialized WeightUpdate
+// messages; training data is deliberately inaccessible from outside.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fl/network.hpp"
+#include "fl/serialize.hpp"
+#include "fl/weights.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+
+namespace evfl::fl {
+
+/// Builds an eagerly-initialized model (all layer shapes fixed) so weight
+/// vectors are well-defined before the first forward pass.
+using ModelFactory = std::function<nn::Sequential(tensor::Rng&)>;
+
+struct ClientConfig {
+  std::size_t epochs_per_round = 10;   // paper: EPOCHS_PER_ROUND = 10
+  std::size_t batch_size = 32;
+  float learning_rate = 1e-3f;
+};
+
+class Client {
+ public:
+  Client(int id, tensor::Tensor3 x_train, tensor::Tensor3 y_train,
+         const ModelFactory& factory, ClientConfig cfg, tensor::Rng rng);
+
+  int id() const { return id_; }
+  std::size_t sample_count() const { return x_.batch(); }
+
+  /// Adopt the broadcast global weights, run local epochs, return the update.
+  WeightUpdate train_round(const GlobalModel& global);
+
+  /// Threaded-mode service loop: for each of `rounds`, wait for a
+  /// GlobalModel broadcast on `net`, train, and send the update back to the
+  /// server node.  Exits early on receive timeout.
+  void serve(InMemoryNetwork& net, std::size_t rounds,
+             double timeout_ms = 60'000.0);
+
+  /// Local model access (evaluation after training).
+  nn::Sequential& model() { return model_; }
+
+  /// Initial local weights (used by the server to seed the global model).
+  std::vector<float> initial_weights() { return model_.get_weights(); }
+
+  /// Wall-clock seconds of the most recent train_round (what a genuinely
+  /// distributed deployment would spend on this client in parallel).
+  double last_train_seconds() const { return last_train_seconds_; }
+
+ private:
+  int id_;
+  ClientConfig cfg_;
+  tensor::Tensor3 x_;
+  tensor::Tensor3 y_;
+  tensor::Rng rng_;
+  nn::Sequential model_;
+  nn::MseLoss loss_;
+  nn::Adam optimizer_;
+  double last_train_seconds_ = 0.0;
+};
+
+}  // namespace evfl::fl

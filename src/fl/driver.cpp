@@ -1,0 +1,152 @@
+#include "fl/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "fl/serialize.hpp"
+
+namespace evfl::fl {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+RoundMetrics make_round_metrics(std::uint32_t round,
+                                const std::vector<WeightUpdate>& updates,
+                                double delta, double wall_seconds) {
+  RoundMetrics m;
+  m.round = round;
+  m.updates_received = updates.size();
+  m.weight_delta = delta;
+  m.wall_seconds = wall_seconds;
+  if (!updates.empty()) {
+    double acc = 0.0;
+    for (const WeightUpdate& u : updates) acc += u.train_loss;
+    m.mean_train_loss = static_cast<float>(acc / updates.size());
+  }
+  return m;
+}
+
+}  // namespace
+
+SyncDriver::SyncDriver(Server& server,
+                       std::vector<std::unique_ptr<Client>>& clients,
+                       InMemoryNetwork& net)
+    : server_(&server), clients_(&clients), net_(&net) {
+  EVFL_REQUIRE(!clients.empty(), "SyncDriver needs clients");
+}
+
+FederatedRunResult SyncDriver::run(std::size_t rounds) {
+  const auto t0 = Clock::now();
+  FederatedRunResult result;
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto round_t0 = Clock::now();
+    const GlobalModel global = server_->broadcast();
+
+    std::vector<WeightUpdate> updates;
+    double max_client_seconds = 0.0;
+    for (auto& client : *clients_) {
+      // Broadcast leg: global weights cross the wire to this client.
+      if (!net_->send(Message{kServerNode, client->id(), serialize(global)})) {
+        continue;  // simulated network dropped the broadcast
+      }
+      std::optional<Message> down = net_->try_receive(client->id());
+      EVFL_ASSERT(down.has_value(), "sync driver lost its own message");
+      const GlobalModel received = deserialize_global(down->bytes);
+
+      WeightUpdate update = client->train_round(received);
+      max_client_seconds =
+          std::max(max_client_seconds, client->last_train_seconds());
+
+      // Upload leg: the update crosses the wire back to the server.
+      if (!net_->send(Message{client->id(), kServerNode, serialize(update)})) {
+        continue;  // simulated network dropped the upload
+      }
+      std::optional<Message> up = net_->try_receive(kServerNode);
+      EVFL_ASSERT(up.has_value(), "sync driver lost its own message");
+      updates.push_back(deserialize_update(up->bytes));
+    }
+
+    const double delta = server_->finish_round(updates);
+    RoundMetrics rm = make_round_metrics(global.round, updates, delta,
+                                         seconds_since(round_t0));
+    rm.max_client_seconds = max_client_seconds;
+    result.simulated_parallel_seconds += max_client_seconds;
+    result.rounds.push_back(rm);
+  }
+
+  result.final_weights = server_->weights();
+  result.network = net_->stats();
+  result.total_seconds = seconds_since(t0);
+  return result;
+}
+
+ThreadedDriver::ThreadedDriver(Server& server,
+                               std::vector<std::unique_ptr<Client>>& clients,
+                               InMemoryNetwork& net)
+    : server_(&server), clients_(&clients), net_(&net) {
+  EVFL_REQUIRE(!clients.empty(), "ThreadedDriver needs clients");
+}
+
+FederatedRunResult ThreadedDriver::run(std::size_t rounds,
+                                       double collect_timeout_ms) {
+  const auto t0 = Clock::now();
+  FederatedRunResult result;
+
+  std::vector<std::thread> workers;
+  workers.reserve(clients_->size());
+  for (auto& client : *clients_) {
+    workers.emplace_back(
+        [&client, this, rounds] { client->serve(*net_, rounds); });
+  }
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto round_t0 = Clock::now();
+    const GlobalModel global = server_->broadcast();
+    std::size_t broadcasts_delivered = 0;
+    for (auto& client : *clients_) {
+      if (net_->send(Message{kServerNode, client->id(), serialize(global)})) {
+        ++broadcasts_delivered;
+      }
+    }
+
+    std::vector<WeightUpdate> updates;
+    // Collect at most one update per delivered broadcast, bounded by the
+    // straggler deadline.
+    while (updates.size() < broadcasts_delivered) {
+      const double elapsed_ms = seconds_since(round_t0) * 1000.0;
+      const double remaining = collect_timeout_ms - elapsed_ms;
+      if (remaining <= 0.0) break;
+      std::optional<Message> msg = net_->receive(kServerNode, remaining);
+      if (!msg) break;
+      updates.push_back(deserialize_update(msg->bytes));
+    }
+
+    const double delta = server_->finish_round(updates);
+    RoundMetrics rm = make_round_metrics(global.round, updates, delta,
+                                         seconds_since(round_t0));
+    double max_client_seconds = 0.0;
+    for (auto& client : *clients_) {
+      max_client_seconds =
+          std::max(max_client_seconds, client->last_train_seconds());
+    }
+    rm.max_client_seconds = max_client_seconds;
+    result.simulated_parallel_seconds += max_client_seconds;
+    result.rounds.push_back(rm);
+  }
+
+  for (std::thread& w : workers) w.join();
+
+  result.final_weights = server_->weights();
+  result.network = net_->stats();
+  result.total_seconds = seconds_since(t0);
+  return result;
+}
+
+}  // namespace evfl::fl

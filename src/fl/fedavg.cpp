@@ -1,0 +1,43 @@
+#include "fl/fedavg.hpp"
+
+#include "common/error.hpp"
+
+namespace evfl::fl {
+
+std::vector<float> fed_avg(const std::vector<WeightUpdate>& updates,
+                           const FedAvgConfig& cfg) {
+  EVFL_REQUIRE(!updates.empty(), "fed_avg: no updates");
+  const std::size_t dim = updates.front().weights.size();
+  EVFL_REQUIRE(dim > 0, "fed_avg: empty weight vectors");
+
+  double total_weight = 0.0;
+  for (const WeightUpdate& u : updates) {
+    if (u.weights.size() != dim) {
+      throw Error("fed_avg: weight dimension mismatch (client " +
+                  std::to_string(u.client_id) + ")");
+    }
+    const double w =
+        cfg.weighted_by_samples ? static_cast<double>(u.sample_count) : 1.0;
+    EVFL_REQUIRE(!cfg.weighted_by_samples || u.sample_count > 0,
+                 "fed_avg: sample-weighted update with zero samples");
+    total_weight += w;
+  }
+  EVFL_ASSERT(total_weight > 0.0, "fed_avg: zero total weight");
+
+  // Accumulate in double: three clients is forgiving, but ablations sweep
+  // to many more and float accumulation would drift.
+  std::vector<double> acc(dim, 0.0);
+  for (const WeightUpdate& u : updates) {
+    const double w =
+        (cfg.weighted_by_samples ? static_cast<double>(u.sample_count) : 1.0) /
+        total_weight;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc[i] += w * static_cast<double>(u.weights[i]);
+    }
+  }
+  std::vector<float> out(dim);
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+}  // namespace evfl::fl

@@ -1,0 +1,22 @@
+// Federated Averaging (McMahan et al.) — the paper's aggregation mechanism.
+#pragma once
+
+#include <vector>
+
+#include "fl/weights.hpp"
+
+namespace evfl::fl {
+
+struct FedAvgConfig {
+  /// Weight each update by its local sample count (true FedAvg).  The paper
+  /// reports equal-sized clients, where this equals the unweighted mean;
+  /// bench_ablation_fedavg explores the difference under imbalance.
+  bool weighted_by_samples = true;
+};
+
+/// Aggregate client updates into the next global weight vector.
+/// All updates must agree on weight dimensionality; throws otherwise.
+std::vector<float> fed_avg(const std::vector<WeightUpdate>& updates,
+                           const FedAvgConfig& cfg = {});
+
+}  // namespace evfl::fl

@@ -1,0 +1,69 @@
+#include "fl/network.hpp"
+
+#include <chrono>
+
+namespace evfl::fl {
+
+InMemoryNetwork::InMemoryNetwork(NetworkConfig cfg)
+    : cfg_(cfg), drop_rng_(cfg.drop_seed) {}
+
+bool InMemoryNetwork::send(Message msg) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg.bytes.size();
+  stats_.virtual_latency_ms +=
+      cfg_.latency_ms_per_message +
+      cfg_.latency_ms_per_kib * (static_cast<double>(msg.bytes.size()) / 1024.0);
+  if (cfg_.drop_probability > 0.0 &&
+      drop_rng_.bernoulli(cfg_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return false;
+  }
+  queues_[msg.to].push_back(std::move(msg));
+  cv_.notify_all();
+  return true;
+}
+
+std::optional<Message> InMemoryNetwork::receive(int node, double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& q = queues_[node];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(
+                            static_cast<std::int64_t>(timeout_ms * 1000.0));
+  while (q.empty()) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        q.empty()) {
+      return std::nullopt;
+    }
+  }
+  Message msg = std::move(q.front());
+  q.pop_front();
+  return msg;
+}
+
+std::optional<Message> InMemoryNetwork::try_receive(int node) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto& q = queues_[node];
+  if (q.empty()) return std::nullopt;
+  Message msg = std::move(q.front());
+  q.pop_front();
+  return msg;
+}
+
+std::size_t InMemoryNetwork::pending(int node) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = queues_.find(node);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+NetworkStats InMemoryNetwork::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void InMemoryNetwork::reset_stats() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stats_ = NetworkStats{};
+}
+
+}  // namespace evfl::fl

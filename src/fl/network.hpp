@@ -1,0 +1,73 @@
+// In-memory simulated network connecting federated participants.
+//
+// Thread-safe mailbox semantics: send() enqueues a byte message for the
+// destination node; receive() blocks (with timeout) until one arrives.
+// Optional per-message simulated latency accumulates into a virtual clock,
+// and optional loss probability drops messages — both used by the
+// robustness tests and the communication-cost reporting.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace evfl::fl {
+
+inline constexpr int kServerNode = -1;
+
+struct Message {
+  int from = 0;
+  int to = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct NetworkConfig {
+  double latency_ms_per_message = 0.0;
+  double latency_ms_per_kib = 0.0;
+  double drop_probability = 0.0;
+  std::uint64_t drop_seed = 7;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  double virtual_latency_ms = 0.0;  // accumulated simulated transfer time
+};
+
+class InMemoryNetwork {
+ public:
+  explicit InMemoryNetwork(NetworkConfig cfg = {});
+
+  /// Enqueue a message for `msg.to`.  Returns false if the (simulated)
+  /// network dropped it.
+  bool send(Message msg);
+
+  /// Blocking receive for a node; std::nullopt on timeout.
+  std::optional<Message> receive(int node, double timeout_ms = 30'000.0);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_receive(int node);
+
+  /// Number of queued messages for a node.
+  std::size_t pending(int node) const;
+
+  NetworkStats stats() const;
+  void reset_stats();
+
+ private:
+  NetworkConfig cfg_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<int, std::deque<Message>> queues_;
+  NetworkStats stats_;
+  tensor::Rng drop_rng_;
+};
+
+}  // namespace evfl::fl

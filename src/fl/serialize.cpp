@@ -1,0 +1,202 @@
+#include "fl/serialize.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace evfl::fl {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint8_t buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out_.insert(out_.end(), buf, buf + sizeof(T));
+  }
+
+  void put_floats(const std::vector<float>& values) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
+    out_.insert(out_.end(), p, p + values.size() * sizeof(float));
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > in_.size()) {
+      throw FormatError("wire: truncated message");
+    }
+    T v;
+    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<float> get_floats(std::size_t count) {
+    // Validate against remaining bytes BEFORE computing count*4: a corrupted
+    // count field must produce FormatError, not a giant allocation or an
+    // overflow-deflated size check.
+    if (count > (in_.size() - pos_) / sizeof(float)) {
+      throw FormatError("wire: truncated weight payload");
+    }
+    const std::size_t bytes = count * sizeof(float);
+    std::vector<float> out(count);
+    std::memcpy(out.data(), in_.data() + pos_, bytes);
+    pos_ += bytes;
+    return out;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+struct Header {
+  std::uint16_t kind = 0;
+  std::uint32_t round = 0;
+  std::int32_t client = -1;
+  std::uint64_t samples = 0;
+  float loss = 0.0f;
+  std::uint64_t count = 0;
+  std::uint32_t crc = 0;
+};
+
+void write_message(std::vector<std::uint8_t>& out, MessageKind kind,
+                   std::uint32_t round, std::int32_t client,
+                   std::uint64_t samples, float loss,
+                   const std::vector<float>& weights) {
+  Writer w(out);
+  w.put(kWireMagic);
+  w.put(kWireVersion);
+  w.put(static_cast<std::uint16_t>(kind));
+  w.put(round);
+  w.put(client);
+  w.put(samples);
+  w.put(loss);
+  w.put(static_cast<std::uint64_t>(weights.size()));
+  w.put(crc32(reinterpret_cast<const std::uint8_t*>(weights.data()),
+              weights.size() * sizeof(float)));
+  w.put_floats(weights);
+}
+
+Header read_header(Reader& r) {
+  const auto magic = r.get<std::uint32_t>();
+  if (magic != kWireMagic) throw FormatError("wire: bad magic");
+  const auto version = r.get<std::uint16_t>();
+  if (version != kWireVersion) {
+    throw FormatError("wire: unsupported version " + std::to_string(version));
+  }
+  Header h;
+  h.kind = r.get<std::uint16_t>();
+  h.round = r.get<std::uint32_t>();
+  h.client = r.get<std::int32_t>();
+  h.samples = r.get<std::uint64_t>();
+  h.loss = r.get<float>();
+  h.count = r.get<std::uint64_t>();
+  h.crc = r.get<std::uint32_t>();
+  return h;
+}
+
+std::vector<float> read_payload(Reader& r, const Header& h) {
+  std::vector<float> weights = r.get_floats(h.count);
+  const std::uint32_t actual =
+      crc32(reinterpret_cast<const std::uint8_t*>(weights.data()),
+            weights.size() * sizeof(float));
+  if (actual != h.crc) throw FormatError("wire: payload CRC mismatch");
+  return weights;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> serialize(const WeightUpdate& update) {
+  std::vector<std::uint8_t> out;
+  out.reserve(40 + update.weights.size() * sizeof(float));
+  write_message(out, MessageKind::kWeightUpdate, update.round,
+                update.client_id, update.sample_count, update.train_loss,
+                update.weights);
+  return out;
+}
+
+std::vector<std::uint8_t> serialize(const GlobalModel& model) {
+  std::vector<std::uint8_t> out;
+  out.reserve(40 + model.weights.size() * sizeof(float));
+  write_message(out, MessageKind::kGlobalModel, model.round, -1, 0, 0.0f,
+                model.weights);
+  return out;
+}
+
+MessageKind peek_kind(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  const Header h = read_header(r);
+  if (h.kind != static_cast<std::uint16_t>(MessageKind::kWeightUpdate) &&
+      h.kind != static_cast<std::uint16_t>(MessageKind::kGlobalModel)) {
+    throw FormatError("wire: unknown message kind " + std::to_string(h.kind));
+  }
+  return static_cast<MessageKind>(h.kind);
+}
+
+WeightUpdate deserialize_update(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  const Header h = read_header(r);
+  if (h.kind != static_cast<std::uint16_t>(MessageKind::kWeightUpdate)) {
+    throw FormatError("wire: expected WeightUpdate");
+  }
+  WeightUpdate u;
+  u.client_id = h.client;
+  u.round = h.round;
+  u.sample_count = h.samples;
+  u.train_loss = h.loss;
+  u.weights = read_payload(r, h);
+  return u;
+}
+
+GlobalModel deserialize_global(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  const Header h = read_header(r);
+  if (h.kind != static_cast<std::uint16_t>(MessageKind::kGlobalModel)) {
+    throw FormatError("wire: expected GlobalModel");
+  }
+  GlobalModel g;
+  g.round = h.round;
+  g.weights = read_payload(r, h);
+  return g;
+}
+
+}  // namespace evfl::fl

@@ -1,0 +1,50 @@
+// Wire format for federated messages.
+//
+// Every parameter exchange crosses this byte boundary even when server and
+// clients share a process: it keeps the "only model parameters are
+// exchanged" property enforceable and testable, and gives the communication
+// metrics real payload sizes.
+//
+// Layout (little-endian):
+//   magic   u32  'EVFL' (0x4C465645)
+//   version u16
+//   kind    u16  (1 = WeightUpdate, 2 = GlobalModel)
+//   round   u32
+//   client  i32  (-1 for GlobalModel)
+//   samples u64
+//   loss    f32
+//   count   u64  (number of float weights)
+//   crc32   u32  (over the weight payload bytes)
+//   payload count * f32
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/weights.hpp"
+
+namespace evfl::fl {
+
+inline constexpr std::uint32_t kWireMagic = 0x4C465645;  // "EVFL"
+inline constexpr std::uint16_t kWireVersion = 1;
+
+enum class MessageKind : std::uint16_t {
+  kWeightUpdate = 1,
+  kGlobalModel = 2,
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte buffer.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+std::vector<std::uint8_t> serialize(const WeightUpdate& update);
+std::vector<std::uint8_t> serialize(const GlobalModel& model);
+
+/// Peek at the message kind without full decoding; throws FormatError on
+/// malformed headers.
+MessageKind peek_kind(const std::vector<std::uint8_t>& bytes);
+
+/// Decoders throw evfl::FormatError on bad magic/version/kind/CRC/size.
+WeightUpdate deserialize_update(const std::vector<std::uint8_t>& bytes);
+GlobalModel deserialize_global(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace evfl::fl

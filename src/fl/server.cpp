@@ -1,0 +1,29 @@
+#include "fl/server.hpp"
+
+#include "common/error.hpp"
+
+namespace evfl::fl {
+
+Server::Server(std::vector<float> initial_weights, FedAvgConfig cfg)
+    : weights_(std::move(initial_weights)), cfg_(cfg) {
+  EVFL_REQUIRE(!weights_.empty(), "server needs non-empty initial weights");
+}
+
+GlobalModel Server::broadcast() const {
+  return GlobalModel{round_, weights_};
+}
+
+double Server::finish_round(const std::vector<WeightUpdate>& updates) {
+  ++round_;
+  if (updates.empty()) return 0.0;
+  for (const WeightUpdate& u : updates) {
+    EVFL_REQUIRE(u.weights.size() == weights_.size(),
+                 "update dimension mismatch at server");
+  }
+  std::vector<float> next = fed_avg(updates, cfg_);
+  const double delta = l2_distance(weights_, next);
+  weights_ = std::move(next);
+  return delta;
+}
+
+}  // namespace evfl::fl

@@ -1,0 +1,34 @@
+// Federated server: holds the global model and applies FedAvg to the
+// updates collected each round.  Transport-agnostic — the drivers move the
+// serialized bytes.
+#pragma once
+
+#include <vector>
+
+#include "fl/fedavg.hpp"
+#include "fl/weights.hpp"
+
+namespace evfl::fl {
+
+class Server {
+ public:
+  Server(std::vector<float> initial_weights, FedAvgConfig cfg = {});
+
+  std::uint32_t round() const { return round_; }
+  const std::vector<float>& weights() const { return weights_; }
+
+  /// The broadcast for the current round.
+  GlobalModel broadcast() const;
+
+  /// Aggregate one round's updates and advance the round counter.  Returns
+  /// the L2 movement of the global weights (convergence diagnostic).  An
+  /// empty update set (all clients dropped) leaves weights unchanged.
+  double finish_round(const std::vector<WeightUpdate>& updates);
+
+ private:
+  std::vector<float> weights_;
+  FedAvgConfig cfg_;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace evfl::fl

@@ -1,0 +1,27 @@
+#include "fl/weights.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evfl::fl {
+
+void axpy(std::vector<float>& dst, double alpha,
+          const std::vector<float>& src) {
+  EVFL_REQUIRE(dst.size() == src.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<float>(dst[i] + alpha * src[i]);
+  }
+}
+
+double l2_distance(const std::vector<float>& a, const std::vector<float>& b) {
+  EVFL_REQUIRE(a.size() == b.size(), "l2_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace evfl::fl

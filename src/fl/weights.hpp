@@ -1,0 +1,33 @@
+// Flat model-weight containers exchanged between federated participants.
+// Only these vectors ever leave a client — raw data stays local, which is
+// the paper's privacy claim made structural.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace evfl::fl {
+
+/// One client's contribution to a federated round.
+struct WeightUpdate {
+  std::int32_t client_id = -1;
+  std::uint32_t round = 0;
+  std::uint64_t sample_count = 0;   // local training examples (FedAvg weight)
+  std::vector<float> weights;
+  float train_loss = 0.0f;          // diagnostic only; not used by FedAvg
+};
+
+/// Global model broadcast from server to clients.
+struct GlobalModel {
+  std::uint32_t round = 0;
+  std::vector<float> weights;
+};
+
+/// Elementwise: dst += alpha * src  (sizes must match).
+void axpy(std::vector<float>& dst, double alpha, const std::vector<float>& src);
+
+/// L2 distance between weight vectors (convergence diagnostics).
+double l2_distance(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace evfl::fl

@@ -1,0 +1,205 @@
+#include "forecast/baselines.hpp"
+
+#include "common/error.hpp"
+#include "data/scaler.hpp"
+#include "data/window.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/linalg.hpp"
+
+namespace evfl::forecast {
+
+// ---- Persistence ------------------------------------------------------------
+
+void PersistenceBaseline::fit(const std::vector<float>& train) {
+  EVFL_REQUIRE(!train.empty(), "persistence: empty training series");
+}
+
+std::vector<float> PersistenceBaseline::predict(
+    const std::vector<float>& series, std::size_t begin) {
+  EVFL_REQUIRE(begin >= 1 && begin <= series.size(),
+               "persistence: begin needs at least one step of history");
+  std::vector<float> out;
+  out.reserve(series.size() - begin);
+  for (std::size_t i = begin; i < series.size(); ++i) {
+    out.push_back(series[i - 1]);
+  }
+  return out;
+}
+
+// ---- Seasonal naive ---------------------------------------------------------
+
+SeasonalNaiveBaseline::SeasonalNaiveBaseline(std::size_t season)
+    : season_(season) {
+  EVFL_REQUIRE(season > 0, "seasonal-naive: season must be positive");
+}
+
+void SeasonalNaiveBaseline::fit(const std::vector<float>& train) {
+  EVFL_REQUIRE(train.size() > season_,
+               "seasonal-naive: training shorter than one season");
+}
+
+std::vector<float> SeasonalNaiveBaseline::predict(
+    const std::vector<float>& series, std::size_t begin) {
+  EVFL_REQUIRE(begin >= season_, "seasonal-naive: not enough history");
+  std::vector<float> out;
+  out.reserve(series.size() - begin);
+  for (std::size_t i = begin; i < series.size(); ++i) {
+    out.push_back(series[i - season_]);
+  }
+  return out;
+}
+
+// ---- Seasonal AR ------------------------------------------------------------
+
+SeasonalArBaseline::SeasonalArBaseline(std::size_t ar_order,
+                                       std::size_t seasonal_lags,
+                                       std::size_t season)
+    : ar_order_(ar_order), seasonal_lags_(seasonal_lags), season_(season) {
+  EVFL_REQUIRE(ar_order + seasonal_lags > 0, "seasonal-AR: no regressors");
+  EVFL_REQUIRE(season > 0, "seasonal-AR: season must be positive");
+}
+
+std::string SeasonalArBaseline::name() const {
+  return "seasonal-AR(" + std::to_string(ar_order_) + "," +
+         std::to_string(seasonal_lags_) + "x" + std::to_string(season_) + ")";
+}
+
+std::size_t SeasonalArBaseline::max_lag() const {
+  return std::max(ar_order_, seasonal_lags_ * season_);
+}
+
+std::vector<float> SeasonalArBaseline::features(
+    const std::vector<float>& series, std::size_t t) const {
+  std::vector<float> f;
+  f.reserve(1 + ar_order_ + seasonal_lags_);
+  f.push_back(1.0f);  // bias
+  for (std::size_t i = 1; i <= ar_order_; ++i) f.push_back(series[t - i]);
+  for (std::size_t j = 1; j <= seasonal_lags_; ++j) {
+    f.push_back(series[t - j * season_]);
+  }
+  return f;
+}
+
+void SeasonalArBaseline::fit(const std::vector<float>& train) {
+  const std::size_t lag = max_lag();
+  EVFL_REQUIRE(train.size() > lag + 8,
+               "seasonal-AR: training series too short for its lags");
+  const std::size_t m = train.size() - lag;
+  const std::size_t n = 1 + ar_order_ + seasonal_lags_;
+
+  tensor::Matrix x(m, n);
+  tensor::Matrix y(m, 1);
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::vector<float> f = features(train, lag + r);
+    for (std::size_t c = 0; c < n; ++c) x(r, c) = f[c];
+    y(r, 0) = train[lag + r];
+  }
+  const tensor::Matrix w = tensor::least_squares(x, y, 1e-4f);
+  coeffs_.assign(w.data(), w.data() + w.size());
+  fitted_ = true;
+}
+
+std::vector<float> SeasonalArBaseline::predict(
+    const std::vector<float>& series, std::size_t begin) {
+  EVFL_REQUIRE(fitted_, "seasonal-AR: predict before fit");
+  EVFL_REQUIRE(begin >= max_lag(), "seasonal-AR: not enough history");
+  std::vector<float> out;
+  out.reserve(series.size() - begin);
+  for (std::size_t i = begin; i < series.size(); ++i) {
+    const std::vector<float> f = features(series, i);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < f.size(); ++c) acc += coeffs_[c] * f[c];
+    out.push_back(static_cast<float>(acc));
+  }
+  return out;
+}
+
+// ---- MLP --------------------------------------------------------------------
+
+struct MlpBaseline::Impl {
+  std::size_t lookback;
+  std::size_t hidden;
+  std::size_t epochs;
+  tensor::Rng rng;
+  data::MinMaxScaler scaler;
+  nn::Sequential model;
+  bool fitted = false;
+
+  Impl(std::size_t lb, std::size_t h, std::size_t ep, std::uint64_t seed)
+      : lookback(lb), hidden(h), epochs(ep), rng(seed) {
+    model.emplace<nn::Dense>(hidden, nn::Activation::kRelu, rng, lookback);
+    model.emplace<nn::Dense>(hidden / 2, nn::Activation::kRelu, rng, hidden);
+    model.emplace<nn::Dense>(1, nn::Activation::kLinear, rng, hidden / 2);
+  }
+};
+
+MlpBaseline::MlpBaseline(std::size_t lookback, std::size_t hidden,
+                         std::size_t epochs, std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(lookback, hidden, epochs, seed)) {
+  EVFL_REQUIRE(lookback > 0 && hidden >= 2, "mlp: bad architecture");
+}
+
+MlpBaseline::~MlpBaseline() = default;
+
+void MlpBaseline::fit(const std::vector<float>& train) {
+  EVFL_REQUIRE(train.size() > impl_->lookback + 8,
+               "mlp: training series too short");
+  impl_->scaler.fit(train);
+  const std::vector<float> scaled = impl_->scaler.transform(train);
+  const data::SequenceDataset ds =
+      data::make_forecast_sequences(scaled, impl_->lookback);
+
+  // The MLP consumes the window as one flat feature vector: [N, 1, lookback].
+  tensor::Tensor3 x(ds.x.batch(), 1, impl_->lookback);
+  for (std::size_t i = 0; i < ds.x.batch(); ++i) {
+    for (std::size_t t = 0; t < impl_->lookback; ++t) {
+      x(i, 0, t) = ds.x(i, t, 0);
+    }
+  }
+
+  nn::MseLoss loss;
+  nn::Adam adam(1e-3f);
+  nn::Trainer trainer(impl_->model, loss, adam, impl_->rng);
+  nn::FitConfig fit;
+  fit.epochs = impl_->epochs;
+  fit.batch_size = 32;
+  trainer.fit(x, ds.y, fit);
+  impl_->fitted = true;
+}
+
+std::vector<float> MlpBaseline::predict(const std::vector<float>& series,
+                                        std::size_t begin) {
+  EVFL_REQUIRE(impl_->fitted, "mlp: predict before fit");
+  EVFL_REQUIRE(begin >= impl_->lookback, "mlp: not enough history");
+  const std::vector<float> scaled = impl_->scaler.transform(series);
+
+  const std::size_t n = series.size() - begin;
+  tensor::Tensor3 x(n, 1, impl_->lookback);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < impl_->lookback; ++t) {
+      x(i, 0, t) = scaled[begin + i - impl_->lookback + t];
+    }
+  }
+  const tensor::Tensor3 pred = nn::predict_batched(impl_->model, x);
+  std::vector<float> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(impl_->scaler.inverse_one(pred(i, 0, 0)));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<BaselineForecaster>> make_all_baselines(
+    std::size_t season) {
+  std::vector<std::unique_ptr<BaselineForecaster>> out;
+  out.push_back(std::make_unique<PersistenceBaseline>());
+  out.push_back(std::make_unique<SeasonalNaiveBaseline>(season));
+  out.push_back(std::make_unique<SeasonalArBaseline>(3, 2, season));
+  out.push_back(std::make_unique<MlpBaseline>(season));
+  return out;
+}
+
+}  // namespace evfl::forecast

@@ -1,0 +1,100 @@
+// Classical forecasting baselines from the paper's related-work discussion
+// (§I cites ARIMA, traditional neural networks and other ML models as the
+// approaches LSTM improves upon).  All share a common interface so the
+// baselines bench can sweep them uniformly against the LSTM forecaster.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace evfl::forecast {
+
+/// One-step-ahead univariate forecaster trained on a raw series.
+class BaselineForecaster {
+ public:
+  virtual ~BaselineForecaster() = default;
+  virtual std::string name() const = 0;
+  /// Fit on the training series (original units).
+  virtual void fit(const std::vector<float>& train) = 0;
+  /// Predict series[i] given all values before i, for i in
+  /// [begin, series.size()).  `series` includes the training prefix so the
+  /// model has history at the boundary.
+  virtual std::vector<float> predict(const std::vector<float>& series,
+                                     std::size_t begin) = 0;
+};
+
+/// Predict the previous value (random-walk baseline).
+class PersistenceBaseline : public BaselineForecaster {
+ public:
+  std::string name() const override { return "persistence"; }
+  void fit(const std::vector<float>& train) override;
+  std::vector<float> predict(const std::vector<float>& series,
+                             std::size_t begin) override;
+};
+
+/// Predict the value one season (default 24 h) earlier.
+class SeasonalNaiveBaseline : public BaselineForecaster {
+ public:
+  explicit SeasonalNaiveBaseline(std::size_t season = 24);
+  std::string name() const override { return "seasonal-naive"; }
+  void fit(const std::vector<float>& train) override;
+  std::vector<float> predict(const std::vector<float>& series,
+                             std::size_t begin) override;
+
+ private:
+  std::size_t season_;
+};
+
+/// Seasonal autoregression fit by ridge-stabilized least squares:
+/// y_t = b0 + sum_i a_i y_{t-i} + sum_j s_j y_{t-j*season}  — the ARIMA-
+/// family statistical baseline (AR(p) with seasonal lags, trend via bias).
+class SeasonalArBaseline : public BaselineForecaster {
+ public:
+  SeasonalArBaseline(std::size_t ar_order = 3, std::size_t seasonal_lags = 2,
+                     std::size_t season = 24);
+  std::string name() const override;
+  void fit(const std::vector<float>& train) override;
+  std::vector<float> predict(const std::vector<float>& series,
+                             std::size_t begin) override;
+
+  const std::vector<float>& coefficients() const { return coeffs_; }
+
+ private:
+  std::size_t max_lag() const;
+  /// Feature vector for predicting position t of `series`.
+  std::vector<float> features(const std::vector<float>& series,
+                              std::size_t t) const;
+
+  std::size_t ar_order_;
+  std::size_t seasonal_lags_;
+  std::size_t season_;
+  std::vector<float> coeffs_;  // [bias, a_1..a_p, s_1..s_q]
+  bool fitted_ = false;
+};
+
+/// The "traditional neural network" baseline of the paper's reference [2]:
+/// a feed-forward MLP on the same 24-value lookback window (no recurrence),
+/// trained with Adam on min-max-scaled data.
+class MlpBaseline : public BaselineForecaster {
+ public:
+  MlpBaseline(std::size_t lookback = 24, std::size_t hidden = 32,
+              std::size_t epochs = 30, std::uint64_t seed = 17);
+  ~MlpBaseline() override;
+  std::string name() const override { return "mlp"; }
+  void fit(const std::vector<float>& train) override;
+  std::vector<float> predict(const std::vector<float>& series,
+                             std::size_t begin) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// All baselines, ready for a sweep.
+std::vector<std::unique_ptr<BaselineForecaster>> make_all_baselines(
+    std::size_t season = 24);
+
+}  // namespace evfl::forecast

@@ -1,0 +1,61 @@
+#include "forecast/centralized.hpp"
+
+#include "metrics/timer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace evfl::forecast {
+
+data::SequenceDataset pool_datasets(
+    const std::vector<data::SequenceDataset>& per_client) {
+  EVFL_REQUIRE(!per_client.empty(), "pool_datasets: no clients");
+  const std::size_t t = per_client.front().x.time();
+  const std::size_t f = per_client.front().x.features();
+  std::size_t total = 0;
+  for (const auto& ds : per_client) {
+    EVFL_REQUIRE(ds.x.time() == t && ds.x.features() == f,
+                 "pool_datasets: incompatible window shapes");
+    EVFL_REQUIRE(ds.x.batch() == ds.y.batch(), "pool_datasets: x/y mismatch");
+    total += ds.x.batch();
+  }
+
+  data::SequenceDataset pooled;
+  pooled.lookback = per_client.front().lookback;
+  pooled.x = tensor::Tensor3(total, t, f);
+  pooled.y = tensor::Tensor3(total, 1, 1);
+  std::size_t row = 0;
+  for (const auto& ds : per_client) {
+    for (std::size_t i = 0; i < ds.x.batch(); ++i, ++row) {
+      for (std::size_t tt = 0; tt < t; ++tt) {
+        for (std::size_t ff = 0; ff < f; ++ff) {
+          pooled.x(row, tt, ff) = ds.x(i, tt, ff);
+        }
+      }
+      pooled.y(row, 0, 0) = ds.y(i, 0, 0);
+    }
+  }
+  return pooled;
+}
+
+CentralizedResult train_centralized(
+    const std::vector<data::SequenceDataset>& per_client,
+    const CentralizedConfig& cfg, tensor::Rng& rng) {
+  const data::SequenceDataset pooled = pool_datasets(per_client);
+
+  CentralizedResult result{make_forecaster(cfg.model, rng), {}, 0.0};
+
+  nn::MseLoss loss;
+  nn::Adam adam(cfg.model.learning_rate);
+  nn::Trainer trainer(result.model, loss, adam, rng);
+
+  nn::FitConfig fit;
+  fit.epochs = cfg.epochs;
+  fit.batch_size = cfg.batch_size;
+
+  const metrics::WallTimer timer;
+  result.history = trainer.fit(pooled.x, pooled.y, fit);
+  result.train_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace evfl::forecast

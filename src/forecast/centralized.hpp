@@ -1,0 +1,35 @@
+// Centralized baseline (§II-C.1): all clients' sequence data is pooled and a
+// single model trained jointly — the conventional architecture Fig. 1(a)
+// the paper compares against.  For the fair comparison of §III-A, total
+// gradient epochs match the federated budget (rounds x epochs_per_round).
+#pragma once
+
+#include <vector>
+
+#include "data/window.hpp"
+#include "forecast/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace evfl::forecast {
+
+struct CentralizedConfig {
+  ForecasterConfig model;
+  std::size_t epochs = 50;  // = FEDERATED_ROUNDS * EPOCHS_PER_ROUND
+  std::size_t batch_size = 32;
+};
+
+struct CentralizedResult {
+  nn::Sequential model;
+  nn::FitHistory history;
+  double train_seconds = 0.0;
+};
+
+/// Concatenate per-client datasets along the batch axis (shapes must agree).
+data::SequenceDataset pool_datasets(
+    const std::vector<data::SequenceDataset>& per_client);
+
+CentralizedResult train_centralized(
+    const std::vector<data::SequenceDataset>& per_client,
+    const CentralizedConfig& cfg, tensor::Rng& rng);
+
+}  // namespace evfl::forecast

@@ -1,0 +1,28 @@
+#include "forecast/model.hpp"
+
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+
+namespace evfl::forecast {
+
+nn::Sequential make_forecaster(const ForecasterConfig& cfg, tensor::Rng& rng) {
+  using namespace nn;
+  Sequential model;
+  model.emplace<Lstm>(cfg.lstm_units, /*return_sequences=*/false, rng,
+                      cfg.input_features);
+  model.emplace<Dense>(cfg.dense_units, Activation::kRelu, rng,
+                       cfg.lstm_units);
+  model.emplace<Dense>(1, Activation::kLinear, rng, cfg.dense_units);
+  return model;
+}
+
+std::size_t forecaster_param_count(const ForecasterConfig& cfg) {
+  const std::size_t h = cfg.lstm_units;
+  const std::size_t in = cfg.input_features;
+  const std::size_t lstm = (in * 4 * h) + (h * 4 * h) + 4 * h;
+  const std::size_t d1 = h * cfg.dense_units + cfg.dense_units;
+  const std::size_t d2 = cfg.dense_units * 1 + 1;
+  return lstm + d1 + d2;
+}
+
+}  // namespace evfl::forecast

@@ -1,0 +1,26 @@
+// Forecasting model builders (§II-C): LSTM(50) -> Dense(10, relu) ->
+// Dense(1), identical for the centralized model and every federated client.
+#pragma once
+
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace evfl::forecast {
+
+struct ForecasterConfig {
+  std::size_t sequence_length = 24;  // SEQUENCE_LENGTH (hours of lookback)
+  std::size_t lstm_units = 50;       // LSTM_UNITS
+  std::size_t dense_units = 10;
+  std::size_t input_features = 1;    // univariate charging volume
+  float learning_rate = 1e-3f;       // LEARNING_RATE
+  std::size_t batch_size = 32;
+};
+
+/// Build the paper's forecaster with eagerly-initialized weights (shapes are
+/// fixed up front so federated weight exchange works before any forward).
+nn::Sequential make_forecaster(const ForecasterConfig& cfg, tensor::Rng& rng);
+
+/// Total trainable parameter count for a config (sanity checks / reports).
+std::size_t forecaster_param_count(const ForecasterConfig& cfg);
+
+}  // namespace evfl::forecast

@@ -1,0 +1,53 @@
+#include "metrics/classification.hpp"
+
+#include "common/error.hpp"
+
+namespace evfl::metrics {
+
+ConfusionMatrix& ConfusionMatrix::operator+=(const ConfusionMatrix& o) {
+  tp += o.tp;
+  fp += o.fp;
+  tn += o.tn;
+  fn += o.fn;
+  return *this;
+}
+
+ConfusionMatrix confusion(const std::vector<std::uint8_t>& truth,
+                          const std::vector<std::uint8_t>& predicted) {
+  EVFL_REQUIRE(truth.size() == predicted.size(),
+               "confusion: length mismatch");
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool t = truth[i] != 0;
+    const bool p = predicted[i] != 0;
+    if (t && p) ++cm.tp;
+    else if (!t && p) ++cm.fp;
+    else if (!t && !p) ++cm.tn;
+    else ++cm.fn;
+  }
+  return cm;
+}
+
+DetectionMetrics from_confusion(const ConfusionMatrix& cm) {
+  DetectionMetrics m;
+  m.cm = cm;
+  const double tp = static_cast<double>(cm.tp);
+  if (cm.tp + cm.fp > 0) m.precision = tp / static_cast<double>(cm.tp + cm.fp);
+  if (cm.tp + cm.fn > 0) m.recall = tp / static_cast<double>(cm.tp + cm.fn);
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  if (cm.fp + cm.tn > 0) {
+    m.false_positive_rate =
+        static_cast<double>(cm.fp) / static_cast<double>(cm.fp + cm.tn);
+  }
+  m.true_attacks_detected = m.recall;
+  return m;
+}
+
+DetectionMetrics evaluate_detection(const std::vector<std::uint8_t>& truth,
+                                    const std::vector<std::uint8_t>& predicted) {
+  return from_confusion(confusion(truth, predicted));
+}
+
+}  // namespace evfl::metrics

@@ -1,0 +1,37 @@
+// Binary classification metrics for anomaly detection (Table II and the
+// in-text precision / false-positive-rate claims).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace evfl::metrics {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  ConfusionMatrix& operator+=(const ConfusionMatrix& o);
+};
+
+ConfusionMatrix confusion(const std::vector<std::uint8_t>& truth,
+                          const std::vector<std::uint8_t>& predicted);
+
+struct DetectionMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double false_positive_rate = 0.0;
+  double true_attacks_detected = 0.0;  // = recall, the paper's alias
+  ConfusionMatrix cm;
+};
+
+DetectionMetrics evaluate_detection(const std::vector<std::uint8_t>& truth,
+                                    const std::vector<std::uint8_t>& predicted);
+
+DetectionMetrics from_confusion(const ConfusionMatrix& cm);
+
+}  // namespace evfl::metrics

@@ -1,0 +1,65 @@
+#include "metrics/regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evfl::metrics {
+
+namespace {
+void require_aligned(const std::vector<float>& a, const std::vector<float>& p) {
+  EVFL_REQUIRE(a.size() == p.size(), "metrics: length mismatch");
+  EVFL_REQUIRE(!a.empty(), "metrics: empty input");
+}
+}  // namespace
+
+double mean_absolute_error(const std::vector<float>& actual,
+                           const std::vector<float>& predicted) {
+  require_aligned(actual, predicted);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    acc += std::abs(static_cast<double>(actual[i]) - predicted[i]);
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+double root_mean_squared_error(const std::vector<float>& actual,
+                               const std::vector<float>& predicted) {
+  require_aligned(actual, predicted);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = static_cast<double>(actual[i]) - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double r2_score(const std::vector<float>& actual,
+                const std::vector<float>& predicted) {
+  require_aligned(actual, predicted);
+  double mean = 0.0;
+  for (float v : actual) mean += v;
+  mean /= static_cast<double>(actual.size());
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double r = static_cast<double>(actual[i]) - predicted[i];
+    const double t = static_cast<double>(actual[i]) - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+RegressionMetrics evaluate_regression(const std::vector<float>& actual,
+                                      const std::vector<float>& predicted) {
+  RegressionMetrics m;
+  m.mae = mean_absolute_error(actual, predicted);
+  m.rmse = root_mean_squared_error(actual, predicted);
+  m.r2 = r2_score(actual, predicted);
+  m.n = actual.size();
+  return m;
+}
+
+}  // namespace evfl::metrics

@@ -1,0 +1,29 @@
+// Regression metrics used throughout the paper's tables: MAE, RMSE, R².
+#pragma once
+
+#include <vector>
+
+namespace evfl::metrics {
+
+struct RegressionMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double r2 = 0.0;
+  std::size_t n = 0;
+};
+
+double mean_absolute_error(const std::vector<float>& actual,
+                           const std::vector<float>& predicted);
+
+double root_mean_squared_error(const std::vector<float>& actual,
+                               const std::vector<float>& predicted);
+
+/// Coefficient of determination: 1 - SS_res / SS_tot.  A constant actual
+/// series yields r2 = 0 by convention (no variance to explain).
+double r2_score(const std::vector<float>& actual,
+                const std::vector<float>& predicted);
+
+RegressionMetrics evaluate_regression(const std::vector<float>& actual,
+                                      const std::vector<float>& predicted);
+
+}  // namespace evfl::metrics

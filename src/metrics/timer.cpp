@@ -1,0 +1,4 @@
+#include "metrics/timer.hpp"
+
+// Header-only; this translation unit exists so the build system owns one
+// object per module and future non-inline additions have a home.

@@ -1,0 +1,24 @@
+// Wall-clock timing helper for the paper's training-time comparisons.
+#pragma once
+
+#include <chrono>
+
+namespace evfl::metrics {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace evfl::metrics

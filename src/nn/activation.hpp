@@ -1,0 +1,25 @@
+// Scalar activation functions and their derivatives.
+#pragma once
+
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace evfl::nn {
+
+enum class Activation { kLinear, kRelu, kTanh, kSigmoid };
+
+std::string to_string(Activation a);
+
+float apply_activation(Activation a, float x);
+
+/// Derivative expressed in terms of the *output* y = act(x) where possible
+/// (tanh, sigmoid) — matches what the layers cache.
+float activation_grad_from_output(Activation a, float y);
+
+/// Apply in place over a whole matrix.
+void apply_activation(Activation a, tensor::Matrix& m);
+
+float sigmoidf(float x);
+
+}  // namespace evfl::nn

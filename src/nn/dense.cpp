@@ -1,0 +1,77 @@
+#include "nn/dense.hpp"
+
+#include "tensor/init.hpp"
+
+namespace evfl::nn {
+
+Dense::Dense(std::size_t units, Activation activation, Rng& rng,
+             std::size_t input_features)
+    : units_(units), activation_(activation), rng_(&rng) {
+  EVFL_REQUIRE(units > 0, "Dense needs units > 0");
+  if (input_features > 0) ensure_built(input_features);
+}
+
+void Dense::ensure_built(std::size_t input_features) {
+  if (!w_.empty()) {
+    if (w_.rows() != input_features) {
+      throw ShapeError("Dense built for " + std::to_string(w_.rows()) +
+                       " inputs, got " + std::to_string(input_features));
+    }
+    return;
+  }
+  w_ = tensor::glorot_uniform(input_features, units_, *rng_);
+  b_ = Matrix(1, units_);
+  gw_ = Matrix(input_features, units_);
+  gb_ = Matrix(1, units_);
+}
+
+Tensor3 Dense::forward(const Tensor3& input, bool /*training*/) {
+  ensure_built(input.features());
+  cached_n_ = input.batch();
+  cached_t_ = input.time();
+  cached_input_ = input.flatten_rows();
+
+  Matrix out = matmul(cached_input_, w_);
+  out.add_row_broadcast(b_);
+  apply_activation(activation_, out);
+  cached_output_ = out;
+  return Tensor3::from_flat_rows(out, cached_n_, cached_t_);
+}
+
+Tensor3 Dense::backward(const Tensor3& grad_output) {
+  EVFL_ASSERT(!cached_input_.empty(), "Dense::backward before forward");
+  Matrix dy = grad_output.flatten_rows();
+  if (!dy.same_shape(cached_output_)) {
+    throw ShapeError("Dense::backward grad " + dy.shape_str() +
+                     " vs output " + cached_output_.shape_str());
+  }
+
+  // Chain through the activation using the cached outputs.
+  if (activation_ != Activation::kLinear) {
+    float* g = dy.data();
+    const float* y = cached_output_.data();
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      g[i] *= activation_grad_from_output(activation_, y[i]);
+    }
+  }
+
+  matmul_tn_acc(cached_input_, dy, gw_);  // gw += xᵀ · dy
+  gb_ += dy.col_sums();
+  Matrix dx = matmul_nt(dy, w_);          // dx = dy · wᵀ
+  return Tensor3::from_flat_rows(dx, cached_n_, cached_t_);
+}
+
+std::vector<ParamRef> Dense::params() {
+  EVFL_ASSERT(!w_.empty(), "Dense::params before build");
+  return {{"dense.w", &w_, &gw_}, {"dense.b", &b_, &gb_}};
+}
+
+std::size_t Dense::output_features(std::size_t /*input_features*/) const {
+  return units_;
+}
+
+std::string Dense::name() const {
+  return "Dense(" + std::to_string(units_) + ", " + to_string(activation_) + ")";
+}
+
+}  // namespace evfl::nn

@@ -1,0 +1,71 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evfl::nn {
+
+namespace {
+void require_same(const Tensor3& pred, const Tensor3& target) {
+  if (!pred.same_shape(target)) {
+    throw ShapeError("loss: pred " + pred.shape_str() + " vs target " +
+                             target.shape_str());
+  }
+}
+}  // namespace
+
+LossResult MseLoss::value_and_grad(const Tensor3& pred,
+                                   const Tensor3& target) const {
+  require_same(pred, target);
+  const std::size_t n = pred.size();
+  LossResult r;
+  r.grad = Tensor3(pred.batch(), pred.time(), pred.features());
+  double acc = 0.0;
+  const float inv = 2.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    acc += static_cast<double>(d) * d;
+    r.grad.data()[i] = inv * d;
+  }
+  r.value = static_cast<float>(acc / static_cast<double>(n));
+  return r;
+}
+
+float MseLoss::value(const Tensor3& pred, const Tensor3& target) const {
+  require_same(pred, target);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    acc += static_cast<double>(d) * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.size()));
+}
+
+LossResult MaeLoss::value_and_grad(const Tensor3& pred,
+                                   const Tensor3& target) const {
+  require_same(pred, target);
+  const std::size_t n = pred.size();
+  LossResult r;
+  r.grad = Tensor3(pred.batch(), pred.time(), pred.features());
+  double acc = 0.0;
+  const float inv = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    acc += std::abs(d);
+    r.grad.data()[i] = d > 0.0f ? inv : (d < 0.0f ? -inv : 0.0f);
+  }
+  r.value = static_cast<float>(acc / static_cast<double>(n));
+  return r;
+}
+
+float MaeLoss::value(const Tensor3& pred, const Tensor3& target) const {
+  require_same(pred, target);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    acc += std::abs(pred.data()[i] - target.data()[i]);
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.size()));
+}
+
+}  // namespace evfl::nn

@@ -1,0 +1,43 @@
+// Losses.  value_and_grad returns the scalar loss averaged over every element
+// of the target tensor plus dLoss/dPred, which feeds Sequential::backward.
+#pragma once
+
+#include <utility>
+
+#include "tensor/tensor3.hpp"
+
+namespace evfl::nn {
+
+using tensor::Tensor3;
+
+struct LossResult {
+  float value = 0.0f;
+  Tensor3 grad;
+};
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  virtual LossResult value_and_grad(const Tensor3& pred,
+                                    const Tensor3& target) const = 0;
+  /// Loss value only (no gradient allocation).
+  virtual float value(const Tensor3& pred, const Tensor3& target) const = 0;
+};
+
+/// Mean squared error, averaged over all elements.
+class MseLoss : public Loss {
+ public:
+  LossResult value_and_grad(const Tensor3& pred,
+                            const Tensor3& target) const override;
+  float value(const Tensor3& pred, const Tensor3& target) const override;
+};
+
+/// Mean absolute error, averaged over all elements.
+class MaeLoss : public Loss {
+ public:
+  LossResult value_and_grad(const Tensor3& pred,
+                            const Tensor3& target) const override;
+  float value(const Tensor3& pred, const Tensor3& target) const override;
+};
+
+}  // namespace evfl::nn

@@ -1,0 +1,207 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "tensor/init.hpp"
+
+namespace evfl::nn {
+
+namespace {
+
+/// Copy gate block `g` (0..3) out of a fused [N, 4H] matrix.
+Matrix gate_block(const Matrix& z, std::size_t g, std::size_t h) {
+  Matrix out(z.rows(), h);
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    const float* src = z.row(r) + g * h;
+    float* dst = out.row(r);
+    for (std::size_t c = 0; c < h; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+/// Write gate block `g` into a fused [N, 4H] matrix.
+void set_gate_block(Matrix& z, std::size_t g, const Matrix& block) {
+  const std::size_t h = block.cols();
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    float* dst = z.row(r) + g * h;
+    const float* src = block.row(r);
+    for (std::size_t c = 0; c < h; ++c) dst[c] = src[c];
+  }
+}
+
+}  // namespace
+
+Lstm::Lstm(std::size_t units, bool return_sequences, Rng& rng,
+           std::size_t input_features)
+    : units_(units), return_sequences_(return_sequences), rng_(&rng) {
+  EVFL_REQUIRE(units > 0, "Lstm needs units > 0");
+  if (input_features > 0) ensure_built(input_features);
+}
+
+void Lstm::ensure_built(std::size_t input_features) {
+  if (!wx_.empty()) {
+    if (wx_.rows() != input_features) {
+      throw ShapeError("Lstm built for " + std::to_string(wx_.rows()) +
+                       " inputs, got " + std::to_string(input_features));
+    }
+    return;
+  }
+  const std::size_t h = units_;
+  wx_ = tensor::glorot_uniform(input_features, 4 * h, *rng_);
+  // Per-gate orthogonal recurrent kernel.
+  wh_ = Matrix(h, 4 * h);
+  for (std::size_t g = 0; g < 4; ++g) {
+    const Matrix block = tensor::orthogonal(h, h, *rng_);
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < h; ++c) wh_(r, g * h + c) = block(r, c);
+    }
+  }
+  b_ = Matrix(1, 4 * h);
+  for (std::size_t c = 0; c < h; ++c) b_(0, h + c) = 1.0f;  // forget bias
+
+  gwx_ = Matrix(input_features, 4 * h);
+  gwh_ = Matrix(h, 4 * h);
+  gb_ = Matrix(1, 4 * h);
+}
+
+Tensor3 Lstm::forward(const Tensor3& input, bool /*training*/) {
+  ensure_built(input.features());
+  const std::size_t n = input.batch(), t_len = input.time(), h = units_;
+  EVFL_REQUIRE(t_len > 0, "Lstm forward needs time >= 1");
+  cached_n_ = n;
+  cached_t_ = t_len;
+  cached_in_ = input.features();
+  cache_.assign(t_len, StepCache{});
+
+  Matrix h_state(n, h);
+  Matrix c_state(n, h);
+  Tensor3 out_seq(n, return_sequences_ ? t_len : 1, h);
+
+  for (std::size_t t = 0; t < t_len; ++t) {
+    StepCache& sc = cache_[t];
+    sc.x = input.timestep(t);
+    sc.h_prev = h_state;
+    sc.c_prev = c_state;
+
+    // Fused pre-activation Z = x·Wx + h·Wh + b.
+    Matrix z(n, 4 * h);
+    z.add_row_broadcast(b_);
+    matmul_acc(sc.x, wx_, z);
+    matmul_acc(sc.h_prev, wh_, z);
+
+    sc.i = gate_block(z, 0, h);
+    sc.f = gate_block(z, 1, h);
+    sc.g = gate_block(z, 2, h);
+    sc.o = gate_block(z, 3, h);
+    apply_activation(Activation::kSigmoid, sc.i);
+    apply_activation(Activation::kSigmoid, sc.f);
+    apply_activation(Activation::kTanh, sc.g);
+    apply_activation(Activation::kSigmoid, sc.o);
+
+    // c = f ⊙ c_prev + i ⊙ g ;  h = o ⊙ tanh(c)
+    for (std::size_t idx = 0; idx < n * h; ++idx) {
+      c_state.data()[idx] = sc.f.data()[idx] * sc.c_prev.data()[idx] +
+                            sc.i.data()[idx] * sc.g.data()[idx];
+    }
+    sc.c_tanh = c_state;
+    apply_activation(Activation::kTanh, sc.c_tanh);
+    for (std::size_t idx = 0; idx < n * h; ++idx) {
+      h_state.data()[idx] = sc.o.data()[idx] * sc.c_tanh.data()[idx];
+    }
+
+    if (return_sequences_) {
+      out_seq.set_timestep(t, h_state);
+    }
+  }
+  if (!return_sequences_) {
+    out_seq.set_timestep(0, h_state);
+  }
+  return out_seq;
+}
+
+Tensor3 Lstm::backward(const Tensor3& grad_output) {
+  EVFL_ASSERT(!cache_.empty(), "Lstm::backward before forward");
+  const std::size_t n = cached_n_, t_len = cached_t_, h = units_;
+  if (return_sequences_) {
+    EVFL_REQUIRE(grad_output.batch() == n && grad_output.time() == t_len &&
+                     grad_output.features() == h,
+                 "Lstm backward grad shape mismatch (sequences)");
+  } else {
+    EVFL_REQUIRE(grad_output.batch() == n && grad_output.time() == 1 &&
+                     grad_output.features() == h,
+                 "Lstm backward grad shape mismatch (last step)");
+  }
+
+  Tensor3 dx(n, t_len, cached_in_);
+  Matrix dh_next(n, h);  // dL/dh_t flowing from step t+1
+  Matrix dc_next(n, h);  // dL/dc_t flowing from step t+1
+
+  for (std::size_t ti = t_len; ti-- > 0;) {
+    const StepCache& sc = cache_[ti];
+
+    Matrix dh = dh_next;
+    if (return_sequences_) {
+      dh += grad_output.timestep(ti);
+    } else if (ti == t_len - 1) {
+      dh += grad_output.timestep(0);
+    }
+
+    // dc = dh ⊙ o ⊙ (1 - tanh(c)^2) + dc_next
+    Matrix dc(n, h);
+    for (std::size_t idx = 0; idx < n * h; ++idx) {
+      const float ct = sc.c_tanh.data()[idx];
+      dc.data()[idx] = dh.data()[idx] * sc.o.data()[idx] * (1.0f - ct * ct) +
+                       dc_next.data()[idx];
+    }
+
+    // Gate pre-activation gradients, fused into dZ [N, 4H].
+    Matrix dz(n, 4 * h);
+    {
+      Matrix dzi(n, h), dzf(n, h), dzg(n, h), dzo(n, h);
+      for (std::size_t idx = 0; idx < n * h; ++idx) {
+        const float i = sc.i.data()[idx], f = sc.f.data()[idx];
+        const float g = sc.g.data()[idx], o = sc.o.data()[idx];
+        const float dci = dc.data()[idx];
+        dzi.data()[idx] = dci * g * i * (1.0f - i);
+        dzf.data()[idx] = dci * sc.c_prev.data()[idx] * f * (1.0f - f);
+        dzg.data()[idx] = dci * i * (1.0f - g * g);
+        dzo.data()[idx] = dh.data()[idx] * sc.c_tanh.data()[idx] * o * (1.0f - o);
+      }
+      set_gate_block(dz, 0, dzi);
+      set_gate_block(dz, 1, dzf);
+      set_gate_block(dz, 2, dzg);
+      set_gate_block(dz, 3, dzo);
+    }
+
+    matmul_tn_acc(sc.x, dz, gwx_);       // gWx += xᵀ · dZ
+    matmul_tn_acc(sc.h_prev, dz, gwh_);  // gWh += h_prevᵀ · dZ
+    gb_ += dz.col_sums();
+
+    dx.set_timestep(ti, matmul_nt(dz, wx_));  // dx_t = dZ · Wxᵀ
+    dh_next = matmul_nt(dz, wh_);             // dh_prev = dZ · Whᵀ
+    // dc_prev = dc ⊙ f
+    for (std::size_t idx = 0; idx < n * h; ++idx) {
+      dc_next.data()[idx] = dc.data()[idx] * sc.f.data()[idx];
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Lstm::params() {
+  EVFL_ASSERT(!wx_.empty(), "Lstm::params before build");
+  return {{"lstm.wx", &wx_, &gwx_},
+          {"lstm.wh", &wh_, &gwh_},
+          {"lstm.b", &b_, &gb_}};
+}
+
+std::size_t Lstm::output_features(std::size_t /*input_features*/) const {
+  return units_;
+}
+
+std::string Lstm::name() const {
+  return "Lstm(" + std::to_string(units_) +
+         (return_sequences_ ? ", seq" : ", last") + ")";
+}
+
+}  // namespace evfl::nn

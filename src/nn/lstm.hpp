@@ -1,0 +1,58 @@
+// LSTM layer with full backpropagation through time.
+//
+// Gate layout follows the common [i | f | g | o] convention with a fused
+// pre-activation Z = x·Wx + h·Wh + b of width 4*hidden.  The forget-gate
+// bias initializes to 1 (standard remedy for early vanishing memory), the
+// input kernel is Glorot uniform, and the recurrent kernel is per-gate
+// orthogonal — the same recipe Keras uses for the paper's models.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace evfl::nn {
+
+class Lstm : public Layer {
+ public:
+  /// `return_sequences` true yields [N, T, H]; false yields the final hidden
+  /// state as [N, 1, H] (Keras LSTM(units) default).
+  Lstm(std::size_t units, bool return_sequences, Rng& rng,
+       std::size_t input_features = 0);
+
+  Tensor3 forward(const Tensor3& input, bool training) override;
+  Tensor3 backward(const Tensor3& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::size_t output_features(std::size_t input_features) const override;
+  std::string name() const override;
+
+  std::size_t units() const { return units_; }
+  bool return_sequences() const { return return_sequences_; }
+
+ private:
+  void ensure_built(std::size_t input_features);
+
+  std::size_t units_;
+  bool return_sequences_;
+  Rng* rng_;
+
+  Matrix wx_;  // [in, 4H]
+  Matrix wh_;  // [H, 4H]
+  Matrix b_;   // [1, 4H]
+  Matrix gwx_, gwh_, gb_;
+
+  // Per-timestep caches from the last forward pass.
+  struct StepCache {
+    Matrix x;       // [N, in]
+    Matrix h_prev;  // [N, H]
+    Matrix c_prev;  // [N, H]
+    Matrix i, f, g, o;  // gate activations, each [N, H]
+    Matrix c_tanh;  // tanh(c_t), [N, H]
+  };
+  std::vector<StepCache> cache_;
+  std::size_t cached_n_ = 0;
+  std::size_t cached_t_ = 0;
+  std::size_t cached_in_ = 0;
+};
+
+}  // namespace evfl::nn

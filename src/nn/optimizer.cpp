@@ -1,0 +1,73 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace evfl::nn {
+
+Sgd::Sgd(float lr, float momentum) : lr_(lr), momentum_(momentum) {
+  EVFL_REQUIRE(lr > 0.0f, "Sgd lr must be positive");
+}
+
+void Sgd::step(std::vector<ParamRef>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (ParamRef& p : params) {
+      velocity_.emplace_back(p.value->rows(), p.value->cols());
+    }
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Matrix& w = *params[k].value;
+    const Matrix& g = *params[k].grad;
+    Matrix& vel = velocity_[k];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      vel.data()[i] = momentum_ * vel.data()[i] - lr_ * g.data()[i];
+      w.data()[i] += vel.data()[i];
+    }
+  }
+}
+
+void Sgd::reset_state() { velocity_.clear(); }
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  EVFL_REQUIRE(lr > 0.0f, "Adam lr must be positive");
+}
+
+void Adam::step(std::vector<ParamRef>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+    for (ParamRef& p : params) {
+      m_.emplace_back(p.value->rows(), p.value->cols());
+      v_.emplace_back(p.value->rows(), p.value->cols());
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float alpha = lr_ * std::sqrt(bc2) / bc1;
+
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Matrix& w = *params[k].value;
+    const Matrix& g = *params[k].grad;
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    EVFL_ASSERT(w.same_shape(g) && w.same_shape(m),
+                "Adam state/param shape drift");
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float gi = g.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0f - beta1_) * gi;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0f - beta2_) * gi * gi;
+      w.data()[i] -= alpha * m.data()[i] / (std::sqrt(v.data()[i]) + eps_);
+    }
+  }
+}
+
+void Adam::reset_state() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+}  // namespace evfl::nn

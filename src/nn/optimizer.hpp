@@ -1,0 +1,52 @@
+// Optimizers.  State (Adam moments) is keyed by parameter order, so an
+// optimizer instance must be paired with one model for its lifetime; after
+// FedAvg replaces a client's weights the moments intentionally persist, as
+// Keras does across manual set_weights calls.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace evfl::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update using the gradients currently in `params`.
+  virtual void step(std::vector<ParamRef>& params) = 0;
+  virtual void reset_state() = 0;
+  virtual float learning_rate() const = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f);
+  void step(std::vector<ParamRef>& params) override;
+  void reset_state() override;
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with Keras defaults; the paper uses lr = 1e-3.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-7f);
+  void step(std::vector<ParamRef>& params) override;
+  void reset_state() override;
+  float learning_rate() const override { return lr_; }
+  std::size_t step_count() const { return t_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace evfl::nn

@@ -1,0 +1,128 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace evfl::nn {
+
+float Trainer::train_batch(const Tensor3& x, const Tensor3& y) {
+  // Forward first: lazily-built layers create their parameter (and grad)
+  // buffers on the first pass, after which they can be zeroed.
+  const Tensor3 pred = model_->forward(x, /*training=*/true);
+  model_->zero_grads();
+  LossResult lr = loss_->value_and_grad(pred, y);
+  model_->backward(lr.grad);
+  auto params = model_->params();
+  optimizer_->step(params);
+  return lr.value;
+}
+
+FitHistory Trainer::fit(const Tensor3& x, const Tensor3& y,
+                        const FitConfig& cfg, const Tensor3* x_val,
+                        const Tensor3* y_val) {
+  EVFL_REQUIRE(x.batch() == y.batch(), "fit: x/y batch mismatch");
+  EVFL_REQUIRE(x.batch() > 0, "fit: empty dataset");
+  EVFL_REQUIRE((x_val == nullptr) == (y_val == nullptr),
+               "fit: validation x/y must be given together");
+
+  const std::size_t n = x.batch();
+  const std::size_t bs = std::max<std::size_t>(1, cfg.batch_size);
+
+  FitHistory hist;
+  float best_val = std::numeric_limits<float>::infinity();
+  std::size_t bad_epochs = 0;
+  std::vector<float> best_weights;
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::vector<std::size_t> order;
+    if (cfg.shuffle) {
+      order = rng_->permutation(n);
+    } else {
+      order.resize(n);
+      for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < n; start += bs) {
+      const std::size_t end = std::min(n, start + bs);
+      const std::vector<std::size_t> idx(order.begin() + start,
+                                         order.begin() + end);
+      const Tensor3 xb = x.gather(idx);
+      const Tensor3 yb = y.gather(idx);
+      const float l = train_batch(xb, yb);
+      epoch_loss += static_cast<double>(l) * static_cast<double>(end - start);
+      seen += end - start;
+    }
+    const float train_loss = static_cast<float>(epoch_loss / seen);
+    hist.train_loss.push_back(train_loss);
+    hist.epochs_run = epoch + 1;
+
+    float val_loss = std::numeric_limits<float>::quiet_NaN();
+    if (x_val != nullptr) {
+      val_loss = evaluate(*x_val, *y_val);
+      hist.val_loss.push_back(val_loss);
+    }
+    if (cfg.on_epoch_end) cfg.on_epoch_end(epoch, train_loss, val_loss);
+
+    if (cfg.early_stopping && x_val != nullptr) {
+      const EarlyStopping& es = *cfg.early_stopping;
+      if (val_loss < best_val - es.min_delta) {
+        best_val = val_loss;
+        bad_epochs = 0;
+        if (es.restore_best_weights) best_weights = model_->get_weights();
+      } else {
+        ++bad_epochs;
+        if (bad_epochs > es.patience) {
+          hist.stopped_early = true;
+          if (es.restore_best_weights && !best_weights.empty()) {
+            model_->set_weights(best_weights);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return hist;
+}
+
+float Trainer::evaluate(const Tensor3& x, const Tensor3& y,
+                        std::size_t batch_size) {
+  EVFL_REQUIRE(x.batch() == y.batch(), "evaluate: x/y batch mismatch");
+  double acc = 0.0;
+  for (std::size_t start = 0; start < x.batch(); start += batch_size) {
+    const std::size_t end = std::min(x.batch(), start + batch_size);
+    const Tensor3 xb = x.batch_slice(start, end);
+    const Tensor3 yb = y.batch_slice(start, end);
+    const Tensor3 pred = model_->forward(xb, /*training=*/false);
+    acc += static_cast<double>(loss_->value(pred, yb)) *
+           static_cast<double>(end - start);
+  }
+  return static_cast<float>(acc / static_cast<double>(x.batch()));
+}
+
+Tensor3 predict_batched(Sequential& model, const Tensor3& x,
+                        std::size_t batch_size) {
+  EVFL_REQUIRE(x.batch() > 0, "predict_batched: empty input");
+  Tensor3 out;
+  bool first = true;
+  for (std::size_t start = 0; start < x.batch(); start += batch_size) {
+    const std::size_t end = std::min(x.batch(), start + batch_size);
+    const Tensor3 pred = model.forward(x.batch_slice(start, end), false);
+    if (first) {
+      out = Tensor3(x.batch(), pred.time(), pred.features());
+      first = false;
+    }
+    for (std::size_t i = 0; i < pred.batch(); ++i) {
+      for (std::size_t t = 0; t < pred.time(); ++t) {
+        for (std::size_t f = 0; f < pred.features(); ++f) {
+          out(start + i, t, f) = pred(i, t, f);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace evfl::nn

@@ -1,0 +1,66 @@
+// Mini-batch training loop with optional validation-loss early stopping
+// (the paper trains its autoencoder with patience = 10) and best-weight
+// restoration.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace evfl::nn {
+
+struct EarlyStopping {
+  std::size_t patience = 10;
+  float min_delta = 0.0f;
+  bool restore_best_weights = true;
+};
+
+struct FitConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  bool shuffle = true;
+  std::optional<EarlyStopping> early_stopping;
+  /// Optional per-epoch observer: (epoch, train_loss, val_loss-or-NaN).
+  std::function<void(std::size_t, float, float)> on_epoch_end;
+};
+
+struct FitHistory {
+  std::vector<float> train_loss;
+  std::vector<float> val_loss;     // empty when no validation set given
+  std::size_t epochs_run = 0;
+  bool stopped_early = false;
+};
+
+class Trainer {
+ public:
+  Trainer(Sequential& model, Loss& loss, Optimizer& optimizer, Rng& rng)
+      : model_(&model), loss_(&loss), optimizer_(&optimizer), rng_(&rng) {}
+
+  /// Train on (x, y); optionally validate on (x_val, y_val) each epoch.
+  FitHistory fit(const Tensor3& x, const Tensor3& y, const FitConfig& cfg,
+                 const Tensor3* x_val = nullptr,
+                 const Tensor3* y_val = nullptr);
+
+  /// Average loss over a dataset, evaluated in inference mode batch-wise.
+  float evaluate(const Tensor3& x, const Tensor3& y,
+                 std::size_t batch_size = 256);
+
+  /// One gradient step on a single batch; returns the batch loss.
+  float train_batch(const Tensor3& x, const Tensor3& y);
+
+ private:
+  Sequential* model_;
+  Loss* loss_;
+  Optimizer* optimizer_;
+  Rng* rng_;
+};
+
+/// Inference over a dataset in batches (memory-bounded).
+Tensor3 predict_batched(Sequential& model, const Tensor3& x,
+                        std::size_t batch_size = 256);
+
+}  // namespace evfl::nn

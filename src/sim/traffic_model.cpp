@@ -1,0 +1,72 @@
+#include "sim/traffic_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace evfl::sim {
+
+TrafficModel::TrafficModel(TrafficModelConfig cfg) : cfg_(cfg) {
+  EVFL_REQUIRE(cfg_.normal_pps > 0.0, "normal_pps must be positive");
+  EVFL_REQUIRE(cfg_.attack_pps > cfg_.normal_pps,
+               "attack_pps must exceed normal_pps");
+}
+
+double TrafficModel::nominal_multiplier() const {
+  return cfg_.attack_pps / cfg_.normal_pps;
+}
+
+TrafficTrace TrafficModel::generate_trace(std::size_t slots,
+                                          std::size_t attack_bursts,
+                                          std::size_t burst_slots,
+                                          tensor::Rng& rng) const {
+  EVFL_REQUIRE(slots > 0, "trace needs slots > 0");
+  TrafficTrace trace;
+  trace.slot_ms = cfg_.slot_ms;
+  trace.pps.resize(slots);
+  trace.attack.assign(slots, 0);
+
+  // Mark attack windows (uniform placement; overlaps allowed but merged by
+  // the label vector, mirroring how real flooding bursts can coalesce).
+  for (std::size_t b = 0; b < attack_bursts; ++b) {
+    if (burst_slots == 0 || burst_slots > slots) break;
+    const std::size_t start = rng.index(slots - burst_slots + 1);
+    std::fill(trace.attack.begin() + start,
+              trace.attack.begin() + start + burst_slots, std::uint8_t{1});
+  }
+
+  for (std::size_t s = 0; s < slots; ++s) {
+    const bool attacked = trace.attack[s] != 0;
+    const double mean = attacked ? cfg_.attack_pps : cfg_.normal_pps;
+    const double jitter = attacked ? cfg_.attack_jitter : cfg_.normal_jitter;
+    const double v = mean * (1.0 + jitter * rng.normal(0.0f, 1.0f));
+    trace.pps[s] = static_cast<float>(std::max(v, 0.0));
+  }
+  return trace;
+}
+
+TrafficStats TrafficModel::analyze(const TrafficTrace& trace) {
+  EVFL_REQUIRE(trace.pps.size() == trace.attack.size(),
+               "trace pps/labels misaligned");
+  TrafficStats st;
+  st.total_slots = trace.size();
+  double normal_sum = 0.0, attack_sum = 0.0;
+  std::size_t normal_n = 0;
+  for (std::size_t s = 0; s < trace.size(); ++s) {
+    if (trace.attack[s] != 0) {
+      attack_sum += trace.pps[s];
+      ++st.attack_slots;
+    } else {
+      normal_sum += trace.pps[s];
+      ++normal_n;
+    }
+  }
+  if (normal_n > 0) st.mean_normal_pps = normal_sum / normal_n;
+  if (st.attack_slots > 0) st.mean_attack_pps = attack_sum / st.attack_slots;
+  if (st.mean_normal_pps > 0.0 && st.attack_slots > 0) {
+    st.intensity_multiplier = st.mean_attack_pps / st.mean_normal_pps;
+  }
+  return st;
+}
+
+}  // namespace evfl::sim

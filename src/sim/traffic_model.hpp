@@ -1,0 +1,67 @@
+// Packet-level DDoS traffic simulator (substitute for the real-world DDoS
+// trace, see DESIGN.md §1).  The paper derives its attack model from
+// documented measurements: normal IP traffic ≈ 33,000 packets/s, attack
+// traffic ≈ 350,500 packets/s (a 10.6x multiplier) observed on 100 ms
+// slots.  This module reproduces that derivation: it synthesizes a
+// slotted packet-rate trace with attack windows, and extracts the intensity
+// statistics the charging-volume injector consumes — exercising the same
+// trace -> multiplier -> injection path the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace evfl::sim {
+
+struct TrafficModelConfig {
+  double normal_pps = 33'000.0;    // documented normal packet rate
+  double attack_pps = 350'500.0;   // documented attack packet rate
+  double slot_ms = 100.0;          // measurement slot length
+  double normal_jitter = 0.10;     // relative std of normal-rate noise
+  double attack_jitter = 0.25;     // attack flows burst harder
+};
+
+/// A slotted packet-rate trace with ground-truth attack labels.
+struct TrafficTrace {
+  std::vector<float> pps;            // packets/s per slot
+  std::vector<std::uint8_t> attack;  // 1 = slot under attack
+  double slot_ms = 100.0;
+
+  std::size_t size() const { return pps.size(); }
+};
+
+/// Statistics extracted from a trace (what the injector consumes).
+struct TrafficStats {
+  double mean_normal_pps = 0.0;
+  double mean_attack_pps = 0.0;
+  /// mean_attack / mean_normal — the paper's "10.6x intensity multiplier".
+  double intensity_multiplier = 0.0;
+  std::size_t attack_slots = 0;
+  std::size_t total_slots = 0;
+};
+
+class TrafficModel {
+ public:
+  explicit TrafficModel(TrafficModelConfig cfg = {});
+
+  const TrafficModelConfig& config() const { return cfg_; }
+
+  /// Nominal multiplier straight from the configured rates (350500/33000).
+  double nominal_multiplier() const;
+
+  /// Synthesize a trace of `slots` measurement slots containing
+  /// `attack_bursts` attack windows of `burst_slots` slots each, placed
+  /// uniformly at random without overlap (best effort).
+  TrafficTrace generate_trace(std::size_t slots, std::size_t attack_bursts,
+                              std::size_t burst_slots, tensor::Rng& rng) const;
+
+  /// Measure a trace the way the paper's source measurements were taken.
+  static TrafficStats analyze(const TrafficTrace& trace);
+
+ private:
+  TrafficModelConfig cfg_;
+};
+
+}  // namespace evfl::sim

@@ -1,0 +1,61 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+namespace evfl::tensor {
+
+Matrix glorot_uniform(std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  Matrix m(fan_in, fan_out);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.uniform(-limit, limit);
+  }
+  return m;
+}
+
+Matrix random_normal(std::size_t rows, std::size_t cols, float stddev,
+                     Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.normal(0.0f, stddev);
+  }
+  return m;
+}
+
+Matrix orthogonal(std::size_t rows, std::size_t cols, Rng& rng) {
+  // Build a tall random matrix and orthonormalize its columns with modified
+  // Gram-Schmidt; transpose back if a wide matrix was requested.
+  const bool transpose = rows < cols;
+  const std::size_t r = transpose ? cols : rows;
+  const std::size_t c = transpose ? rows : cols;
+
+  Matrix a = random_normal(r, c, 1.0f, rng);
+  for (std::size_t j = 0; j < c; ++j) {
+    // Orthogonalize column j against the previous columns.
+    for (std::size_t k = 0; k < j; ++k) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < r; ++i) dot += a(i, k) * a(i, j);
+      for (std::size_t i = 0; i < r; ++i) {
+        a(i, j) -= static_cast<float>(dot) * a(i, k);
+      }
+    }
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < r; ++i) {
+      norm_sq += static_cast<double>(a(i, j)) * a(i, j);
+    }
+    double norm = std::sqrt(norm_sq);
+    if (norm < 1e-8) {
+      // Degenerate column (vanishingly unlikely): re-randomize axis.
+      for (std::size_t i = 0; i < r; ++i) a(i, j) = 0.0f;
+      a(j % r, j) = 1.0f;
+      norm = 1.0;
+    }
+    for (std::size_t i = 0; i < r; ++i) {
+      a(i, j) = static_cast<float>(a(i, j) / norm);
+    }
+  }
+  return transpose ? a.transposed() : a;
+}
+
+}  // namespace evfl::tensor

@@ -1,0 +1,20 @@
+// Weight initializers used by the nn layers.
+#pragma once
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace evfl::tensor {
+
+/// Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6 / (fan_in+fan_out)).
+Matrix glorot_uniform(std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+/// Scaled normal N(0, stddev).
+Matrix random_normal(std::size_t rows, std::size_t cols, float stddev, Rng& rng);
+
+/// Orthogonal init (modified Gram-Schmidt on a random normal matrix) —
+/// the standard recurrent-kernel initializer; keeps hidden-state norms stable
+/// through time.
+Matrix orthogonal(std::size_t rows, std::size_t cols, Rng& rng);
+
+}  // namespace evfl::tensor

@@ -1,0 +1,71 @@
+#include "tensor/linalg.hpp"
+
+#include <cmath>
+
+namespace evfl::tensor {
+
+Matrix cholesky(const Matrix& a) {
+  EVFL_REQUIRE(a.rows() == a.cols(), "cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= static_cast<double>(l(i, k)) * l(j, k);
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw Error("cholesky: matrix not positive definite (pivot " +
+                      std::to_string(i) + ")");
+        }
+        l(i, i) = static_cast<float>(std::sqrt(sum));
+      } else {
+        l(i, j) = static_cast<float>(sum / l(j, j));
+      }
+    }
+  }
+  return l;
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+  EVFL_REQUIRE(a.rows() == b.rows(), "solve_spd: dimension mismatch");
+  const Matrix l = cholesky(a);
+  const std::size_t n = a.rows();
+  const std::size_t k = b.cols();
+
+  // Forward substitution: L·z = b.
+  Matrix z(n, k);
+  for (std::size_t col = 0; col < k; ++col) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = b(i, col);
+      for (std::size_t j = 0; j < i; ++j) {
+        sum -= static_cast<double>(l(i, j)) * z(j, col);
+      }
+      z(i, col) = static_cast<float>(sum / l(i, i));
+    }
+  }
+  // Back substitution: Lᵀ·x = z.
+  Matrix x(n, k);
+  for (std::size_t col = 0; col < k; ++col) {
+    for (std::size_t ii = n; ii-- > 0;) {
+      double sum = z(ii, col);
+      for (std::size_t j = ii + 1; j < n; ++j) {
+        sum -= static_cast<double>(l(j, ii)) * x(j, col);
+      }
+      x(ii, col) = static_cast<float>(sum / l(ii, ii));
+    }
+  }
+  return x;
+}
+
+Matrix least_squares(const Matrix& x, const Matrix& y, float ridge) {
+  EVFL_REQUIRE(x.rows() == y.rows(), "least_squares: row mismatch");
+  EVFL_REQUIRE(x.rows() >= x.cols(), "least_squares: underdetermined system");
+  Matrix xtx = matmul_tn(x, x);
+  for (std::size_t i = 0; i < xtx.rows(); ++i) xtx(i, i) += ridge;
+  const Matrix xty = matmul_tn(x, y);
+  return solve_spd(xtx, xty);
+}
+
+}  // namespace evfl::tensor

@@ -1,0 +1,22 @@
+// Small dense linear-algebra routines for the classical baselines:
+// Cholesky factorization and SPD solves (normal-equations least squares).
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace evfl::tensor {
+
+/// Lower-triangular Cholesky factor L of a symmetric positive-definite A
+/// (A = L·Lᵀ).  Throws evfl::Error if A is not SPD (within tolerance).
+Matrix cholesky(const Matrix& a);
+
+/// Solve A·x = b for SPD A via Cholesky (b is [n x k], solves all columns).
+Matrix solve_spd(const Matrix& a, const Matrix& b);
+
+/// Least squares: argmin_w |X·w - y|² via ridge-stabilized normal equations
+/// (XᵀX + lambda·I) w = Xᵀy.  X is [m x n], y is [m x 1]; returns [n x 1].
+Matrix least_squares(const Matrix& x, const Matrix& y, float ridge = 1e-6f);
+
+}  // namespace evfl::tensor

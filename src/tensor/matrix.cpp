@@ -1,0 +1,264 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace evfl::tensor {
+
+namespace {
+
+void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw ShapeError(std::string(op) + ": shape mismatch " + a.shape_str() +
+                     " vs " + b.shape_str());
+  }
+}
+
+}  // namespace
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<float>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r == 0 ? 0 : rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    if (row.size() != c) {
+      throw ShapeError("from_rows: ragged initializer");
+    }
+    std::size_t j = 0;
+    for (float v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::row_vector(const std::vector<float>& values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+Matrix Matrix::col_vector(const std::vector<float>& values) {
+  Matrix m(values.size(), 1);
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw ShapeError("Matrix::at out of range in " + shape_str());
+  }
+  return (*this)(r, c);
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw ShapeError("Matrix::at out of range in " + shape_str());
+  }
+  return (*this)(r, c);
+}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require_same_shape(*this, other, "operator+=");
+  const float* src = other.data();
+  float* dst = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += src[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  require_same_shape(*this, other, "operator-=");
+  const float* src = other.data();
+  float* dst = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] -= src[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::hadamard_inplace(const Matrix& other) {
+  require_same_shape(*this, other, "hadamard");
+  const float* src = other.data();
+  float* dst = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] *= src[i];
+  return *this;
+}
+
+Matrix& Matrix::axpy(float alpha, const Matrix& other) {
+  require_same_shape(*this, other, "axpy");
+  const float* src = other.data();
+  float* dst = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
+  return *this;
+}
+
+Matrix& Matrix::add_row_broadcast(const Matrix& bias) {
+  if (bias.rows() != 1 || bias.cols() != cols_) {
+    throw ShapeError("add_row_broadcast: bias " + bias.shape_str() +
+                     " does not broadcast over " + shape_str());
+  }
+  const float* b = bias.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* dst = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] += b[c];
+  }
+  return *this;
+}
+
+float Matrix::sum() const {
+  // Pairwise-ish accumulation in double to keep long reductions accurate.
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Matrix::min() const {
+  EVFL_ASSERT(!data_.empty(), "min of empty matrix");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Matrix::max() const {
+  EVFL_ASSERT(!data_.empty(), "max of empty matrix");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+Matrix Matrix::col_sums() const {
+  Matrix out(1, cols_);
+  float* dst = out.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float* src = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+  return out;
+}
+
+float Matrix::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+std::string Matrix::shape_str() const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << "]";
+  return os.str();
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, float s) { return a *= s; }
+Matrix operator*(float s, Matrix a) { return a *= s; }
+Matrix hadamard(Matrix a, const Matrix& b) { return a.hadamard_inplace(b); }
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw ShapeError("matmul: incompatible shapes " + a.shape_str() + " · " +
+                     b.shape_str() + " -> " + c.shape_str());
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // ikj order: streams B and C rows; good locality for the small-to-medium
+  // matrices (batch x hidden · hidden x 4*hidden) the LSTM produces.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  matmul_acc(a, b, c);
+  return c;
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.rows() != b.rows() || c.rows() != a.cols() || c.cols() != b.cols()) {
+    throw ShapeError("matmul_tn: incompatible shapes " + a.shape_str() +
+                     "ᵀ · " + b.shape_str() + " -> " + c.shape_str());
+  }
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  // C[i,j] += sum_kk A[kk,i] * B[kk,j]; iterate kk outer to stream rows.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.row(kk);
+    const float* brow = b.row(kk);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  matmul_tn_acc(a, b, c);
+  return c;
+}
+
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.cols() || c.rows() != a.rows() || c.cols() != b.rows()) {
+    throw ShapeError("matmul_nt: incompatible shapes " + a.shape_str() +
+                     " · " + b.shape_str() + "ᵀ -> " + c.shape_str());
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  matmul_nt_acc(a, b, c);
+  return c;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "max_abs_diff");
+  float worst = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+}  // namespace evfl::tensor

@@ -1,0 +1,125 @@
+// Dense row-major float matrix with the handful of BLAS-like kernels the
+// neural-network substrate needs.  Deliberately small: no expression
+// templates, no views — clarity and predictable performance on one core.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace evfl::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// rows x cols, every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer lists; all rows must have equal length.
+  static Matrix from_rows(std::initializer_list<std::initializer_list<float>> rows);
+
+  /// Build a 1 x n row vector from a flat list of values.
+  static Matrix row_vector(const std::vector<float>& values);
+
+  /// Build an n x 1 column vector from a flat list of values.
+  static Matrix col_vector(const std::vector<float>& values);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access (throws ShapeError); use in non-hot paths.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Pointer to the start of row r.
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(float value);
+  void set_zero() { fill(0.0f); }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // ---- in-place elementwise ops ------------------------------------------
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float s);
+  /// Elementwise (Hadamard) product in place.
+  Matrix& hadamard_inplace(const Matrix& other);
+  /// this += alpha * other  (axpy).
+  Matrix& axpy(float alpha, const Matrix& other);
+
+  /// Adds the 1 x cols row vector `bias` to every row (bias broadcast).
+  Matrix& add_row_broadcast(const Matrix& bias);
+
+  // ---- reductions ---------------------------------------------------------
+  float sum() const;
+  float min() const;
+  float max() const;
+  /// Sum over rows producing a 1 x cols row vector (bias gradient).
+  Matrix col_sums() const;
+  /// Frobenius norm squared.
+  float squared_norm() const;
+
+  Matrix transposed() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- free functions --------------------------------------------------------
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, float s);
+Matrix operator*(float s, Matrix a);
+Matrix hadamard(Matrix a, const Matrix& b);
+
+/// C = A · B
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = Aᵀ · B  (without materializing the transpose)
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A · Bᵀ  (without materializing the transpose)
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// C += A · B  — the LSTM hot loop; kernel is cache-blocked ikj.
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c);
+/// C += Aᵀ · B
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c);
+/// C += A · Bᵀ
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Max absolute elementwise difference; matrices must share a shape.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace evfl::tensor

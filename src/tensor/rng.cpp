@@ -1,0 +1,53 @@
+#include "tensor/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace evfl::tensor {
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  return dist(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  EVFL_REQUIRE(n > 0, "Rng::index needs n > 0");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+float Rng::log_uniform(float lo, float hi) {
+  EVFL_REQUIRE(lo > 0.0f && hi >= lo, "log_uniform needs 0 < lo <= hi");
+  const float u = uniform(std::log(lo), std::log(hi));
+  return std::exp(u);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), engine_);
+  return idx;
+}
+
+Rng Rng::split() {
+  // Consuming two draws decorrelates the child stream from the parent's
+  // subsequent output.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace evfl::tensor

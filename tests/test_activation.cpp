@@ -1,0 +1,76 @@
+#include "nn/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace evfl::nn {
+namespace {
+
+TEST(Activation, LinearIsIdentity) {
+  EXPECT_EQ(apply_activation(Activation::kLinear, 3.7f), 3.7f);
+  EXPECT_EQ(activation_grad_from_output(Activation::kLinear, -5.0f), 1.0f);
+}
+
+TEST(Activation, Relu) {
+  EXPECT_EQ(apply_activation(Activation::kRelu, 2.0f), 2.0f);
+  EXPECT_EQ(apply_activation(Activation::kRelu, -2.0f), 0.0f);
+  EXPECT_EQ(apply_activation(Activation::kRelu, 0.0f), 0.0f);
+  EXPECT_EQ(activation_grad_from_output(Activation::kRelu, 1.0f), 1.0f);
+  EXPECT_EQ(activation_grad_from_output(Activation::kRelu, 0.0f), 0.0f);
+}
+
+TEST(Activation, TanhValuesAndGrad) {
+  const float y = apply_activation(Activation::kTanh, 0.5f);
+  EXPECT_NEAR(y, std::tanh(0.5f), 1e-6f);
+  EXPECT_NEAR(activation_grad_from_output(Activation::kTanh, y), 1.0f - y * y,
+              1e-6f);
+}
+
+TEST(Activation, SigmoidValues) {
+  EXPECT_NEAR(apply_activation(Activation::kSigmoid, 0.0f), 0.5f, 1e-6f);
+  EXPECT_NEAR(apply_activation(Activation::kSigmoid, 2.0f),
+              1.0f / (1.0f + std::exp(-2.0f)), 1e-6f);
+}
+
+TEST(Activation, SigmoidStableAtExtremes) {
+  // Must not produce NaN/Inf for large |x|.
+  const float hi = apply_activation(Activation::kSigmoid, 500.0f);
+  const float lo = apply_activation(Activation::kSigmoid, -500.0f);
+  EXPECT_TRUE(std::isfinite(hi));
+  EXPECT_TRUE(std::isfinite(lo));
+  EXPECT_NEAR(hi, 1.0f, 1e-6f);
+  EXPECT_NEAR(lo, 0.0f, 1e-6f);
+}
+
+TEST(Activation, SigmoidGradFromOutput) {
+  const float y = apply_activation(Activation::kSigmoid, 1.3f);
+  EXPECT_NEAR(activation_grad_from_output(Activation::kSigmoid, y),
+              y * (1.0f - y), 1e-6f);
+}
+
+TEST(Activation, SigmoidSymmetry) {
+  for (float x : {0.1f, 0.7f, 2.3f, 8.0f}) {
+    EXPECT_NEAR(apply_activation(Activation::kSigmoid, x) +
+                    apply_activation(Activation::kSigmoid, -x),
+                1.0f, 1e-6f);
+  }
+}
+
+TEST(Activation, MatrixApplyInPlace) {
+  tensor::Matrix m = tensor::Matrix::from_rows({{-1, 0, 1}});
+  apply_activation(Activation::kRelu, m);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 1), 0.0f);
+  EXPECT_EQ(m(0, 2), 1.0f);
+}
+
+TEST(Activation, ToString) {
+  EXPECT_EQ(to_string(Activation::kRelu), "relu");
+  EXPECT_EQ(to_string(Activation::kLinear), "linear");
+  EXPECT_EQ(to_string(Activation::kTanh), "tanh");
+  EXPECT_EQ(to_string(Activation::kSigmoid), "sigmoid");
+}
+
+}  // namespace
+}  // namespace evfl::nn

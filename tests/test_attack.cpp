@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "attack/ddos_injector.hpp"
+#include "attack/fdi_injector.hpp"
+#include "attack/ramp_injector.hpp"
+#include "datagen/shenzhen.hpp"
+
+namespace evfl::attack {
+namespace {
+
+data::TimeSeries make_clean(std::size_t hours = 1000, std::uint64_t seed = 1) {
+  datagen::GeneratorConfig cfg;
+  cfg.hours = hours;
+  tensor::Rng rng(seed);
+  return datagen::generate_zone(datagen::zone_102(), cfg, rng);
+}
+
+TEST(DdosInjector, LabelsMatchModifications) {
+  const data::TimeSeries clean = make_clean();
+  DdosInjector injector;
+  data::TimeSeries attacked;
+  tensor::Rng rng(2);
+  const InjectionSummary s = injector.inject(clean, attacked, rng);
+
+  ASSERT_EQ(attacked.size(), clean.size());
+  ASSERT_EQ(attacked.labels.size(), clean.size());
+  EXPECT_EQ(s.kind, AttackKind::kDdos);
+  EXPECT_GT(s.points_attacked, 0u);
+  EXPECT_EQ(attacked.anomaly_count(), s.points_attacked);
+
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (attacked.labels[i] == 0) {
+      EXPECT_EQ(attacked.values[i], clean.values[i]) << "unlabelled change at " << i;
+    } else {
+      EXPECT_GE(attacked.values[i], clean.values[i]) << "DDoS must inflate";
+    }
+  }
+}
+
+TEST(DdosInjector, InputNotMutated) {
+  const data::TimeSeries clean = make_clean();
+  const std::vector<float> copy = clean.values;
+  DdosInjector injector;
+  data::TimeSeries attacked;
+  tensor::Rng rng(3);
+  injector.inject(clean, attacked, rng);
+  EXPECT_EQ(clean.values, copy);
+}
+
+TEST(DdosInjector, MultiplierDomainIsDamped) {
+  DdosConfig cfg;
+  DdosInjector injector(cfg);
+  // 10.62 ^ 0.55 ≈ 3.67: volume multipliers stay well below the raw
+  // network-domain 10.6x.
+  EXPECT_NEAR(injector.max_volume_multiplier(), 3.67f, 0.1f);
+  EXPECT_LT(injector.max_volume_multiplier(), 10.6f);
+
+  DdosConfig undamped = cfg;
+  undamped.damping = 1.0f;
+  EXPECT_NEAR(DdosInjector(undamped).max_volume_multiplier(), 10.62f, 0.05f);
+}
+
+TEST(DdosInjector, MeanMultiplierWithinConfiguredRange) {
+  const data::TimeSeries clean = make_clean(2000);
+  DdosConfig cfg;
+  cfg.within_burst_jitter = 0.0f;
+  DdosInjector injector(cfg);
+  data::TimeSeries attacked;
+  tensor::Rng rng(4);
+  const InjectionSummary s = injector.inject(clean, attacked, rng);
+  EXPECT_GE(s.mean_multiplier, cfg.min_multiplier * 0.99);
+  EXPECT_LE(s.mean_multiplier, injector.max_volume_multiplier() * 1.01);
+}
+
+TEST(DdosInjector, BurstsAreTemporallyLocalized) {
+  const data::TimeSeries clean = make_clean(4000);
+  DdosConfig cfg;
+  cfg.bursts = 10;
+  DdosInjector injector(cfg);
+  data::TimeSeries attacked;
+  tensor::Rng rng(5);
+  injector.inject(clean, attacked, rng);
+
+  // Count contiguous anomalous runs: must be <= bursts (overlaps merge).
+  std::size_t runs = 0;
+  bool in_run = false;
+  for (auto l : attacked.labels) {
+    if (l && !in_run) ++runs;
+    in_run = l;
+  }
+  EXPECT_GT(runs, 0u);
+  EXPECT_LE(runs, 10u);
+}
+
+TEST(DdosInjector, DeterministicGivenSeed) {
+  const data::TimeSeries clean = make_clean();
+  DdosInjector injector;
+  data::TimeSeries a1, a2;
+  tensor::Rng r1(77), r2(77);
+  injector.inject(clean, a1, r1);
+  injector.inject(clean, a2, r2);
+  EXPECT_EQ(a1.values, a2.values);
+  EXPECT_EQ(a1.labels, a2.labels);
+}
+
+TEST(DdosInjector, ConfigValidation) {
+  DdosConfig bad;
+  bad.min_multiplier = 1.0f;
+  EXPECT_THROW(DdosInjector{bad}, Error);
+  DdosConfig bad2;
+  bad2.max_burst_hours = 1;
+  bad2.min_burst_hours = 4;
+  EXPECT_THROW(DdosInjector{bad2}, Error);
+  DdosConfig bad3;
+  bad3.damping = 0.0f;
+  EXPECT_THROW(DdosInjector{bad3}, Error);
+}
+
+TEST(DdosInjector, SeriesTooShortThrows) {
+  data::TimeSeries tiny;
+  tiny.values = {1, 2, 3};
+  tiny.init_clean_labels();
+  DdosInjector injector;
+  data::TimeSeries out;
+  tensor::Rng rng(6);
+  EXPECT_THROW(injector.inject(tiny, out, rng), Error);
+}
+
+TEST(FdiInjector, SubtleBiasWithinOneSigma) {
+  const data::TimeSeries clean = make_clean(2000);
+  const data::SeriesStats st = data::compute_stats(clean.values);
+  FdiConfig cfg;
+  FalseDataInjector injector(cfg);
+  data::TimeSeries attacked;
+  tensor::Rng rng(7);
+  const InjectionSummary s = injector.inject(clean, attacked, rng);
+  EXPECT_EQ(s.kind, AttackKind::kFdi);
+  EXPECT_GT(s.points_attacked, 0u);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const float delta = std::abs(attacked.values[i] - clean.values[i]);
+    if (attacked.labels[i]) {
+      EXPECT_LE(delta, cfg.bias_sigma * st.stddev + 1e-3f);
+    } else {
+      EXPECT_EQ(delta, 0.0f);
+    }
+  }
+}
+
+TEST(FdiInjector, AlternatingSignBiasesBothWays) {
+  const data::TimeSeries clean = make_clean(3000);
+  FdiConfig cfg;
+  cfg.windows = 8;
+  FalseDataInjector injector(cfg);
+  data::TimeSeries attacked;
+  tensor::Rng rng(8);
+  injector.inject(clean, attacked, rng);
+  bool up = false, down = false;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (!attacked.labels[i]) continue;
+    if (attacked.values[i] > clean.values[i]) up = true;
+    if (attacked.values[i] < clean.values[i]) down = true;
+  }
+  EXPECT_TRUE(up);
+  EXPECT_TRUE(down);
+}
+
+TEST(RampInjector, TriangularProfilePeaksMidWindow) {
+  data::TimeSeries flat;
+  flat.values.assign(500, 10.0f);
+  flat.init_clean_labels();
+  RampConfig cfg;
+  cfg.ramps = 1;
+  cfg.min_ramp_hours = 21;
+  cfg.max_ramp_hours = 21;
+  RampInjector injector(cfg);
+  data::TimeSeries attacked;
+  tensor::Rng rng(9);
+  injector.inject(flat, attacked, rng);
+
+  // Find the ramp and verify its apex is near the configured multiplier
+  // and near the middle.
+  std::size_t begin = 0, end = 0;
+  for (std::size_t i = 0; i < attacked.size(); ++i) {
+    if (attacked.labels[i]) {
+      if (begin == 0 && end == 0) begin = i;
+      end = i;
+    }
+  }
+  ASSERT_GT(end, begin);
+  float peak = 0.0f;
+  std::size_t peak_at = 0;
+  for (std::size_t i = begin; i <= end; ++i) {
+    if (attacked.values[i] > peak) {
+      peak = attacked.values[i];
+      peak_at = i;
+    }
+  }
+  EXPECT_NEAR(peak, 10.0f * cfg.peak_multiplier, 0.5f);
+  const std::size_t mid = (begin + end) / 2;
+  EXPECT_NEAR(static_cast<double>(peak_at), static_cast<double>(mid), 1.5);
+  // Edges are barely modified.
+  EXPECT_NEAR(attacked.values[begin], 10.0f, 1.5f);
+}
+
+TEST(AttackKind, Names) {
+  EXPECT_EQ(to_string(AttackKind::kDdos), "ddos");
+  EXPECT_EQ(to_string(AttackKind::kFdi), "fdi");
+  EXPECT_EQ(to_string(AttackKind::kRamp), "ramp");
+  EXPECT_EQ(to_string(AttackKind::kNone), "none");
+}
+
+}  // namespace
+}  // namespace evfl::attack

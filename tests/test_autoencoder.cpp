@@ -1,0 +1,121 @@
+#include "anomaly/autoencoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace evfl::anomaly {
+namespace {
+
+AutoencoderConfig tiny_config() {
+  AutoencoderConfig cfg;
+  cfg.window = 8;
+  cfg.encoder_units = 10;
+  cfg.latent_units = 5;
+  cfg.dropout = 0.1f;
+  cfg.max_epochs = 30;
+  cfg.patience = 5;
+  return cfg;
+}
+
+std::vector<float> sine_series(std::size_t n, float noise_amp,
+                               std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  std::vector<float> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(0.5f + 0.4f * std::sin(i * 0.26f) +
+                  noise_amp * rng.normal());
+  }
+  return out;
+}
+
+TEST(Autoencoder, ArchitectureMatchesPaper) {
+  AutoencoderConfig cfg;  // paper defaults: 50 -> 25 -> 25 -> 50
+  tensor::Rng rng(1);
+  LstmAutoencoder ae(cfg, rng);
+  // 8 layers: LSTM(50,seq) Dropout LSTM(25) Repeat LSTM(25,seq) Dropout
+  // LSTM(50,seq) Dense(1).
+  EXPECT_EQ(ae.model().layer_count(), 8u);
+  EXPECT_EQ(ae.model().layer(0).name(), "Lstm(50, seq)");
+  EXPECT_EQ(ae.model().layer(2).name(), "Lstm(25, last)");
+  EXPECT_EQ(ae.model().layer(3).name(), "RepeatVector(24)");
+  EXPECT_EQ(ae.model().layer(6).name(), "Lstm(50, seq)");
+}
+
+TEST(Autoencoder, ScoreBeforeTrainThrows) {
+  tensor::Rng rng(2);
+  LstmAutoencoder ae(tiny_config(), rng);
+  EXPECT_FALSE(ae.trained());
+  EXPECT_THROW(ae.score(sine_series(100, 0.0f, 1)), Error);
+  EXPECT_THROW(ae.reconstruct(sine_series(100, 0.0f, 1)), Error);
+}
+
+TEST(Autoencoder, TrainingReducesLoss) {
+  tensor::Rng rng(3);
+  LstmAutoencoder ae(tiny_config(), rng);
+  const nn::FitHistory hist = ae.train(sine_series(300, 0.02f, 2), rng);
+  EXPECT_TRUE(ae.trained());
+  ASSERT_GE(hist.train_loss.size(), 2u);
+  EXPECT_LT(hist.train_loss.back(), hist.train_loss.front());
+}
+
+TEST(Autoencoder, AnomalousPointsScoreHigher) {
+  tensor::Rng rng(4);
+  AutoencoderConfig cfg = tiny_config();
+  cfg.dropout = 0.0f;
+  cfg.max_epochs = 50;
+  LstmAutoencoder ae(cfg, rng);
+  const std::vector<float> normal = sine_series(400, 0.01f, 3);
+  ae.train(normal, rng);
+
+  std::vector<float> spiked = normal;
+  spiked[200] = 3.0f;  // far outside the [0.1, 0.9] wave band
+  const std::vector<float> scores = ae.score(spiked);
+  ASSERT_EQ(scores.size(), spiked.size());
+
+  // The spiked point's score dominates a typical clean point's score.
+  double clean_mean = 0.0;
+  std::size_t clean_n = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i < 180 || i > 220) {
+      clean_mean += scores[i];
+      ++clean_n;
+    }
+  }
+  clean_mean /= clean_n;
+  EXPECT_GT(scores[200], 10.0 * clean_mean);
+}
+
+TEST(Autoencoder, ScorePreservesSeriesLength) {
+  tensor::Rng rng(5);
+  AutoencoderConfig cfg = tiny_config();
+  cfg.max_epochs = 5;
+  LstmAutoencoder ae(cfg, rng);
+  const auto series = sine_series(150, 0.02f, 4);
+  ae.train(series, rng);
+  EXPECT_EQ(ae.score(series).size(), series.size());
+  const auto shorter = sine_series(60, 0.02f, 5);
+  EXPECT_EQ(ae.score(shorter).size(), shorter.size());
+}
+
+TEST(Autoencoder, EarlyStoppingBoundsEpochs) {
+  tensor::Rng rng(6);
+  AutoencoderConfig cfg = tiny_config();
+  cfg.max_epochs = 200;
+  cfg.patience = 3;
+  LstmAutoencoder ae(cfg, rng);
+  const nn::FitHistory hist = ae.train(sine_series(200, 0.01f, 6), rng);
+  // With a tiny dataset and aggressive patience, must stop well short.
+  EXPECT_LT(hist.epochs_run, 200u);
+}
+
+TEST(Autoencoder, WindowTooSmallRejected) {
+  AutoencoderConfig cfg = tiny_config();
+  cfg.window = 1;
+  tensor::Rng rng(7);
+  EXPECT_THROW(LstmAutoencoder(cfg, rng), Error);
+}
+
+}  // namespace
+}  // namespace evfl::anomaly

@@ -1,0 +1,158 @@
+#include "forecast/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "metrics/regression.hpp"
+#include "tensor/linalg.hpp"
+
+namespace evfl::forecast {
+namespace {
+
+/// Seasonal series with mild noise: s[t] = 10 + 4 sin(2πt/24) + ε.
+std::vector<float> seasonal_series(std::size_t n, float noise,
+                                   std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  std::vector<float> out;
+  out.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    out.push_back(10.0f + 4.0f * std::sin(2.0f * 3.14159f * t / 24.0f) +
+                  noise * rng.normal());
+  }
+  return out;
+}
+
+TEST(Linalg, CholeskyReconstructsSpd) {
+  // A = Lᵀ... build SPD as MᵀM + I.
+  tensor::Rng rng(1);
+  tensor::Matrix m(6, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  tensor::Matrix a = tensor::matmul_tn(m, m);
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 1.0f;
+
+  const tensor::Matrix l = tensor::cholesky(a);
+  const tensor::Matrix back = tensor::matmul_nt(l, l);
+  EXPECT_LT(tensor::max_abs_diff(a, back), 1e-3f);
+}
+
+TEST(Linalg, CholeskyRejectsNonSpd) {
+  tensor::Matrix bad = tensor::Matrix::from_rows({{1, 2}, {2, 1}});  // eig -1
+  EXPECT_THROW(tensor::cholesky(bad), Error);
+  tensor::Matrix rect(2, 3);
+  EXPECT_THROW(tensor::cholesky(rect), Error);
+}
+
+TEST(Linalg, SolveSpdRoundTrip) {
+  tensor::Rng rng(2);
+  tensor::Matrix m(8, 5);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  tensor::Matrix a = tensor::matmul_tn(m, m);
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) += 0.5f;
+  tensor::Matrix x_true(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) x_true(i, 0) = static_cast<float>(i) - 2;
+  const tensor::Matrix b = tensor::matmul(a, x_true);
+  const tensor::Matrix x = tensor::solve_spd(a, b);
+  EXPECT_LT(tensor::max_abs_diff(x, x_true), 1e-3f);
+}
+
+TEST(Linalg, LeastSquaresRecoversLinearModel) {
+  // y = 3 x1 - 2 x2 + 1.
+  tensor::Rng rng(3);
+  tensor::Matrix x(64, 3);
+  tensor::Matrix y(64, 1);
+  for (std::size_t r = 0; r < 64; ++r) {
+    const float x1 = rng.uniform(-1, 1), x2 = rng.uniform(-1, 1);
+    x(r, 0) = 1.0f;
+    x(r, 1) = x1;
+    x(r, 2) = x2;
+    y(r, 0) = 1.0f + 3.0f * x1 - 2.0f * x2;
+  }
+  const tensor::Matrix w = tensor::least_squares(x, y);
+  EXPECT_NEAR(w(0, 0), 1.0f, 1e-2f);
+  EXPECT_NEAR(w(1, 0), 3.0f, 1e-2f);
+  EXPECT_NEAR(w(2, 0), -2.0f, 1e-2f);
+}
+
+TEST(Baselines, PersistencePredictsPreviousValue) {
+  PersistenceBaseline b;
+  b.fit({1, 2, 3});
+  const auto pred = b.predict({1, 2, 3, 4, 5}, 3);
+  EXPECT_EQ(pred, (std::vector<float>{3, 4}));
+  EXPECT_THROW(b.predict({1}, 0), Error);
+}
+
+TEST(Baselines, SeasonalNaivePredictsSeasonBack) {
+  SeasonalNaiveBaseline b(3);
+  b.fit({1, 2, 3, 4});
+  const auto pred = b.predict({1, 2, 3, 4, 5, 6}, 4);
+  EXPECT_EQ(pred, (std::vector<float>{2, 3}));
+  EXPECT_THROW(b.predict({1, 2}, 1), Error);
+}
+
+TEST(Baselines, SeasonalNaiveNailsPurePeriodicSignal) {
+  const auto series = seasonal_series(400, 0.0f, 4);
+  SeasonalNaiveBaseline b(24);
+  b.fit({series.begin(), series.begin() + 300});
+  const auto pred = b.predict(series, 300);
+  const std::vector<float> actual(series.begin() + 300, series.end());
+  EXPECT_LT(metrics::mean_absolute_error(actual, pred), 1e-4);
+}
+
+TEST(Baselines, SeasonalArBeatsPersistenceOnNoisySeasonal) {
+  const auto series = seasonal_series(600, 0.5f, 5);
+  const std::size_t split = 480;
+  const std::vector<float> train(series.begin(), series.begin() + split);
+  const std::vector<float> actual(series.begin() + split, series.end());
+
+  SeasonalArBaseline ar(3, 2, 24);
+  ar.fit(train);
+  PersistenceBaseline persist;
+  persist.fit(train);
+
+  const double ar_mae =
+      metrics::mean_absolute_error(actual, ar.predict(series, split));
+  const double persist_mae =
+      metrics::mean_absolute_error(actual, persist.predict(series, split));
+  EXPECT_LT(ar_mae, persist_mae);
+}
+
+TEST(Baselines, SeasonalArValidation) {
+  SeasonalArBaseline ar(2, 1, 24);
+  EXPECT_THROW(ar.predict({1, 2, 3}, 1), Error);  // before fit
+  std::vector<float> tiny(10, 1.0f);
+  EXPECT_THROW(ar.fit(tiny), Error);
+  EXPECT_THROW(SeasonalArBaseline(0, 0, 24), Error);
+}
+
+TEST(Baselines, MlpLearnsSeasonalPattern) {
+  const auto series = seasonal_series(500, 0.1f, 6);
+  const std::size_t split = 400;
+  MlpBaseline mlp(24, 16, 20, 7);
+  mlp.fit({series.begin(), series.begin() + split});
+  const auto pred = mlp.predict(series, split);
+  const std::vector<float> actual(series.begin() + split, series.end());
+  const metrics::RegressionMetrics m =
+      metrics::evaluate_regression(actual, pred);
+  EXPECT_GT(m.r2, 0.8);
+}
+
+TEST(Baselines, MlpValidation) {
+  MlpBaseline mlp(8, 8, 2, 8);
+  EXPECT_THROW(mlp.predict({1, 2, 3}, 1), Error);  // before fit
+  std::vector<float> tiny(5, 1.0f);
+  EXPECT_THROW(mlp.fit(tiny), Error);
+}
+
+TEST(Baselines, FactoryProducesAllFour) {
+  const auto all = make_all_baselines(24);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name(), "persistence");
+  EXPECT_EQ(all[1]->name(), "seasonal-naive");
+  EXPECT_EQ(all[2]->name(), "seasonal-AR(3,2x24)");
+  EXPECT_EQ(all[3]->name(), "mlp");
+}
+
+}  // namespace
+}  // namespace evfl::forecast

@@ -1,0 +1,78 @@
+#include "data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace evfl::data {
+namespace {
+
+TEST(Csv, SeriesRoundTripWithLabels) {
+  TimeSeries s;
+  s.name = "zone-x";
+  s.values = {1.5f, 2.25f, -3.0f};
+  s.labels = {0, 1, 0};
+
+  std::stringstream buf;
+  write_series_csv(s, buf);
+  const TimeSeries back = read_series_csv(buf);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_FLOAT_EQ(back.values[1], 2.25f);
+  EXPECT_EQ(back.labels[1], 1);
+  EXPECT_EQ(back.labels[2], 0);
+}
+
+TEST(Csv, SeriesRoundTripWithoutLabels) {
+  TimeSeries s;
+  s.values = {1, 2, 3};
+  std::stringstream buf;
+  write_series_csv(s, buf);
+  const TimeSeries back = read_series_csv(buf);
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_FALSE(back.has_labels());
+}
+
+TEST(Csv, RejectsEmptyAndMalformed) {
+  {
+    std::stringstream buf("");
+    EXPECT_THROW(read_series_csv(buf), FormatError);
+  }
+  {
+    std::stringstream buf("wrong,header\n1,2\n");
+    EXPECT_THROW(read_series_csv(buf), FormatError);
+  }
+  {
+    std::stringstream buf("index,value\n0,notanumber\n");
+    EXPECT_THROW(read_series_csv(buf), FormatError);
+  }
+  {
+    std::stringstream buf("index,value,label\n0,1.0\n");
+    EXPECT_THROW(read_series_csv(buf), FormatError);
+  }
+}
+
+TEST(Csv, FileRoundTrip) {
+  TimeSeries s;
+  s.values = {10, 20};
+  s.labels = {1, 0};
+  const std::string path = ::testing::TempDir() + "/evfl_test_series.csv";
+  write_series_csv(s, path);
+  const TimeSeries back = read_series_csv(path);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.labels[0], 1);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_series_csv("/nonexistent/nope.csv"), Error);
+}
+
+TEST(Csv, ColumnsWriterValidates) {
+  const std::string path = ::testing::TempDir() + "/evfl_test_cols.csv";
+  EXPECT_NO_THROW(write_columns_csv({"a", "b"}, {{1, 2}, {3, 4}}, path));
+  EXPECT_THROW(write_columns_csv({"a"}, {{1}, {2}}, path), Error);
+  EXPECT_THROW(write_columns_csv({"a", "b"}, {{1, 2}, {3}}, path), Error);
+  EXPECT_THROW(write_columns_csv({}, {}, path), Error);
+}
+
+}  // namespace
+}  // namespace evfl::data

@@ -1,0 +1,121 @@
+#include "datagen/shenzhen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/timeseries.hpp"
+
+namespace evfl::datagen {
+namespace {
+
+TEST(ZoneProfile, PresetsAreDistinct) {
+  const ZoneProfile a = zone_102(), b = zone_105(), c = zone_108();
+  EXPECT_EQ(a.zone_id, "102");
+  EXPECT_EQ(b.zone_id, "105");
+  EXPECT_EQ(c.zone_id, "108");
+  // Zone 108 must be the "hard" zone: most natural spikes.
+  EXPECT_GT(c.spike_prob, a.spike_prob);
+  EXPECT_GT(c.spike_prob, b.spike_prob);
+  EXPECT_GT(c.noise_std, a.noise_std);
+}
+
+TEST(ZoneProfile, LookupByIdAndUnknownThrows) {
+  EXPECT_EQ(zone_by_id("105").zone_id, "105");
+  EXPECT_THROW(zone_by_id("999"), Error);
+}
+
+TEST(ExpectedDemand, NonNegativeEverywhere) {
+  const ZoneProfile p = zone_102();
+  for (std::size_t h = 0; h < 24 * 14; ++h) {
+    EXPECT_GE(expected_demand(p, h, 3, 4344), 0.0f);
+  }
+}
+
+TEST(ExpectedDemand, DailyDoublePeakShape) {
+  const ZoneProfile p = zone_102();
+  // Compare a peak-hour to the overnight trough on the same (week)day.
+  const float evening = expected_demand(p, 19, 0, 4344);  // Monday 7pm-ish
+  const float night = expected_demand(p, 3, 0, 4344);     // Monday 3am
+  EXPECT_GT(evening, night + 10.0f);
+}
+
+TEST(ExpectedDemand, WeekendEffect) {
+  const ZoneProfile business = zone_105();  // weekend_factor < 1
+  // start_weekday=0 (Monday): day 5 = Saturday.
+  const float weekday = expected_demand(business, 12, 0, 4344);
+  const float weekend = expected_demand(business, 5 * 24 + 12, 0, 4344);
+  EXPECT_GT(weekday, weekend);
+}
+
+TEST(GenerateZone, LengthLabelsAndPositivity) {
+  GeneratorConfig cfg;
+  cfg.hours = 500;
+  tensor::Rng rng(1);
+  const data::TimeSeries s = generate_zone(zone_102(), cfg, rng);
+  EXPECT_EQ(s.size(), 500u);
+  EXPECT_EQ(s.labels.size(), 500u);
+  EXPECT_EQ(s.anomaly_count(), 0u);
+  for (float v : s.values) EXPECT_GE(v, 0.0f);
+}
+
+TEST(GenerateZone, Deterministic) {
+  GeneratorConfig cfg;
+  cfg.hours = 200;
+  tensor::Rng a(9), b(9);
+  const auto s1 = generate_zone(zone_105(), cfg, a);
+  const auto s2 = generate_zone(zone_105(), cfg, b);
+  EXPECT_EQ(s1.values, s2.values);
+}
+
+TEST(GenerateZone, DailyAutocorrelation) {
+  // A 24 h-seasonal series must correlate strongly with itself at lag 24.
+  GeneratorConfig cfg;
+  cfg.hours = 2000;
+  tensor::Rng rng(2);
+  const auto s = generate_zone(zone_102(), cfg, rng);
+  const data::SeriesStats st = data::compute_stats(s.values);
+  double acc = 0.0;
+  for (std::size_t i = 24; i < s.size(); ++i) {
+    acc += (s.values[i] - st.mean) * (s.values[i - 24] - st.mean);
+  }
+  const double corr =
+      acc / ((s.size() - 24) * static_cast<double>(st.stddev) * st.stddev);
+  EXPECT_GT(corr, 0.5);
+}
+
+TEST(GenerateClients, PaperShape) {
+  GeneratorConfig cfg;  // defaults: 4,344 hours
+  const auto clients = generate_clients(cfg);
+  ASSERT_EQ(clients.size(), 3u);
+  for (const auto& c : clients) {
+    EXPECT_EQ(c.size(), 4344u);
+  }
+  EXPECT_EQ(clients[0].name, "zone-102");
+  EXPECT_EQ(clients[2].name, "zone-108");
+  // Independent noise: series differ.
+  EXPECT_NE(clients[0].values, clients[1].values);
+}
+
+TEST(GenerateClients, Zone108IsSpikier) {
+  GeneratorConfig cfg;
+  const auto clients = generate_clients(cfg);
+  // Count extreme upward deviations (> mean + 3 std of zone 102's scale).
+  auto spike_count = [](const data::TimeSeries& s) {
+    const data::SeriesStats st = data::compute_stats(s.values);
+    std::size_t n = 0;
+    for (float v : s.values) n += (v > st.mean + 2.5f * st.stddev);
+    return n;
+  };
+  EXPECT_GT(spike_count(clients[2]), spike_count(clients[1]));
+}
+
+TEST(GenerateZone, RejectsZeroHours) {
+  GeneratorConfig cfg;
+  cfg.hours = 0;
+  tensor::Rng rng(1);
+  EXPECT_THROW(generate_zone(zone_102(), cfg, rng), Error);
+}
+
+}  // namespace
+}  // namespace evfl::datagen

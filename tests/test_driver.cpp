@@ -1,0 +1,154 @@
+#include "fl/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/dense.hpp"
+
+namespace evfl::fl {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor3;
+
+ModelFactory linear_factory() {
+  return [](Rng& rng) {
+    nn::Sequential m;
+    m.emplace<nn::Dense>(1, nn::Activation::kLinear, rng, 1);
+    return m;
+  };
+}
+
+/// Heterogeneous linear clients: slopes 1, 2, 3 — FedAvg should land the
+/// global slope near the (sample-weighted) middle.
+std::vector<std::unique_ptr<Client>> make_clients(std::size_t n_per_client,
+                                                  std::uint64_t seed) {
+  std::vector<std::unique_ptr<Client>> clients;
+  Rng root(seed);
+  for (int c = 0; c < 3; ++c) {
+    Tensor3 x(n_per_client, 1, 1), y(n_per_client, 1, 1);
+    Rng data_rng = root.split();
+    for (std::size_t i = 0; i < n_per_client; ++i) {
+      const float xi = data_rng.uniform(-1.0f, 1.0f);
+      x(i, 0, 0) = xi;
+      y(i, 0, 0) = static_cast<float>(c + 1) * xi;
+    }
+    ClientConfig cfg;
+    cfg.epochs_per_round = 10;
+    cfg.learning_rate = 0.05f;
+    cfg.batch_size = 16;
+    clients.push_back(std::make_unique<Client>(c, x, y, linear_factory(), cfg,
+                                               root.split()));
+  }
+  return clients;
+}
+
+TEST(SyncDriver, RunsRoundsAndConverges) {
+  auto clients = make_clients(64, 1);
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  SyncDriver driver(server, clients, net);
+  const FederatedRunResult result = driver.run(4);
+
+  ASSERT_EQ(result.rounds.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(result.rounds[r].round, r);
+    EXPECT_EQ(result.rounds[r].updates_received, 3u);
+    EXPECT_GT(result.rounds[r].max_client_seconds, 0.0);
+  }
+  // Global slope should approach the average of slopes {1,2,3} = 2.
+  EXPECT_NEAR(result.final_weights[0], 2.0f, 0.4f);
+  EXPECT_GT(result.simulated_parallel_seconds, 0.0);
+  EXPECT_LE(result.simulated_parallel_seconds, result.total_seconds + 1e-6);
+}
+
+TEST(SyncDriver, EveryExchangeCrossesTheWire) {
+  auto clients = make_clients(16, 2);
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  SyncDriver driver(server, clients, net);
+  driver.run(2);
+  const NetworkStats st = net.stats();
+  // 2 rounds x 3 clients x (broadcast + upload) = 12 messages.
+  EXPECT_EQ(st.messages_sent, 12u);
+  // Each message: 40-byte header + 2 floats.
+  EXPECT_EQ(st.bytes_sent, 12u * (40u + 2u * sizeof(float)));
+}
+
+TEST(SyncDriver, WeightDeltaShrinksAcrossRounds) {
+  auto clients = make_clients(64, 3);
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  SyncDriver driver(server, clients, net);
+  const FederatedRunResult result = driver.run(6);
+  // Convergence: last-round movement smaller than first-round movement.
+  EXPECT_LT(result.rounds.back().weight_delta,
+            result.rounds.front().weight_delta);
+}
+
+TEST(SyncDriver, ToleratesDroppedMessages) {
+  auto clients = make_clients(16, 4);
+  Server server({0.0f, 0.0f});
+  NetworkConfig net_cfg;
+  net_cfg.drop_probability = 0.4;
+  net_cfg.drop_seed = 5;
+  InMemoryNetwork net(net_cfg);
+  SyncDriver driver(server, clients, net);
+  const FederatedRunResult result = driver.run(5);
+  ASSERT_EQ(result.rounds.size(), 5u);
+  // Some rounds lost updates, none crashed.
+  std::size_t total_updates = 0;
+  for (const auto& r : result.rounds) {
+    EXPECT_LE(r.updates_received, 3u);
+    total_updates += r.updates_received;
+  }
+  EXPECT_LT(total_updates, 15u);  // drops actually happened
+  EXPECT_GT(net.stats().messages_dropped, 0u);
+}
+
+TEST(ThreadedDriver, MatchesProtocolAndConverges) {
+  auto clients = make_clients(64, 6);
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  ThreadedDriver driver(server, clients, net);
+  const FederatedRunResult result = driver.run(4);
+  ASSERT_EQ(result.rounds.size(), 4u);
+  for (const auto& r : result.rounds) {
+    EXPECT_EQ(r.updates_received, 3u);
+  }
+  EXPECT_NEAR(result.final_weights[0], 2.0f, 0.4f);
+}
+
+TEST(ThreadedDriver, SkipsStragglersPastDeadline) {
+  auto clients = make_clients(512, 7);  // slower training
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  ThreadedDriver driver(server, clients, net);
+  // Absurdly short collect deadline: rounds proceed with whatever arrived.
+  const FederatedRunResult result = driver.run(2, 1.0);
+  ASSERT_EQ(result.rounds.size(), 2u);
+  for (const auto& r : result.rounds) {
+    EXPECT_LE(r.updates_received, 3u);
+  }
+}
+
+TEST(Drivers, RequireClients) {
+  std::vector<std::unique_ptr<Client>> none;
+  Server server({0.0f});
+  InMemoryNetwork net;
+  EXPECT_THROW(SyncDriver(server, none, net), Error);
+  EXPECT_THROW(ThreadedDriver(server, none, net), Error);
+}
+
+TEST(SyncDriver, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto clients = make_clients(32, 9);
+    Server server({0.0f, 0.0f});
+    InMemoryNetwork net;
+    SyncDriver driver(server, clients, net);
+    return driver.run(3).final_weights;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace evfl::fl

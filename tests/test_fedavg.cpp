@@ -1,0 +1,100 @@
+#include "fl/fedavg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fl/weights.hpp"
+
+namespace evfl::fl {
+namespace {
+
+WeightUpdate make_update(int id, std::uint64_t samples,
+                         std::vector<float> weights) {
+  WeightUpdate u;
+  u.client_id = id;
+  u.sample_count = samples;
+  u.weights = std::move(weights);
+  return u;
+}
+
+TEST(FedAvg, EqualSamplesIsPlainMean) {
+  const std::vector<WeightUpdate> updates = {
+      make_update(0, 100, {1.0f, 2.0f}),
+      make_update(1, 100, {3.0f, 6.0f}),
+  };
+  const auto avg = fed_avg(updates);
+  EXPECT_FLOAT_EQ(avg[0], 2.0f);
+  EXPECT_FLOAT_EQ(avg[1], 4.0f);
+}
+
+TEST(FedAvg, SampleWeighting) {
+  const std::vector<WeightUpdate> updates = {
+      make_update(0, 300, {0.0f}),
+      make_update(1, 100, {4.0f}),
+  };
+  const auto avg = fed_avg(updates);
+  EXPECT_FLOAT_EQ(avg[0], 1.0f);  // (300*0 + 100*4) / 400
+}
+
+TEST(FedAvg, UnweightedIgnoresSampleCounts) {
+  const std::vector<WeightUpdate> updates = {
+      make_update(0, 300, {0.0f}),
+      make_update(1, 100, {4.0f}),
+  };
+  FedAvgConfig cfg;
+  cfg.weighted_by_samples = false;
+  const auto avg = fed_avg(updates, cfg);
+  EXPECT_FLOAT_EQ(avg[0], 2.0f);
+}
+
+TEST(FedAvg, SingleClientIsIdentity) {
+  const std::vector<WeightUpdate> updates = {make_update(0, 5, {1, 2, 3})};
+  EXPECT_EQ(fed_avg(updates), (std::vector<float>{1, 2, 3}));
+}
+
+TEST(FedAvg, DimensionMismatchThrows) {
+  const std::vector<WeightUpdate> updates = {
+      make_update(0, 1, {1.0f}),
+      make_update(1, 1, {1.0f, 2.0f}),
+  };
+  EXPECT_THROW(fed_avg(updates), Error);
+}
+
+TEST(FedAvg, EmptyInputsThrow) {
+  EXPECT_THROW(fed_avg({}), Error);
+  EXPECT_THROW(fed_avg({make_update(0, 1, {})}), Error);
+}
+
+TEST(FedAvg, ZeroSamplesWithWeightingThrows) {
+  const std::vector<WeightUpdate> updates = {make_update(0, 0, {1.0f})};
+  EXPECT_THROW(fed_avg(updates), Error);
+  FedAvgConfig cfg;
+  cfg.weighted_by_samples = false;
+  EXPECT_NO_THROW(fed_avg(updates, cfg));
+}
+
+TEST(FedAvg, AverageStaysWithinHull) {
+  const std::vector<WeightUpdate> updates = {
+      make_update(0, 10, {-1.0f, 5.0f}),
+      make_update(1, 20, {2.0f, 1.0f}),
+      make_update(2, 30, {0.5f, 3.0f}),
+  };
+  const auto avg = fed_avg(updates);
+  EXPECT_GE(avg[0], -1.0f);
+  EXPECT_LE(avg[0], 2.0f);
+  EXPECT_GE(avg[1], 1.0f);
+  EXPECT_LE(avg[1], 5.0f);
+}
+
+TEST(WeightsHelpers, AxpyAndDistance) {
+  std::vector<float> a = {1.0f, 2.0f};
+  axpy(a, 2.0, {0.5f, 0.5f});
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 3.0f);
+  EXPECT_DOUBLE_EQ(l2_distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_THROW(axpy(a, 1.0, {1.0f}), Error);
+  EXPECT_THROW(l2_distance({1.0f}, {1.0f, 2.0f}), Error);
+}
+
+}  // namespace
+}  // namespace evfl::fl

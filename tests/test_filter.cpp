@@ -1,0 +1,239 @@
+#include "anomaly/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evfl::anomaly {
+namespace {
+
+// ---- merge_segments ---------------------------------------------------------
+
+TEST(MergeSegments, EmptyAndAllClean) {
+  EXPECT_TRUE(merge_segments({}, 2).empty());
+  EXPECT_TRUE(merge_segments({0, 0, 0, 0}, 2).empty());
+}
+
+TEST(MergeSegments, SingleRun) {
+  const auto segs = merge_segments({0, 1, 1, 1, 0}, 2);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].begin, 1u);
+  EXPECT_EQ(segs[0].end, 3u);
+}
+
+TEST(MergeSegments, GapWithinToleranceMerges) {
+  // Runs at {1} and {4} separated by two normal points (2, 3): gap = 2.
+  const auto segs = merge_segments({0, 1, 0, 0, 1, 0}, 2);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].begin, 1u);
+  EXPECT_EQ(segs[0].end, 4u);
+}
+
+TEST(MergeSegments, GapBeyondToleranceSplits) {
+  // Gap of three normal points (2, 3, 4) > tolerance 2.
+  const auto segs = merge_segments({0, 1, 0, 0, 0, 1, 0}, 2);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].begin, 1u);
+  EXPECT_EQ(segs[0].end, 1u);
+  EXPECT_EQ(segs[1].begin, 5u);
+  EXPECT_EQ(segs[1].end, 5u);
+}
+
+TEST(MergeSegments, ZeroToleranceOnlyMergesAdjacent) {
+  const auto segs = merge_segments({1, 1, 0, 1}, 0);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].end, 1u);
+  EXPECT_EQ(segs[1].begin, 3u);
+}
+
+TEST(MergeSegments, EdgesHandled) {
+  const auto segs = merge_segments({1, 0, 0, 0, 0, 1}, 1);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].begin, 0u);
+  EXPECT_EQ(segs[1].end, 5u);
+}
+
+/// Property sweep: random flag vectors, structural invariants of the merge.
+class MergeSegmentsProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(MergeSegmentsProperty, Invariants) {
+  const auto [seed, gap_tolerance] = GetParam();
+  tensor::Rng rng(seed);
+  std::vector<std::uint8_t> flags(200);
+  for (auto& f : flags) f = rng.bernoulli(0.15) ? 1 : 0;
+
+  const auto segments = merge_segments(flags, gap_tolerance);
+
+  // 1. Segments are sorted, non-overlapping, and separated by gaps larger
+  //    than the tolerance.
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_LE(segments[i].begin, segments[i].end);
+    EXPECT_LT(segments[i].end, flags.size());
+    if (i > 0) {
+      EXPECT_GT(segments[i].begin, segments[i - 1].end + gap_tolerance + 1);
+    }
+    // 2. Segment endpoints are genuinely anomalous (no gap padding at ends).
+    EXPECT_EQ(flags[segments[i].begin], 1);
+    EXPECT_EQ(flags[segments[i].end], 1);
+  }
+
+  // 3. Every flagged point is covered by exactly one segment.
+  for (std::size_t p = 0; p < flags.size(); ++p) {
+    std::size_t covering = 0;
+    for (const Segment& s : segments) {
+      covering += (p >= s.begin && p <= s.end);
+    }
+    if (flags[p]) {
+      EXPECT_EQ(covering, 1u) << "point " << p;
+    } else {
+      EXPECT_LE(covering, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomFlags, MergeSegmentsProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                       ::testing::Values(0u, 1u, 2u, 5u)));
+
+// ---- interpolate_segments ---------------------------------------------------
+
+TEST(Interpolate, LinearBetweenBoundaries) {
+  std::vector<float> v = {0, 100, 100, 100, 4};
+  interpolate_segments(v, {{1, 3}});
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+  EXPECT_FLOAT_EQ(v[1], 1.0f);
+  EXPECT_FLOAT_EQ(v[2], 2.0f);
+  EXPECT_FLOAT_EQ(v[3], 3.0f);
+  EXPECT_FLOAT_EQ(v[4], 4.0f);
+}
+
+TEST(Interpolate, LeadingSegmentHoldsRightBoundary) {
+  std::vector<float> v = {50, 60, 7, 8};
+  interpolate_segments(v, {{0, 1}});
+  EXPECT_FLOAT_EQ(v[0], 7.0f);
+  EXPECT_FLOAT_EQ(v[1], 7.0f);
+}
+
+TEST(Interpolate, TrailingSegmentHoldsLeftBoundary) {
+  std::vector<float> v = {1, 2, 90, 95};
+  interpolate_segments(v, {{2, 3}});
+  EXPECT_FLOAT_EQ(v[2], 2.0f);
+  EXPECT_FLOAT_EQ(v[3], 2.0f);
+}
+
+TEST(Interpolate, WholeSeriesAnomalousLeftUntouched) {
+  std::vector<float> v = {5, 6, 7};
+  interpolate_segments(v, {{0, 2}});
+  EXPECT_FLOAT_EQ(v[0], 5.0f);
+  EXPECT_FLOAT_EQ(v[2], 7.0f);
+}
+
+TEST(Interpolate, MultipleSegments) {
+  std::vector<float> v = {0, 99, 2, 99, 99, 5};
+  interpolate_segments(v, {{1, 1}, {3, 4}});
+  EXPECT_FLOAT_EQ(v[1], 1.0f);
+  EXPECT_FLOAT_EQ(v[3], 3.0f);
+  EXPECT_FLOAT_EQ(v[4], 4.0f);
+}
+
+TEST(Interpolate, OutOfRangeSegmentThrows) {
+  std::vector<float> v = {1, 2, 3};
+  EXPECT_THROW(interpolate_segments(v, {{1, 5}}), Error);
+}
+
+// ---- filter lifecycle -------------------------------------------------------
+
+TEST(Filter, UseBeforeFitThrows) {
+  FilterConfig cfg;
+  cfg.autoencoder.window = 4;
+  tensor::Rng rng(1);
+  EvChargingAnomalyFilter filter(cfg, rng);
+  data::TimeSeries s;
+  s.values.assign(50, 1.0f);
+  EXPECT_FALSE(filter.fitted());
+  EXPECT_THROW(filter.detect(s), Error);
+  EXPECT_THROW(filter.filter(s), Error);
+  EXPECT_THROW(filter.score(s), Error);
+  EXPECT_THROW(filter.set_threshold_rule(ThresholdRule{}), Error);
+}
+
+TEST(Filter, FitRejectsShortSeries) {
+  FilterConfig cfg;
+  cfg.autoencoder.window = 24;
+  tensor::Rng rng(2);
+  EvChargingAnomalyFilter filter(cfg, rng);
+  data::TimeSeries tiny;
+  tiny.values.assign(10, 1.0f);
+  EXPECT_THROW(filter.fit(tiny, rng), Error);
+}
+
+TEST(Filter, DetectsObviousSpikesOnSyntheticWave) {
+  // Tiny AE on a clean sine-like wave; spikes of 5x amplitude must score
+  // far above the 98th-percentile threshold.
+  FilterConfig cfg;
+  cfg.autoencoder.window = 8;
+  cfg.autoencoder.encoder_units = 12;
+  cfg.autoencoder.latent_units = 6;
+  cfg.autoencoder.max_epochs = 40;
+  cfg.autoencoder.dropout = 0.0f;
+
+  data::TimeSeries train;
+  for (int i = 0; i < 400; ++i) {
+    train.values.push_back(10.0f + 5.0f * std::sin(i * 0.26f));
+  }
+  tensor::Rng rng(3);
+  EvChargingAnomalyFilter filter(cfg, rng);
+  filter.fit(train, rng);
+  EXPECT_TRUE(filter.fitted());
+  EXPECT_GT(filter.threshold(), 0.0f);
+
+  data::TimeSeries test;
+  test.values = train.values;
+  test.init_clean_labels();
+  for (std::size_t i : {100u, 101u, 102u, 250u, 251u}) {
+    test.values[i] *= 5.0f;
+    test.labels[i] = 1;
+  }
+
+  const FilterResult result = filter.filter(test);
+  ASSERT_EQ(result.flags.size(), test.size());
+
+  // Every injected spike must be flagged...
+  for (std::size_t i : {100u, 101u, 102u, 250u, 251u}) {
+    EXPECT_EQ(result.flags[i], 1) << "missed spike at " << i;
+  }
+  // ...and the filtered series must pull those points back near the wave.
+  for (std::size_t i : {101u, 250u}) {
+    EXPECT_LT(std::abs(result.filtered.values[i] - train.values[i]), 6.0f);
+  }
+  // Segments were recorded and the filtered labels read clean.
+  EXPECT_GE(result.segments.size(), 2u);
+  EXPECT_EQ(result.filtered.anomaly_count(), 0u);
+}
+
+TEST(Filter, ThresholdRuleSwapWithoutRetrain) {
+  FilterConfig cfg;
+  cfg.autoencoder.window = 6;
+  cfg.autoencoder.encoder_units = 8;
+  cfg.autoencoder.latent_units = 4;
+  cfg.autoencoder.max_epochs = 10;
+
+  data::TimeSeries train;
+  for (int i = 0; i < 200; ++i) {
+    train.values.push_back(std::sin(i * 0.3f));
+  }
+  tensor::Rng rng(4);
+  EvChargingAnomalyFilter filter(cfg, rng);
+  filter.fit(train, rng);
+
+  const float pct_threshold = filter.threshold();
+  filter.set_threshold_rule(ThresholdRule{ThresholdKind::kMeanStd, 3.0});
+  const float msd_threshold = filter.threshold();
+  // Different rules generally give different cutoffs; both positive.
+  EXPECT_GT(msd_threshold, 0.0f);
+  EXPECT_NE(pct_threshold, msd_threshold);
+}
+
+}  // namespace
+}  // namespace evfl::anomaly

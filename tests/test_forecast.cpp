@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forecast/centralized.hpp"
+#include "forecast/model.hpp"
+
+namespace evfl::forecast {
+namespace {
+
+using tensor::Rng;
+
+TEST(Forecaster, PaperArchitecture) {
+  ForecasterConfig cfg;  // defaults = paper hyperparameters
+  Rng rng(1);
+  nn::Sequential model = make_forecaster(cfg, rng);
+  EXPECT_EQ(model.layer_count(), 3u);
+  EXPECT_EQ(model.layer(0).name(), "Lstm(50, last)");
+  EXPECT_EQ(model.layer(1).name(), "Dense(10, relu)");
+  EXPECT_EQ(model.layer(2).name(), "Dense(1, linear)");
+  EXPECT_EQ(model.weight_count(), forecaster_param_count(cfg));
+}
+
+TEST(Forecaster, ParamCountFormula) {
+  ForecasterConfig cfg;
+  // LSTM(1->50): 4*50*(1+50) + 4*50 = 10400; Dense 50->10: 510; 10->1: 11.
+  EXPECT_EQ(forecaster_param_count(cfg), 10400u + 510u + 11u);
+}
+
+TEST(Forecaster, EagerBuildAllowsImmediateWeightExchange) {
+  ForecasterConfig cfg;
+  cfg.lstm_units = 8;
+  cfg.dense_units = 4;
+  Rng rng(2);
+  nn::Sequential a = make_forecaster(cfg, rng);
+  Rng rng2(3);
+  nn::Sequential b = make_forecaster(cfg, rng2);
+  // No forward pass has happened; weights must still be exchangeable.
+  b.set_weights(a.get_weights());
+  EXPECT_EQ(a.get_weights(), b.get_weights());
+}
+
+TEST(Forecaster, LearnsSineOneStepAhead) {
+  ForecasterConfig cfg;
+  cfg.lstm_units = 12;
+  cfg.dense_units = 6;
+  cfg.sequence_length = 12;
+
+  std::vector<float> wave;
+  for (int i = 0; i < 600; ++i) {
+    wave.push_back(0.5f + 0.4f * std::sin(i * 2.0f * 3.14159f / 12.0f));
+  }
+  const data::SequenceDataset ds = data::make_forecast_sequences(wave, 12);
+
+  Rng rng(4);
+  nn::Sequential model = make_forecaster(cfg, rng);
+  nn::MseLoss loss;
+  nn::Adam adam(1e-2f);
+  nn::Trainer trainer(model, loss, adam, rng);
+  nn::FitConfig fit;
+  fit.epochs = 20;
+  fit.batch_size = 32;
+  const nn::FitHistory hist = trainer.fit(ds.x, ds.y, fit);
+  // A periodic signal with period == lookback must be learnable.
+  EXPECT_LT(hist.train_loss.back(), 0.002f);
+}
+
+TEST(PoolDatasets, ConcatenatesInOrder) {
+  data::SequenceDataset a, b;
+  a.lookback = b.lookback = 2;
+  a.x = tensor::Tensor3(2, 2, 1);
+  a.y = tensor::Tensor3(2, 1, 1);
+  a.x(0, 0, 0) = 1.0f;
+  a.y(1, 0, 0) = 7.0f;
+  b.x = tensor::Tensor3(3, 2, 1);
+  b.y = tensor::Tensor3(3, 1, 1);
+  b.x(2, 1, 0) = 9.0f;
+
+  const data::SequenceDataset pooled = pool_datasets({a, b});
+  EXPECT_EQ(pooled.x.batch(), 5u);
+  EXPECT_EQ(pooled.x(0, 0, 0), 1.0f);
+  EXPECT_EQ(pooled.y(1, 0, 0), 7.0f);
+  EXPECT_EQ(pooled.x(4, 1, 0), 9.0f);
+}
+
+TEST(PoolDatasets, RejectsIncompatibleShapes) {
+  data::SequenceDataset a, b;
+  a.x = tensor::Tensor3(2, 2, 1);
+  a.y = tensor::Tensor3(2, 1, 1);
+  b.x = tensor::Tensor3(2, 3, 1);  // different lookback
+  b.y = tensor::Tensor3(2, 1, 1);
+  EXPECT_THROW(pool_datasets({a, b}), Error);
+  EXPECT_THROW(pool_datasets({}), Error);
+}
+
+TEST(Centralized, TrainsOnPooledClients) {
+  // Two clients with the same underlying sine process.
+  std::vector<float> wave;
+  for (int i = 0; i < 300; ++i) {
+    wave.push_back(0.5f + 0.3f * std::sin(i * 0.5f));
+  }
+  const data::SequenceDataset ds = data::make_forecast_sequences(wave, 8);
+
+  CentralizedConfig cfg;
+  cfg.model.lstm_units = 8;
+  cfg.model.dense_units = 4;
+  cfg.model.sequence_length = 8;
+  cfg.epochs = 8;
+
+  Rng rng(5);
+  const CentralizedResult result = train_centralized({ds, ds}, cfg, rng);
+  EXPECT_EQ(result.history.epochs_run, 8u);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_LT(result.history.train_loss.back(),
+            result.history.train_loss.front());
+}
+
+}  // namespace
+}  // namespace evfl::forecast

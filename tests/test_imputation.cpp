@@ -1,0 +1,147 @@
+#include "anomaly/imputation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace evfl::anomaly {
+namespace {
+
+/// Flags with anomalies at the given indices.
+std::vector<std::uint8_t> flags_at(std::size_t n,
+                                   std::initializer_list<std::size_t> idx) {
+  std::vector<std::uint8_t> f(n, 0);
+  for (std::size_t i : idx) f[i] = 1;
+  return f;
+}
+
+TEST(Imputation, Names) {
+  EXPECT_EQ(to_string(ImputationMethod::kLinear), "linear");
+  EXPECT_EQ(to_string(ImputationMethod::kSeasonalNaive), "seasonal-naive");
+  EXPECT_EQ(to_string(ImputationMethod::kSpline), "spline");
+  EXPECT_EQ(to_string(ImputationMethod::kModelReconstruction),
+            "model-reconstruction");
+}
+
+TEST(Imputation, LinearMatchesInterpolateSegments) {
+  std::vector<float> a = {0, 99, 99, 3, 4};
+  std::vector<float> b = a;
+  const std::vector<Segment> segs = {{1, 2}};
+  const auto flags = flags_at(5, {1, 2});
+
+  impute_segments(a, segs, flags, {ImputationMethod::kLinear, 24});
+  interpolate_segments(b, segs);
+  EXPECT_EQ(a, b);
+  EXPECT_FLOAT_EQ(a[1], 1.0f);
+  EXPECT_FLOAT_EQ(a[2], 2.0f);
+}
+
+TEST(Imputation, SeasonalNaiveUsesValueOneSeasonBack) {
+  // Season = 4; point 6 anomalous -> take point 2's value.
+  std::vector<float> v = {10, 11, 12, 13, 10, 11, 99, 13};
+  const auto flags = flags_at(8, {6});
+  impute_segments(v, {{6, 6}}, flags, {ImputationMethod::kSeasonalNaive, 4});
+  EXPECT_FLOAT_EQ(v[6], 12.0f);
+}
+
+TEST(Imputation, SeasonalNaiveSkipsAnomalousReference) {
+  // Season = 3; point 7 anomalous, point 4 (one season back) also anomalous
+  // -> walk back to point 1.
+  std::vector<float> v = {0, 5, 0, 0, 99, 0, 0, 99, 0};
+  const auto flags = flags_at(9, {4, 7});
+  impute_segments(v, {{7, 7}}, flags, {ImputationMethod::kSeasonalNaive, 3});
+  EXPECT_FLOAT_EQ(v[7], 5.0f);
+}
+
+TEST(Imputation, SeasonalNaiveFallsBackToLinearAtSeriesStart) {
+  // Anomaly at index 1 with season 24: no seasonal reference exists.
+  std::vector<float> v = {2, 99, 4};
+  const auto flags = flags_at(3, {1});
+  impute_segments(v, {{1, 1}}, flags, {ImputationMethod::kSeasonalNaive, 24});
+  EXPECT_FLOAT_EQ(v[1], 3.0f);  // linear fallback
+}
+
+TEST(Imputation, CatmullRomEndpointsAndMidpoint) {
+  EXPECT_FLOAT_EQ(catmull_rom(0, 1, 2, 3, 0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(catmull_rom(0, 1, 2, 3, 1.0f), 2.0f);
+  // On a straight line the spline stays on the line.
+  EXPECT_FLOAT_EQ(catmull_rom(0, 1, 2, 3, 0.5f), 1.5f);
+}
+
+TEST(Imputation, SplineOnLinearDataMatchesLinear) {
+  std::vector<float> v = {0, 1, 99, 99, 4, 5};
+  const auto flags = flags_at(6, {2, 3});
+  impute_segments(v, {{2, 3}}, flags, {ImputationMethod::kSpline, 24});
+  EXPECT_NEAR(v[2], 2.0f, 1e-5f);
+  EXPECT_NEAR(v[3], 3.0f, 1e-5f);
+}
+
+TEST(Imputation, SplineFollowsCurvatureBetterThanLinear) {
+  // Quadratic series y = x^2 with a hole at x = 3..4.
+  std::vector<float> v;
+  for (int x = 0; x <= 7; ++x) v.push_back(static_cast<float>(x * x));
+  std::vector<float> spline = v, linear = v;
+  spline[3] = spline[4] = linear[3] = linear[4] = 999.0f;
+  const auto flags = flags_at(8, {3, 4});
+
+  impute_segments(spline, {{3, 4}}, flags, {ImputationMethod::kSpline, 24});
+  impute_segments(linear, {{3, 4}}, flags, {ImputationMethod::kLinear, 24});
+
+  const float spline_err =
+      std::abs(spline[3] - 9.0f) + std::abs(spline[4] - 16.0f);
+  const float linear_err =
+      std::abs(linear[3] - 9.0f) + std::abs(linear[4] - 16.0f);
+  EXPECT_LT(spline_err, linear_err);
+}
+
+TEST(Imputation, SplineAtEdgeFallsBackToHold) {
+  std::vector<float> v = {99, 99, 5, 6};
+  const auto flags = flags_at(4, {0, 1});
+  impute_segments(v, {{0, 1}}, flags, {ImputationMethod::kSpline, 24});
+  EXPECT_FLOAT_EQ(v[0], 5.0f);
+  EXPECT_FLOAT_EQ(v[1], 5.0f);
+}
+
+TEST(Imputation, ModelReconstructionCopiesRepairSignal) {
+  std::vector<float> v = {1, 99, 99, 4};
+  const std::vector<float> recon = {1.1f, 2.2f, 3.3f, 4.4f};
+  const auto flags = flags_at(4, {1, 2});
+  impute_segments(v, {{1, 2}}, flags,
+                  {ImputationMethod::kModelReconstruction, 24}, &recon);
+  EXPECT_FLOAT_EQ(v[0], 1.0f);   // untouched
+  EXPECT_FLOAT_EQ(v[1], 2.2f);   // repaired from model
+  EXPECT_FLOAT_EQ(v[2], 3.3f);
+  EXPECT_FLOAT_EQ(v[3], 4.0f);
+}
+
+TEST(Imputation, ModelReconstructionRequiresAlignedSignal) {
+  std::vector<float> v = {1, 2, 3};
+  const auto flags = flags_at(3, {1});
+  EXPECT_THROW(impute_segments(v, {{1, 1}}, flags,
+                               {ImputationMethod::kModelReconstruction, 24},
+                               nullptr),
+               Error);
+  const std::vector<float> short_recon = {1.0f};
+  EXPECT_THROW(impute_segments(v, {{1, 1}}, flags,
+                               {ImputationMethod::kModelReconstruction, 24},
+                               &short_recon),
+               Error);
+}
+
+TEST(Imputation, Validation) {
+  std::vector<float> v = {1, 2, 3};
+  const auto flags = flags_at(3, {1});
+  EXPECT_THROW(
+      impute_segments(v, {{1, 5}}, flags, {ImputationMethod::kLinear, 24}),
+      Error);
+  std::vector<std::uint8_t> wrong_flags(2, 0);
+  EXPECT_THROW(impute_segments(v, {{1, 1}}, wrong_flags,
+                               {ImputationMethod::kLinear, 24}),
+               Error);
+  EXPECT_THROW(impute_segments(v, {{1, 1}}, flags,
+                               {ImputationMethod::kSeasonalNaive, 0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace evfl::anomaly

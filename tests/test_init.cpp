@@ -1,0 +1,63 @@
+#include "tensor/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace evfl::tensor {
+namespace {
+
+TEST(Init, GlorotUniformWithinLimit) {
+  Rng rng(1);
+  const std::size_t fan_in = 30, fan_out = 50;
+  const float limit = std::sqrt(6.0f / (fan_in + fan_out));
+  Matrix m = glorot_uniform(fan_in, fan_out, rng);
+  EXPECT_EQ(m.rows(), fan_in);
+  EXPECT_EQ(m.cols(), fan_out);
+  EXPECT_GE(m.min(), -limit);
+  EXPECT_LE(m.max(), limit);
+  // Not degenerate.
+  EXPECT_GT(m.squared_norm(), 0.0f);
+}
+
+TEST(Init, RandomNormalStddev) {
+  Rng rng(2);
+  Matrix m = random_normal(100, 100, 0.5f, rng);
+  const double var = static_cast<double>(m.squared_norm()) / m.size();
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
+}
+
+TEST(Init, OrthogonalSquareIsOrthonormal) {
+  Rng rng(3);
+  const std::size_t n = 20;
+  Matrix q = orthogonal(n, n, rng);
+  Matrix qtq = matmul_tn(q, q);
+  EXPECT_LT(max_abs_diff(qtq, Matrix::identity(n)), 1e-4f);
+}
+
+TEST(Init, OrthogonalTallHasOrthonormalColumns) {
+  Rng rng(4);
+  Matrix q = orthogonal(30, 10, rng);
+  Matrix qtq = matmul_tn(q, q);  // 10 x 10
+  EXPECT_LT(max_abs_diff(qtq, Matrix::identity(10)), 1e-4f);
+}
+
+TEST(Init, OrthogonalWideHasOrthonormalRows) {
+  Rng rng(5);
+  Matrix q = orthogonal(10, 30, rng);
+  Matrix qqt = matmul_nt(q, q);  // 10 x 10
+  EXPECT_LT(max_abs_diff(qqt, Matrix::identity(10)), 1e-4f);
+}
+
+TEST(Init, OrthogonalPreservesNormThroughMultiplication) {
+  Rng rng(6);
+  const std::size_t n = 16;
+  Matrix q = orthogonal(n, n, rng);
+  Matrix v = random_normal(n, 1, 1.0f, rng);
+  Matrix qv = matmul(q.transposed(), v);
+  EXPECT_NEAR(qv.squared_norm(), v.squared_norm(),
+              1e-3f * v.squared_norm());
+}
+
+}  // namespace
+}  // namespace evfl::tensor

@@ -1,0 +1,89 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace evfl::nn {
+namespace {
+
+using tensor::Tensor3;
+
+Tensor3 make(std::initializer_list<float> vals) {
+  Tensor3 x(vals.size(), 1, 1);
+  std::size_t i = 0;
+  for (float v : vals) x(i++, 0, 0) = v;
+  return x;
+}
+
+TEST(MseLoss, KnownValue) {
+  MseLoss loss;
+  const Tensor3 pred = make({1, 2, 3});
+  const Tensor3 target = make({1, 4, 0});
+  // ((0)^2 + (-2)^2 + (3)^2) / 3 = 13/3
+  EXPECT_NEAR(loss.value(pred, target), 13.0f / 3.0f, 1e-6f);
+}
+
+TEST(MseLoss, PerfectPredictionIsZero) {
+  MseLoss loss;
+  const Tensor3 p = make({1, 2, 3});
+  EXPECT_EQ(loss.value(p, p), 0.0f);
+}
+
+TEST(MseLoss, GradientIsTwoErrOverN) {
+  MseLoss loss;
+  const Tensor3 pred = make({1, 5});
+  const Tensor3 target = make({0, 2});
+  const LossResult r = loss.value_and_grad(pred, target);
+  EXPECT_NEAR(r.grad(0, 0, 0), 2.0f * 1.0f / 2.0f, 1e-6f);
+  EXPECT_NEAR(r.grad(1, 0, 0), 2.0f * 3.0f / 2.0f, 1e-6f);
+  EXPECT_NEAR(r.value, (1.0f + 9.0f) / 2.0f, 1e-6f);
+}
+
+TEST(MseLoss, GradMatchesNumericDifference) {
+  MseLoss loss;
+  Tensor3 pred = make({0.3f, -0.7f, 1.2f});
+  const Tensor3 target = make({0.1f, 0.2f, -0.4f});
+  const LossResult r = loss.value_and_grad(pred, target);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float eps = 1e-3f;
+    const float saved = pred.data()[i];
+    pred.data()[i] = saved + eps;
+    const float lp = loss.value(pred, target);
+    pred.data()[i] = saved - eps;
+    const float lm = loss.value(pred, target);
+    pred.data()[i] = saved;
+    EXPECT_NEAR(r.grad.data()[i], (lp - lm) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(MaeLoss, KnownValue) {
+  MaeLoss loss;
+  const Tensor3 pred = make({1, 2, 3});
+  const Tensor3 target = make({1, 4, 0});
+  EXPECT_NEAR(loss.value(pred, target), (0 + 2 + 3) / 3.0f, 1e-6f);
+}
+
+TEST(MaeLoss, GradientIsSignOverN) {
+  MaeLoss loss;
+  const Tensor3 pred = make({2, -2, 1});
+  const Tensor3 target = make({0, 0, 1});
+  const LossResult r = loss.value_and_grad(pred, target);
+  EXPECT_NEAR(r.grad(0, 0, 0), 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(r.grad(1, 0, 0), -1.0f / 3.0f, 1e-6f);
+  EXPECT_EQ(r.grad(2, 0, 0), 0.0f);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  MseLoss mse;
+  MaeLoss mae;
+  const Tensor3 a = make({1, 2});
+  const Tensor3 b = make({1, 2, 3});
+  EXPECT_THROW(mse.value(a, b), Error);
+  EXPECT_THROW(mse.value_and_grad(a, b), Error);
+  EXPECT_THROW(mae.value(a, b), Error);
+  EXPECT_THROW(mae.value_and_grad(a, b), Error);
+}
+
+}  // namespace
+}  // namespace evfl::nn

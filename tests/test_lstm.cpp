@@ -1,0 +1,163 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace evfl::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor3;
+
+Tensor3 random_input(std::size_t n, std::size_t t, std::size_t f,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor3 x(n, t, f);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal();
+  return x;
+}
+
+TEST(Lstm, OutputShapes) {
+  Rng rng(1);
+  Lstm seq(5, true, rng, 2);
+  Lstm last(5, false, rng, 2);
+  const Tensor3 x = random_input(3, 7, 2, 10);
+  const Tensor3 ys = seq.forward(x, false);
+  EXPECT_EQ(ys.batch(), 3u);
+  EXPECT_EQ(ys.time(), 7u);
+  EXPECT_EQ(ys.features(), 5u);
+  const Tensor3 yl = last.forward(x, false);
+  EXPECT_EQ(yl.batch(), 3u);
+  EXPECT_EQ(yl.time(), 1u);
+  EXPECT_EQ(yl.features(), 5u);
+}
+
+TEST(Lstm, LastStepMatchesFinalSequenceOutput) {
+  Rng rng(2);
+  Lstm seq(4, true, rng, 3);
+  // Copy weights into a last-step twin.
+  Rng rng2(3);
+  Lstm last(4, false, rng2, 3);
+  const Tensor3 x = random_input(2, 6, 3, 11);
+  seq.forward(x, false);  // builds weights
+  last.forward(x, false);
+  // Synchronize weights.
+  auto ps = seq.params();
+  auto pl = last.params();
+  for (std::size_t i = 0; i < ps.size(); ++i) *pl[i].value = *ps[i].value;
+
+  const Tensor3 ys = seq.forward(x, false);
+  const Tensor3 yl = last.forward(x, false);
+  for (std::size_t n = 0; n < 2; ++n) {
+    for (std::size_t f = 0; f < 4; ++f) {
+      EXPECT_NEAR(ys(n, 5, f), yl(n, 0, f), 1e-6f);
+    }
+  }
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  Rng rng(4);
+  Lstm layer(3, false, rng, 1);
+  auto params = layer.params();
+  // params: wx, wh, b.  b layout: [i | f | g | o], each 3 wide.
+  const Matrix& b = *params[2].value;
+  EXPECT_EQ(b(0, 0), 0.0f);  // input gate
+  EXPECT_EQ(b(0, 3), 1.0f);  // forget gate
+  EXPECT_EQ(b(0, 4), 1.0f);
+  EXPECT_EQ(b(0, 6), 0.0f);  // cell candidate
+  EXPECT_EQ(b(0, 9), 0.0f);  // output gate
+}
+
+TEST(Lstm, DeterministicForward) {
+  Rng rng(5);
+  Lstm layer(6, true, rng, 2);
+  const Tensor3 x = random_input(2, 5, 2, 12);
+  const Tensor3 y1 = layer.forward(x, false);
+  const Tensor3 y2 = layer.forward(x, false);
+  EXPECT_LT(tensor::max_abs_diff(y1, y2), 1e-7f);
+}
+
+TEST(Lstm, ZeroWeightsGiveZeroOutput) {
+  Rng rng(6);
+  Lstm layer(3, false, rng, 1);
+  for (auto& p : layer.params()) p.value->set_zero();
+  const Tensor3 x = random_input(2, 4, 1, 13);
+  const Tensor3 y = layer.forward(x, false);
+  // All gates 0.5/0, candidate tanh(0)=0 -> cell stays 0 -> h = 0.
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y.data()[i], 0.0f, 1e-7f);
+  }
+}
+
+TEST(Lstm, OutputBoundedByTanh) {
+  Rng rng(7);
+  Lstm layer(4, true, rng, 1);
+  const Tensor3 x = random_input(2, 10, 1, 14);
+  const Tensor3 y = layer.forward(x, false);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    // |h| = |o * tanh(c)| <= 1.
+    EXPECT_LE(std::abs(y.data()[i]), 1.0f);
+  }
+}
+
+TEST(Lstm, LongerHistoryChangesOutput) {
+  // The recurrence must actually carry state: same final inputs with
+  // different prefixes must give different outputs.
+  Rng rng(8);
+  Lstm layer(4, false, rng, 1);
+  Tensor3 a(1, 6, 1), b(1, 6, 1);
+  for (std::size_t t = 0; t < 6; ++t) {
+    a(0, t, 0) = 0.5f;
+    b(0, t, 0) = (t < 3) ? -1.5f : 0.5f;  // different prefix
+  }
+  const Tensor3 ya = layer.forward(a, false);
+  const Tensor3 yb = layer.forward(b, false);
+  EXPECT_GT(tensor::max_abs_diff(ya, yb), 1e-4f);
+}
+
+TEST(Lstm, BackwardInputGradShape) {
+  Rng rng(9);
+  Lstm layer(4, true, rng, 3);
+  const Tensor3 x = random_input(2, 5, 3, 15);
+  const Tensor3 y = layer.forward(x, true);
+  Tensor3 g(2, 5, 4);
+  const Tensor3 dx = layer.backward(g);
+  EXPECT_EQ(dx.batch(), 2u);
+  EXPECT_EQ(dx.time(), 5u);
+  EXPECT_EQ(dx.features(), 3u);
+}
+
+TEST(Lstm, BackwardGradShapeMismatchThrows) {
+  Rng rng(10);
+  Lstm layer(4, false, rng, 2);
+  const Tensor3 x = random_input(2, 5, 2, 16);
+  layer.forward(x, true);
+  Tensor3 bad(2, 5, 4);  // last-step layer expects time == 1
+  EXPECT_THROW(layer.backward(bad), Error);
+}
+
+TEST(Lstm, RejectsChangedInputWidth) {
+  Rng rng(11);
+  Lstm layer(4, false, rng, 2);
+  EXPECT_THROW(layer.forward(random_input(1, 3, 5, 17), false), ShapeError);
+}
+
+TEST(Lstm, ParamCountMatchesFormula) {
+  Rng rng(12);
+  const std::size_t h = 50, in = 1;
+  Lstm layer(h, false, rng, in);
+  std::size_t total = 0;
+  for (auto& p : layer.params()) total += p.value->size();
+  EXPECT_EQ(total, in * 4 * h + h * 4 * h + 4 * h);
+}
+
+TEST(Lstm, EmptyTimeRejected) {
+  Rng rng(13);
+  Lstm layer(2, false, rng, 1);
+  Tensor3 x(2, 0, 1);
+  EXPECT_THROW(layer.forward(x, false), Error);
+}
+
+}  // namespace
+}  // namespace evfl::nn

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "metrics/classification.hpp"
+#include "metrics/regression.hpp"
+#include "metrics/timer.hpp"
+
+namespace evfl::metrics {
+namespace {
+
+TEST(Regression, PerfectPrediction) {
+  const std::vector<float> a = {1, 2, 3, 4};
+  const RegressionMetrics m = evaluate_regression(a, a);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.r2, 1.0);
+  EXPECT_EQ(m.n, 4u);
+}
+
+TEST(Regression, KnownValues) {
+  const std::vector<float> actual = {1, 2, 3};
+  const std::vector<float> pred = {2, 2, 5};
+  EXPECT_NEAR(mean_absolute_error(actual, pred), (1 + 0 + 2) / 3.0, 1e-9);
+  EXPECT_NEAR(root_mean_squared_error(actual, pred),
+              std::sqrt((1 + 0 + 4) / 3.0), 1e-9);
+  // mean = 2, ss_tot = 2, ss_res = 5 -> r2 = 1 - 5/2 = -1.5
+  EXPECT_NEAR(r2_score(actual, pred), -1.5, 1e-9);
+}
+
+TEST(Regression, MeanPredictorHasZeroR2) {
+  const std::vector<float> actual = {1, 2, 3, 4};
+  const std::vector<float> mean_pred(4, 2.5f);
+  EXPECT_NEAR(r2_score(actual, mean_pred), 0.0, 1e-9);
+}
+
+TEST(Regression, ConstantActualConvention) {
+  EXPECT_EQ(r2_score({2, 2, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Regression, RmseAtLeastMae) {
+  const std::vector<float> actual = {0, 1, 5, 2, 8};
+  const std::vector<float> pred = {1, 1, 3, 4, 4};
+  EXPECT_GE(root_mean_squared_error(actual, pred),
+            mean_absolute_error(actual, pred));
+}
+
+TEST(Regression, Validation) {
+  EXPECT_THROW(mean_absolute_error({1}, {1, 2}), Error);
+  EXPECT_THROW(r2_score({}, {}), Error);
+}
+
+TEST(Confusion, CountsAllFourCells) {
+  const std::vector<std::uint8_t> truth = {1, 1, 0, 0, 1, 0};
+  const std::vector<std::uint8_t> pred = {1, 0, 1, 0, 1, 0};
+  const ConfusionMatrix cm = confusion(truth, pred);
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 2u);
+  EXPECT_EQ(cm.total(), 6u);
+}
+
+TEST(Confusion, Accumulation) {
+  ConfusionMatrix a{1, 2, 3, 4};
+  const ConfusionMatrix b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.tp, 11u);
+  EXPECT_EQ(a.fn, 44u);
+}
+
+TEST(Detection, KnownMetrics) {
+  ConfusionMatrix cm;
+  cm.tp = 8;
+  cm.fp = 2;
+  cm.fn = 4;
+  cm.tn = 86;
+  const DetectionMetrics m = from_confusion(cm);
+  EXPECT_NEAR(m.precision, 0.8, 1e-9);
+  EXPECT_NEAR(m.recall, 8.0 / 12.0, 1e-9);
+  EXPECT_NEAR(m.f1, 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-9);
+  EXPECT_NEAR(m.false_positive_rate, 2.0 / 88.0, 1e-9);
+  EXPECT_EQ(m.true_attacks_detected, m.recall);
+}
+
+TEST(Detection, DegenerateCasesAreZeroNotNan) {
+  const DetectionMetrics none = from_confusion(ConfusionMatrix{});
+  EXPECT_EQ(none.precision, 0.0);
+  EXPECT_EQ(none.recall, 0.0);
+  EXPECT_EQ(none.f1, 0.0);
+  EXPECT_EQ(none.false_positive_rate, 0.0);
+}
+
+TEST(Detection, EndToEndFromLabels) {
+  const std::vector<std::uint8_t> truth = {0, 0, 1, 1};
+  const std::vector<std::uint8_t> pred = {0, 1, 1, 1};
+  const DetectionMetrics m = evaluate_detection(truth, pred);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.recall, 1.0, 1e-9);
+  EXPECT_THROW(evaluate_detection({0}, {0, 1}), Error);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  // Burn a bit of CPU deterministically.
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + i * 1e-9;
+  EXPECT_GT(t.seconds(), 0.0);
+  const double before = t.seconds();
+  t.restart();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace evfl::metrics

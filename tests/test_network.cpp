@@ -1,0 +1,118 @@
+#include "fl/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace evfl::fl {
+namespace {
+
+Message msg(int from, int to, std::size_t bytes = 4) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.bytes.assign(bytes, 0xAB);
+  return m;
+}
+
+TEST(Network, SendReceiveRoundTrip) {
+  InMemoryNetwork net;
+  EXPECT_TRUE(net.send(msg(0, 1)));
+  EXPECT_EQ(net.pending(1), 1u);
+  const auto received = net.try_receive(1);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->from, 0);
+  EXPECT_EQ(received->bytes.size(), 4u);
+  EXPECT_EQ(net.pending(1), 0u);
+}
+
+TEST(Network, FifoPerDestination) {
+  InMemoryNetwork net;
+  Message a = msg(0, 5);
+  a.bytes = {1};
+  Message b = msg(0, 5);
+  b.bytes = {2};
+  net.send(a);
+  net.send(b);
+  EXPECT_EQ(net.try_receive(5)->bytes[0], 1);
+  EXPECT_EQ(net.try_receive(5)->bytes[0], 2);
+}
+
+TEST(Network, QueuesAreIsolatedPerNode) {
+  InMemoryNetwork net;
+  net.send(msg(0, 1));
+  EXPECT_FALSE(net.try_receive(2).has_value());
+  EXPECT_TRUE(net.try_receive(1).has_value());
+}
+
+TEST(Network, ReceiveTimesOutWhenEmpty) {
+  InMemoryNetwork net;
+  const auto r = net.receive(3, 20.0);  // 20 ms
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(Network, BlockingReceiveWakesOnSend) {
+  InMemoryNetwork net;
+  std::thread sender([&net] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    net.send(msg(0, 9));
+  });
+  const auto r = net.receive(9, 2000.0);
+  sender.join();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->from, 0);
+}
+
+TEST(Network, StatsCountMessagesAndBytes) {
+  InMemoryNetwork net;
+  net.send(msg(0, 1, 100));
+  net.send(msg(1, 0, 50));
+  const NetworkStats st = net.stats();
+  EXPECT_EQ(st.messages_sent, 2u);
+  EXPECT_EQ(st.bytes_sent, 150u);
+  EXPECT_EQ(st.messages_dropped, 0u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().messages_sent, 0u);
+}
+
+TEST(Network, SimulatedLatencyAccumulates) {
+  NetworkConfig cfg;
+  cfg.latency_ms_per_message = 5.0;
+  cfg.latency_ms_per_kib = 1.0;
+  InMemoryNetwork net(cfg);
+  net.send(msg(0, 1, 2048));  // 5 + 2 = 7 ms
+  net.send(msg(0, 1, 1024));  // 5 + 1 = 6 ms
+  EXPECT_NEAR(net.stats().virtual_latency_ms, 13.0, 1e-9);
+}
+
+TEST(Network, DropProbabilityDropsRoughlyThatFraction) {
+  NetworkConfig cfg;
+  cfg.drop_probability = 0.3;
+  cfg.drop_seed = 11;
+  InMemoryNetwork net(cfg);
+  std::size_t delivered = 0;
+  const std::size_t n = 2000;
+  for (std::size_t i = 0; i < n; ++i) {
+    delivered += net.send(msg(0, 1));
+  }
+  const NetworkStats st = net.stats();
+  EXPECT_EQ(st.messages_dropped, n - delivered);
+  EXPECT_NEAR(static_cast<double>(st.messages_dropped) / n, 0.3, 0.05);
+  EXPECT_EQ(net.pending(1), delivered);
+}
+
+TEST(Network, ConcurrentSendersDoNotLoseMessages) {
+  InMemoryNetwork net;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&net, t] {
+      for (int i = 0; i < kPerThread; ++i) net.send(msg(t, 99));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(net.pending(99), 4u * kPerThread);
+}
+
+}  // namespace
+}  // namespace evfl::fl

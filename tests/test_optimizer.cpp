@@ -1,0 +1,118 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace evfl::nn {
+namespace {
+
+/// A single scalar parameter with a quadratic loss L = (w - target)^2.
+struct Quadratic {
+  Matrix w{1, 1};
+  Matrix g{1, 1};
+  float target;
+
+  explicit Quadratic(float start, float tgt) : target(tgt) {
+    w(0, 0) = start;
+  }
+
+  std::vector<ParamRef> params() { return {{"w", &w, &g}}; }
+
+  void compute_grad() { g(0, 0) = 2.0f * (w(0, 0) - target); }
+  float loss() const {
+    const float d = w(0, 0) - target;
+    return d * d;
+  }
+};
+
+TEST(Sgd, SingleStepMatchesFormula) {
+  Quadratic q(5.0f, 0.0f);
+  Sgd opt(0.1f);
+  q.compute_grad();  // g = 10
+  auto params = q.params();
+  opt.step(params);
+  EXPECT_NEAR(q.w(0, 0), 5.0f - 0.1f * 10.0f, 1e-6f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Quadratic q(5.0f, 2.0f);
+  Sgd opt(0.1f);
+  for (int i = 0; i < 200; ++i) {
+    q.compute_grad();
+    auto params = q.params();
+    opt.step(params);
+  }
+  EXPECT_NEAR(q.w(0, 0), 2.0f, 1e-3f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Quadratic plain(5.0f, 0.0f), mom(5.0f, 0.0f);
+  Sgd opt_plain(0.01f, 0.0f);
+  Sgd opt_mom(0.01f, 0.9f);
+  for (int i = 0; i < 20; ++i) {
+    plain.compute_grad();
+    auto pp = plain.params();
+    opt_plain.step(pp);
+    mom.compute_grad();
+    auto pm = mom.params();
+    opt_mom.step(pm);
+  }
+  EXPECT_LT(mom.loss(), plain.loss());
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Quadratic q(5.0f, -1.0f);
+  Adam opt(0.1f);
+  for (int i = 0; i < 500; ++i) {
+    q.compute_grad();
+    auto params = q.params();
+    opt.step(params);
+  }
+  EXPECT_NEAR(q.w(0, 0), -1.0f, 1e-2f);
+}
+
+TEST(Adam, FirstStepIsBoundedByLr) {
+  // Bias correction makes the first Adam step ~lr regardless of grad scale.
+  Quadratic q(100.0f, 0.0f);
+  Adam opt(0.05f);
+  q.compute_grad();  // huge gradient
+  auto params = q.params();
+  opt.step(params);
+  EXPECT_NEAR(q.w(0, 0), 100.0f - 0.05f, 1e-3f);
+}
+
+TEST(Adam, StepCountAdvances) {
+  Quadratic q(1.0f, 0.0f);
+  Adam opt(0.01f);
+  EXPECT_EQ(opt.step_count(), 0u);
+  q.compute_grad();
+  auto params = q.params();
+  opt.step(params);
+  opt.step(params);
+  EXPECT_EQ(opt.step_count(), 2u);
+  opt.reset_state();
+  EXPECT_EQ(opt.step_count(), 0u);
+}
+
+TEST(Adam, InvalidLrRejected) {
+  EXPECT_THROW(Adam(0.0f), Error);
+  EXPECT_THROW(Sgd(-1.0f), Error);
+}
+
+TEST(Adam, StatePersistsAcrossWeightOverwrite) {
+  // After set_weights-style replacement the optimizer keeps its moments —
+  // document the Keras-matching behaviour the FL layer relies on.
+  Quadratic q(5.0f, 0.0f);
+  Adam opt(0.1f);
+  q.compute_grad();
+  auto params = q.params();
+  opt.step(params);
+  q.w(0, 0) = 5.0f;  // "FedAvg replaced the weights"
+  q.compute_grad();
+  opt.step(params);
+  EXPECT_EQ(opt.step_count(), 2u);  // moments not reset
+}
+
+}  // namespace
+}  // namespace evfl::nn

@@ -1,0 +1,88 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace evfl::core {
+namespace {
+
+TEST(TableWriter, AlignedOutput) {
+  TableWriter t({"A", "Longer"});
+  t.add_row({"x", "y"});
+  t.add_row({"longervalue", "z"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| A "), std::string::npos);
+  EXPECT_NE(out.find("longervalue"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TableWriter, RowWidthValidated) {
+  TableWriter t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(TableWriter({}), Error);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 4), "1.0000");
+}
+
+TEST(PaperReference, Table1MatchesPublication) {
+  ASSERT_EQ(kPaperTable1.size(), 4u);
+  EXPECT_STREQ(kPaperTable1[0].scenario, "Clean Data");
+  EXPECT_DOUBLE_EQ(kPaperTable1[0].r2, 0.9075);
+  EXPECT_DOUBLE_EQ(kPaperTable1[3].mae, 6.1644);
+  EXPECT_STREQ(kPaperTable1[3].architecture, "Centralized");
+}
+
+TEST(PaperReference, Table2MatchesPublication) {
+  ASSERT_EQ(kPaperTable2.size(), 3u);
+  EXPECT_DOUBLE_EQ(kPaperTable2[1].precision, 0.955);
+  EXPECT_DOUBLE_EQ(kPaperTable2[2].recall, 0.354);
+}
+
+TEST(PaperReference, Table3MatchesPublication) {
+  ASSERT_EQ(kPaperTable3.size(), 6u);
+  EXPECT_DOUBLE_EQ(kPaperTable3[0].r2, 0.8883);
+  EXPECT_DOUBLE_EQ(kPaperTable3[5].r2, 0.6356);
+}
+
+TEST(Recovery, MatchesPaperFormula) {
+  // Paper: clean 0.9075, attacked 0.8707, filtered 0.8883 -> 47.9% recovery.
+  EXPECT_NEAR(recovery_percent(0.9075, 0.8707, 0.8883), 47.9, 0.5);
+}
+
+TEST(Recovery, DegenerateCases) {
+  EXPECT_EQ(recovery_percent(0.9, 0.9, 0.95), 0.0);   // nothing lost
+  EXPECT_EQ(recovery_percent(0.8, 0.9, 0.95), 0.0);   // attack "helped"
+  EXPECT_NEAR(recovery_percent(0.9, 0.5, 0.9), 100.0, 1e-9);
+  EXPECT_LT(recovery_percent(0.9, 0.5, 0.4), 0.0);    // filtering hurt
+}
+
+TEST(AddScenarioRows, RendersPerClient) {
+  ScenarioResult result;
+  result.scenario = DataScenario::kFiltered;
+  result.architecture = "Federated";
+  result.train_seconds = 12.5;
+  ClientEvaluation ev;
+  ev.zone = "102";
+  ev.regression.mae = 1.0;
+  ev.regression.rmse = 2.0;
+  ev.regression.r2 = 0.9;
+  result.per_client.push_back(ev);
+
+  TableWriter t({"Scenario", "Arch", "Client", "MAE", "RMSE", "R2", "Time"});
+  add_scenario_rows(t, result);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("Filtered Data"), std::string::npos);
+  EXPECT_NE(os.str().find("zone 102"), std::string::npos);
+  EXPECT_NE(os.str().find("0.9000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evfl::core

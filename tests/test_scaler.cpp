@@ -1,0 +1,71 @@
+#include "data/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evfl::data {
+namespace {
+
+TEST(MinMaxScaler, MapsToUnitInterval) {
+  MinMaxScaler s;
+  s.fit({10, 20, 30});
+  EXPECT_FLOAT_EQ(s.transform_one(10), 0.0f);
+  EXPECT_FLOAT_EQ(s.transform_one(30), 1.0f);
+  EXPECT_FLOAT_EQ(s.transform_one(20), 0.5f);
+}
+
+TEST(MinMaxScaler, InverseRoundTrip) {
+  MinMaxScaler s;
+  s.fit({-5, 3, 17, 8});
+  for (float v : {-5.0f, 0.0f, 8.5f, 17.0f, 25.0f}) {
+    EXPECT_NEAR(s.inverse_one(s.transform_one(v)), v, 1e-4f);
+  }
+}
+
+TEST(MinMaxScaler, VectorTransform) {
+  MinMaxScaler s;
+  s.fit({0, 10});
+  const auto out = s.transform({0, 5, 10});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[1], 0.5f);
+  const auto back = s.inverse(out);
+  EXPECT_FLOAT_EQ(back[1], 5.0f);
+}
+
+TEST(MinMaxScaler, OutOfRangeExtrapolates) {
+  // Values outside the fitted range (test-set spikes) must extrapolate
+  // linearly, not clamp — matches scikit-learn.
+  MinMaxScaler s;
+  s.fit({0, 10});
+  EXPECT_FLOAT_EQ(s.transform_one(20), 2.0f);
+  EXPECT_FLOAT_EQ(s.transform_one(-10), -1.0f);
+}
+
+TEST(MinMaxScaler, ConstantSeriesDoesNotDivideByZero) {
+  MinMaxScaler s;
+  s.fit({5, 5, 5});
+  EXPECT_FLOAT_EQ(s.transform_one(5), 0.0f);
+  EXPECT_FLOAT_EQ(s.inverse_one(0.0f), 5.0f);
+}
+
+TEST(MinMaxScaler, UseBeforeFitThrows) {
+  MinMaxScaler s;
+  EXPECT_FALSE(s.fitted());
+  EXPECT_THROW(s.transform_one(1.0f), Error);
+  EXPECT_THROW(s.inverse_one(1.0f), Error);
+  EXPECT_THROW(s.transform({1.0f}), Error);
+}
+
+TEST(MinMaxScaler, FitEmptyThrows) {
+  MinMaxScaler s;
+  EXPECT_THROW(s.fit({}), Error);
+}
+
+TEST(MinMaxScaler, ExposesDataRange) {
+  MinMaxScaler s;
+  s.fit({3, 9, 6});
+  EXPECT_FLOAT_EQ(s.data_min(), 3.0f);
+  EXPECT_FLOAT_EQ(s.data_max(), 9.0f);
+}
+
+}  // namespace
+}  // namespace evfl::data

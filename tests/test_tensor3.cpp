@@ -1,0 +1,124 @@
+#include "tensor/tensor3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evfl::tensor {
+namespace {
+
+Tensor3 iota_tensor(std::size_t n, std::size_t t, std::size_t f) {
+  Tensor3 x(n, t, f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(i);
+  }
+  return x;
+}
+
+TEST(Tensor3, ShapeAndIndexing) {
+  Tensor3 x = iota_tensor(2, 3, 4);
+  EXPECT_EQ(x.batch(), 2u);
+  EXPECT_EQ(x.time(), 3u);
+  EXPECT_EQ(x.features(), 4u);
+  // Row-major: (n, t, f) -> ((n*T + t)*F + f)
+  EXPECT_EQ(x(0, 0, 0), 0.0f);
+  EXPECT_EQ(x(0, 1, 0), 4.0f);
+  EXPECT_EQ(x(1, 0, 0), 12.0f);
+  EXPECT_EQ(x(1, 2, 3), 23.0f);
+}
+
+TEST(Tensor3, TimestepRoundTrip) {
+  Tensor3 x = iota_tensor(2, 3, 2);
+  Matrix m = x.timestep(1);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 0), x(0, 1, 0));
+  EXPECT_EQ(m(1, 1), x(1, 1, 1));
+
+  Matrix repl(2, 2, -1.0f);
+  x.set_timestep(1, repl);
+  EXPECT_EQ(x(0, 1, 0), -1.0f);
+  EXPECT_EQ(x(1, 1, 1), -1.0f);
+  // Neighbouring timesteps untouched.
+  EXPECT_EQ(x(0, 0, 0), 0.0f);
+  EXPECT_EQ(x(0, 2, 0), 4.0f);
+}
+
+TEST(Tensor3, AddTimestepAccumulates) {
+  Tensor3 x(1, 2, 2);
+  Matrix m(1, 2, 3.0f);
+  x.add_timestep(0, m);
+  x.add_timestep(0, m);
+  EXPECT_EQ(x(0, 0, 0), 6.0f);
+  EXPECT_EQ(x(0, 1, 0), 0.0f);
+}
+
+TEST(Tensor3, SetTimestepShapeMismatchThrows) {
+  Tensor3 x(2, 2, 2);
+  Matrix bad(3, 2);
+  EXPECT_THROW(x.set_timestep(0, bad), ShapeError);
+}
+
+TEST(Tensor3, SampleRoundTrip) {
+  Tensor3 x = iota_tensor(3, 2, 2);
+  Matrix s = x.sample(1);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 0), x(1, 0, 0));
+  Matrix repl(2, 2, 9.0f);
+  x.set_sample(1, repl);
+  EXPECT_EQ(x(1, 1, 1), 9.0f);
+  EXPECT_EQ(x(0, 0, 0), 0.0f);
+}
+
+TEST(Tensor3, FlattenRowsRoundTrip) {
+  Tensor3 x = iota_tensor(2, 3, 4);
+  Matrix flat = x.flatten_rows();
+  EXPECT_EQ(flat.rows(), 6u);
+  EXPECT_EQ(flat.cols(), 4u);
+  Tensor3 back = Tensor3::from_flat_rows(flat, 2, 3);
+  EXPECT_LT(max_abs_diff(x, back), 1e-7f);
+}
+
+TEST(Tensor3, FromFlatRowsBadSplitThrows) {
+  Matrix flat(5, 2);
+  EXPECT_THROW(Tensor3::from_flat_rows(flat, 2, 3), ShapeError);
+}
+
+TEST(Tensor3, BatchSlice) {
+  Tensor3 x = iota_tensor(4, 2, 1);
+  Tensor3 s = x.batch_slice(1, 3);
+  EXPECT_EQ(s.batch(), 2u);
+  EXPECT_EQ(s(0, 0, 0), x(1, 0, 0));
+  EXPECT_EQ(s(1, 1, 0), x(2, 1, 0));
+  EXPECT_THROW(x.batch_slice(3, 5), Error);
+}
+
+TEST(Tensor3, Gather) {
+  Tensor3 x = iota_tensor(4, 1, 2);
+  Tensor3 g = x.gather({3, 0, 3});
+  EXPECT_EQ(g.batch(), 3u);
+  EXPECT_EQ(g(0, 0, 0), x(3, 0, 0));
+  EXPECT_EQ(g(1, 0, 1), x(0, 0, 1));
+  EXPECT_EQ(g(2, 0, 0), x(3, 0, 0));
+  EXPECT_THROW(x.gather({4}), Error);
+}
+
+TEST(Tensor3, Arithmetic) {
+  Tensor3 a = iota_tensor(1, 2, 2);
+  Tensor3 b = iota_tensor(1, 2, 2);
+  a += b;
+  EXPECT_EQ(a(0, 1, 1), 6.0f);
+  a -= b;
+  EXPECT_EQ(a(0, 1, 1), 3.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a(0, 1, 0), 4.0f);
+  Tensor3 c(2, 2, 2);
+  EXPECT_THROW(a += c, ShapeError);
+}
+
+TEST(Tensor3, SumAndNorm) {
+  Tensor3 x = iota_tensor(1, 1, 3);  // 0, 1, 2
+  EXPECT_FLOAT_EQ(x.sum(), 3.0f);
+  EXPECT_FLOAT_EQ(x.squared_norm(), 5.0f);
+}
+
+}  // namespace
+}  // namespace evfl::tensor

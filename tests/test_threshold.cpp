@@ -1,0 +1,87 @@
+#include "anomaly/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace evfl::anomaly {
+namespace {
+
+TEST(Percentile, KnownValues) {
+  const std::vector<float> v = {1, 2, 3, 4, 5};
+  EXPECT_FLOAT_EQ(percentile(v, 0.0), 1.0f);
+  EXPECT_FLOAT_EQ(percentile(v, 100.0), 5.0f);
+  EXPECT_FLOAT_EQ(percentile(v, 50.0), 3.0f);
+  EXPECT_FLOAT_EQ(percentile(v, 25.0), 2.0f);
+  // Interpolated rank: 98% of (n-1)=4 -> 3.92 -> 4 + 0.92*(5-4).
+  EXPECT_NEAR(percentile(v, 98.0), 4.92f, 1e-4f);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_FLOAT_EQ(percentile({5, 1, 3, 2, 4}, 50.0), 3.0f);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_FLOAT_EQ(percentile({7.0f}, 98.0), 7.0f);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(percentile({}, 50.0), Error);
+  EXPECT_THROW(percentile({1.0f}, -1.0), Error);
+  EXPECT_THROW(percentile({1.0f}, 101.0), Error);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_FLOAT_EQ(median({3, 1, 2}), 2.0f);
+  EXPECT_FLOAT_EQ(median({4, 1, 2, 3}), 2.5f);
+}
+
+TEST(Threshold, PercentileRule) {
+  ThresholdRule rule{ThresholdKind::kPercentile, 98.0};
+  std::vector<float> scores(100);
+  for (std::size_t i = 0; i < 100; ++i) scores[i] = static_cast<float>(i);
+  const float t = compute_threshold(scores, rule);
+  EXPECT_NEAR(t, 97.02f, 0.01f);
+  // ~2% of training scores exceed the threshold by construction.
+  std::size_t above = 0;
+  for (float s : scores) above += (s > t);
+  EXPECT_EQ(above, 2u);
+}
+
+TEST(Threshold, MeanStdRule) {
+  ThresholdRule rule{ThresholdKind::kMeanStd, 2.0};
+  const std::vector<float> scores = {2, 4, 4, 4, 5, 5, 7, 9};  // mean 5 std 2
+  EXPECT_NEAR(compute_threshold(scores, rule), 9.0f, 1e-4f);
+}
+
+TEST(Threshold, MadRuleRobustToOutlier) {
+  // MAD must barely move when one huge outlier joins the scores.
+  ThresholdRule rule{ThresholdKind::kMad, 3.0};
+  std::vector<float> base = {1, 2, 3, 4, 5, 6, 7};
+  const float t1 = compute_threshold(base, rule);
+  base.push_back(1000.0f);
+  const float t2 = compute_threshold(base, rule);
+  EXPECT_LT(std::abs(t2 - t1), 3.0f);
+
+  // mean+k*std explodes under the same contamination.
+  ThresholdRule msd{ThresholdKind::kMeanStd, 3.0};
+  std::vector<float> base2 = {1, 2, 3, 4, 5, 6, 7};
+  const float m1 = compute_threshold(base2, msd);
+  base2.push_back(1000.0f);
+  const float m2 = compute_threshold(base2, msd);
+  EXPECT_GT(m2 - m1, 100.0f);
+}
+
+TEST(Threshold, EmptyScoresThrow) {
+  ThresholdRule rule;
+  EXPECT_THROW(compute_threshold({}, rule), Error);
+}
+
+TEST(Threshold, Names) {
+  EXPECT_EQ(to_string(ThresholdKind::kPercentile), "percentile");
+  EXPECT_EQ(to_string(ThresholdKind::kMeanStd), "mean+k*std");
+  EXPECT_EQ(to_string(ThresholdKind::kMad), "mad");
+}
+
+}  // namespace
+}  // namespace evfl::anomaly

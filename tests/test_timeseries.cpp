@@ -1,0 +1,78 @@
+#include "data/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evfl::data {
+namespace {
+
+TimeSeries make_series(std::size_t n) {
+  TimeSeries s;
+  s.name = "test";
+  for (std::size_t i = 0; i < n; ++i) {
+    s.values.push_back(static_cast<float>(i));
+  }
+  return s;
+}
+
+TEST(TimeSeries, ValidateDetectsMisalignedLabels) {
+  TimeSeries s = make_series(5);
+  EXPECT_NO_THROW(s.validate());
+  s.labels = {1, 0};
+  EXPECT_THROW(s.validate(), Error);
+  s.init_clean_labels();
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.labels.size(), 5u);
+}
+
+TEST(TimeSeries, AnomalyCount) {
+  TimeSeries s = make_series(4);
+  EXPECT_EQ(s.anomaly_count(), 0u);
+  s.labels = {0, 1, 1, 0};
+  EXPECT_EQ(s.anomaly_count(), 2u);
+}
+
+TEST(TimeSeries, SlicePreservesLabels) {
+  TimeSeries s = make_series(6);
+  s.labels = {0, 1, 0, 1, 0, 1};
+  const TimeSeries sub = s.slice(1, 4);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.values[0], 1.0f);
+  EXPECT_EQ(sub.labels[0], 1);
+  EXPECT_EQ(sub.labels[2], 1);
+  EXPECT_THROW(s.slice(4, 8), Error);
+}
+
+TEST(TemporalSplit, EightyTwenty) {
+  const TimeSeries s = make_series(100);
+  const TrainTestSplit split = temporal_split(s, 0.8);
+  EXPECT_EQ(split.split_index, 80u);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.test.size(), 20u);
+  // Temporal: train strictly precedes test.
+  EXPECT_EQ(split.train.values.back(), 79.0f);
+  EXPECT_EQ(split.test.values.front(), 80.0f);
+}
+
+TEST(TemporalSplit, RejectsBadFraction) {
+  const TimeSeries s = make_series(10);
+  EXPECT_THROW(temporal_split(s, 0.0), Error);
+  EXPECT_THROW(temporal_split(s, 1.0), Error);
+  EXPECT_THROW(temporal_split(make_series(1), 0.5), Error);
+}
+
+TEST(SeriesStats, KnownValues) {
+  const SeriesStats st = compute_stats({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_FLOAT_EQ(st.mean, 5.0f);
+  EXPECT_FLOAT_EQ(st.stddev, 2.0f);
+  EXPECT_FLOAT_EQ(st.min, 2.0f);
+  EXPECT_FLOAT_EQ(st.max, 9.0f);
+}
+
+TEST(SeriesStats, EmptyIsZero) {
+  const SeriesStats st = compute_stats({});
+  EXPECT_EQ(st.mean, 0.0f);
+  EXPECT_EQ(st.stddev, 0.0f);
+}
+
+}  // namespace
+}  // namespace evfl::data

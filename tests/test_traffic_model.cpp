@@ -1,0 +1,73 @@
+#include "sim/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace evfl::sim {
+namespace {
+
+TEST(TrafficModel, NominalMultiplierMatchesPaper) {
+  TrafficModel model;
+  // 350,500 / 33,000 = 10.62... — the paper's "10.6 times" multiplier.
+  EXPECT_NEAR(model.nominal_multiplier(), 10.62, 0.01);
+}
+
+TEST(TrafficModel, RejectsDegenerateConfig) {
+  TrafficModelConfig bad;
+  bad.normal_pps = 0.0;
+  EXPECT_THROW(TrafficModel{bad}, Error);
+  TrafficModelConfig inverted;
+  inverted.attack_pps = inverted.normal_pps / 2;
+  EXPECT_THROW(TrafficModel{inverted}, Error);
+}
+
+TEST(TrafficModel, TraceShapeAndLabels) {
+  TrafficModel model;
+  tensor::Rng rng(1);
+  const TrafficTrace trace = model.generate_trace(1000, 5, 20, rng);
+  EXPECT_EQ(trace.size(), 1000u);
+  EXPECT_EQ(trace.attack.size(), 1000u);
+  std::size_t attacked = 0;
+  for (auto a : trace.attack) attacked += a;
+  EXPECT_GE(attacked, 20u);        // at least one burst survived placement
+  EXPECT_LE(attacked, 5u * 20u);   // at most bursts * length
+}
+
+TEST(TrafficModel, MeasuredMultiplierNearNominal) {
+  TrafficModel model;
+  tensor::Rng rng(2);
+  const TrafficTrace trace = model.generate_trace(20000, 40, 50, rng);
+  const TrafficStats st = TrafficModel::analyze(trace);
+  EXPECT_NEAR(st.mean_normal_pps, 33'000.0, 1500.0);
+  EXPECT_NEAR(st.mean_attack_pps, 350'500.0, 20'000.0);
+  EXPECT_NEAR(st.intensity_multiplier, 10.62, 1.0);
+}
+
+TEST(TrafficModel, NoAttackTraceHasZeroMultiplier) {
+  TrafficModel model;
+  tensor::Rng rng(3);
+  const TrafficTrace trace = model.generate_trace(100, 0, 10, rng);
+  const TrafficStats st = TrafficModel::analyze(trace);
+  EXPECT_EQ(st.attack_slots, 0u);
+  EXPECT_EQ(st.intensity_multiplier, 0.0);
+}
+
+TEST(TrafficModel, RatesNonNegative) {
+  TrafficModelConfig cfg;
+  cfg.normal_jitter = 2.0;  // extreme jitter would go negative unclamped
+  TrafficModel model(cfg);
+  tensor::Rng rng(4);
+  const TrafficTrace trace = model.generate_trace(5000, 0, 0, rng);
+  for (float v : trace.pps) EXPECT_GE(v, 0.0f);
+}
+
+TEST(TrafficModel, AnalyzeRejectsMisaligned) {
+  TrafficTrace broken;
+  broken.pps = {1.0f, 2.0f};
+  broken.attack = {0};
+  EXPECT_THROW(TrafficModel::analyze(broken), Error);
+}
+
+}  // namespace
+}  // namespace evfl::sim

@@ -1,0 +1,157 @@
+#include "data/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace evfl::data {
+namespace {
+
+TEST(ForecastSequences, ShapesAndAlignment) {
+  const std::vector<float> series = {0, 1, 2, 3, 4, 5};
+  const SequenceDataset ds = make_forecast_sequences(series, 3);
+  EXPECT_EQ(ds.x.batch(), 3u);
+  EXPECT_EQ(ds.x.time(), 3u);
+  EXPECT_EQ(ds.x.features(), 1u);
+  // Sample 0: window [0,1,2] -> target 3.
+  EXPECT_EQ(ds.x(0, 0, 0), 0.0f);
+  EXPECT_EQ(ds.x(0, 2, 0), 2.0f);
+  EXPECT_EQ(ds.y(0, 0, 0), 3.0f);
+  // Sample 2: window [2,3,4] -> target 5.
+  EXPECT_EQ(ds.x(2, 0, 0), 2.0f);
+  EXPECT_EQ(ds.y(2, 0, 0), 5.0f);
+  EXPECT_EQ(ds.target_offset(2), 5u);
+}
+
+TEST(ForecastSequences, TooShortThrows) {
+  EXPECT_THROW(make_forecast_sequences({1, 2}, 2), Error);
+  EXPECT_THROW(make_forecast_sequences({1, 2, 3}, 0), Error);
+}
+
+TEST(AutoencoderWindows, StrideOneCoverage) {
+  const std::vector<float> series = {0, 1, 2, 3, 4};
+  const tensor::Tensor3 w = make_autoencoder_windows(series, 3);
+  EXPECT_EQ(w.batch(), 3u);  // 5 - 3 + 1
+  EXPECT_EQ(w(0, 0, 0), 0.0f);
+  EXPECT_EQ(w(2, 2, 0), 4.0f);
+}
+
+TEST(AutoencoderWindows, ExactLengthGivesOneWindow) {
+  const tensor::Tensor3 w = make_autoencoder_windows({1, 2, 3}, 3);
+  EXPECT_EQ(w.batch(), 1u);
+}
+
+TEST(PerPointError, PerfectReconstructionIsZero) {
+  const std::vector<float> series = {0, 1, 2, 3, 4};
+  const tensor::Tensor3 w = make_autoencoder_windows(series, 3);
+  const auto err = per_point_reconstruction_error(w, w, series.size());
+  ASSERT_EQ(err.size(), series.size());
+  for (float e : err) EXPECT_EQ(e, 0.0f);
+}
+
+TEST(PerPointError, LocalizedErrorAveragedOverCoveringWindows) {
+  const std::vector<float> series = {0, 0, 0, 0, 0};
+  const tensor::Tensor3 w = make_autoencoder_windows(series, 3);
+  tensor::Tensor3 recon = w;
+  // Corrupt reconstruction of point 2 in every window covering it.
+  // Point 2 appears in window 0 at t=2, window 1 at t=1, window 2 at t=0.
+  recon(0, 2, 0) = 1.0f;
+  recon(1, 1, 0) = 1.0f;
+  recon(2, 0, 0) = 1.0f;
+  const auto err = per_point_reconstruction_error(w, recon, series.size());
+  EXPECT_FLOAT_EQ(err[2], 1.0f);  // mean of three unit squared errors
+  EXPECT_EQ(err[0], 0.0f);
+  EXPECT_EQ(err[4], 0.0f);
+}
+
+TEST(PerPointError, EdgePointsCoveredByFewerWindows) {
+  const std::vector<float> series = {0, 0, 0, 0};
+  const tensor::Tensor3 w = make_autoencoder_windows(series, 2);
+  tensor::Tensor3 recon = w;
+  recon(0, 0, 0) = 2.0f;  // only window covering point 0
+  const auto err = per_point_reconstruction_error(w, recon, series.size());
+  EXPECT_FLOAT_EQ(err[0], 4.0f);
+}
+
+TEST(PerPointError, MinAggregationIgnoresSmearedWindows) {
+  // Point 2 is covered by three windows; only one window reconstructs it
+  // badly (as happens when a *neighbouring* attack corrupts that window).
+  const std::vector<float> series = {0, 0, 0, 0, 0};
+  const tensor::Tensor3 w = make_autoencoder_windows(series, 3);
+  tensor::Tensor3 recon = w;
+  recon(0, 2, 0) = 1.0f;  // only window 0's view of point 2 is corrupted
+  const auto mean_err = per_point_reconstruction_error(
+      w, recon, series.size(), ErrorAggregation::kMean);
+  const auto min_err = per_point_reconstruction_error(
+      w, recon, series.size(), ErrorAggregation::kMin);
+  EXPECT_GT(mean_err[2], 0.0f);      // mean smears
+  EXPECT_FLOAT_EQ(min_err[2], 0.0f); // min sees the clean windows
+}
+
+TEST(PerPointError, MinEqualsMeanWhenAllWindowsAgree) {
+  const std::vector<float> series = {0, 0, 0, 0};
+  const tensor::Tensor3 w = make_autoencoder_windows(series, 2);
+  tensor::Tensor3 recon = w;
+  // Corrupt point 1 in both covering windows identically.
+  recon(0, 1, 0) = 2.0f;
+  recon(1, 0, 0) = 2.0f;
+  const auto mean_err = per_point_reconstruction_error(
+      w, recon, series.size(), ErrorAggregation::kMean);
+  const auto min_err = per_point_reconstruction_error(
+      w, recon, series.size(), ErrorAggregation::kMin);
+  EXPECT_FLOAT_EQ(mean_err[1], 4.0f);
+  EXPECT_FLOAT_EQ(min_err[1], 4.0f);
+}
+
+TEST(PerPointError, MedianAggregation) {
+  const std::vector<float> series = {0, 0, 0, 0, 0};
+  const tensor::Tensor3 w = make_autoencoder_windows(series, 3);
+  tensor::Tensor3 recon = w;
+  // Point 2's three covering errors: 1, 4, 0 -> median 1.
+  recon(0, 2, 0) = 1.0f;
+  recon(1, 1, 0) = 2.0f;
+  const auto med = per_point_reconstruction_error(
+      w, recon, series.size(), ErrorAggregation::kMedian);
+  EXPECT_FLOAT_EQ(med[2], 1.0f);
+}
+
+TEST(PerPointError, AggregationNames) {
+  EXPECT_EQ(to_string(ErrorAggregation::kMean), "mean");
+  EXPECT_EQ(to_string(ErrorAggregation::kMin), "min");
+  EXPECT_EQ(to_string(ErrorAggregation::kMedian), "median");
+}
+
+TEST(PerPointReconstruction, AveragesCoveringWindows) {
+  // 4-point series, window 2: windows (0,1) (1,2) (2,3).  Reconstruction
+  // values chosen so point 1 is covered by window 0 pos 1 (value 10) and
+  // window 1 pos 0 (value 20) -> mean 15.
+  tensor::Tensor3 recon(3, 2, 1);
+  recon(0, 0, 0) = 5;
+  recon(0, 1, 0) = 10;
+  recon(1, 0, 0) = 20;
+  recon(1, 1, 0) = 30;
+  recon(2, 0, 0) = 40;
+  recon(2, 1, 0) = 50;
+  const auto r = per_point_reconstruction(recon, 4);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_FLOAT_EQ(r[0], 5.0f);
+  EXPECT_FLOAT_EQ(r[1], 15.0f);
+  EXPECT_FLOAT_EQ(r[2], 35.0f);
+  EXPECT_FLOAT_EQ(r[3], 50.0f);
+}
+
+TEST(PerPointReconstruction, LengthValidated) {
+  tensor::Tensor3 recon(3, 2, 1);
+  EXPECT_THROW(per_point_reconstruction(recon, 99), Error);
+}
+
+TEST(PerPointError, InconsistentLengthThrows) {
+  const std::vector<float> series = {0, 1, 2, 3};
+  const tensor::Tensor3 w = make_autoencoder_windows(series, 2);
+  EXPECT_THROW(per_point_reconstruction_error(w, w, 99), Error);
+  const tensor::Tensor3 other(w.batch(), 3, 1);
+  EXPECT_THROW(per_point_reconstruction_error(w, other, series.size()), Error);
+}
+
+}  // namespace
+}  // namespace evfl::data
