@@ -22,6 +22,7 @@ using namespace evfl::core;
 int main(int argc, char** argv) {
   std::cout << std::unitbuf;  // progress lines reach redirected logs promptly
   ExperimentConfig cfg;
+  cfg.threads = 0;  // pool sized to the machine; override with --threads N
   // Ablations compare vectors against each other; a reduced study window
   // keeps the sweep fast without changing the ordering (--hours overrides).
   cfg.generator.hours = 2000;

@@ -20,6 +20,7 @@ namespace {
 
 ExperimentConfig ablation_config(int argc, char** argv) {
   ExperimentConfig cfg;
+  cfg.threads = 0;  // pool sized to the machine; override with --threads N
   cfg.generator.hours = 1500;
   cfg.forecaster.lstm_units = 24;
   cfg.forecaster.dense_units = 8;

@@ -19,6 +19,7 @@ using namespace evfl::core;
 int main(int argc, char** argv) {
   std::cout << std::unitbuf;
   ExperimentConfig cfg;
+  cfg.threads = 0;  // pool sized to the machine; override with --threads N
   cfg.generator.hours = 2000;
   cfg.forecaster.lstm_units = 32;
   cfg.federated_rounds = 3;

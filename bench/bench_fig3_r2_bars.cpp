@@ -13,6 +13,7 @@ using namespace evfl::core;
 int main(int argc, char** argv) {
   std::cout << std::unitbuf;  // progress lines reach redirected logs promptly
   ExperimentConfig cfg;
+  cfg.threads = 0;  // pool sized to the machine; override with --threads N
   cfg.cache_dir = "bench_cache";  // share the pipeline pass across benches
   const std::string out_path = "fig3_r2_bars.csv";
   try {

@@ -1,13 +1,25 @@
 // Microbenchmarks of the substrate hot paths (google-benchmark): GEMM
 // kernels at LSTM-relevant shapes, LSTM forward/backward, autoencoder
-// scoring, wire serialization, and FedAvg aggregation.
+// scoring, wire serialization, and FedAvg aggregation.  After the
+// google-benchmark suite, main() runs a parallel-vs-serial comparison of
+// the runtime layer (context-aware matmul, parallel prepare_clients) and
+// writes the speedups to BENCH_runtime.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+
 #include "anomaly/autoencoder.hpp"
+#include "core/pipeline.hpp"
 #include "fl/fedavg.hpp"
 #include "fl/serialize.hpp"
 #include "forecast/model.hpp"
+#include "metrics/timer.hpp"
 #include "nn/loss.hpp"
+#include "runtime/run_context.hpp"
+#include "tensor/linalg.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/rng.hpp"
 
@@ -148,6 +160,107 @@ void BM_AutoencoderScore(benchmark::State& state) {
 }
 BENCHMARK(BM_AutoencoderScore);
 
+// ---- parallel-vs-serial comparison of the runtime layer --------------------
+
+/// Best-of-reps wall time of fn() in seconds.
+template <typename Fn>
+double time_best_of(std::size_t reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < reps; ++r) {
+    const metrics::WallTimer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+struct Comparison {
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  double speedup() const {
+    return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  }
+};
+
+Comparison compare_matmul(const runtime::RunContext& ctx) {
+  const std::size_t n = 256;
+  const tensor::Matrix a = random_matrix(n, n, 21);
+  const tensor::Matrix b = random_matrix(n, n, 22);
+  tensor::Matrix c(n, n);
+  Comparison cmp;
+  cmp.serial_seconds = time_best_of(5, [&] {
+    c.set_zero();
+    tensor::matmul_acc(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  });
+  cmp.parallel_seconds = time_best_of(5, [&] {
+    c.set_zero();
+    tensor::matmul_acc(a, b, c, ctx);
+    benchmark::DoNotOptimize(c.data());
+  });
+  return cmp;
+}
+
+Comparison compare_prepare_clients(const runtime::RunContext& ctx) {
+  core::ExperimentConfig cfg;
+  cfg.generator.hours = 600;
+  cfg.ddos.bursts = 8;
+  cfg.filter.autoencoder.window = 12;
+  cfg.filter.autoencoder.encoder_units = 10;
+  cfg.filter.autoencoder.latent_units = 5;
+  cfg.filter.autoencoder.max_epochs = 4;
+  cfg.cache_dir.clear();  // measure the real fit, not a cache hit
+  Comparison cmp;
+  cmp.serial_seconds = time_best_of(2, [&] {
+    benchmark::DoNotOptimize(core::prepare_clients(cfg));
+  });
+  cmp.parallel_seconds = time_best_of(2, [&] {
+    benchmark::DoNotOptimize(core::prepare_clients(cfg, &ctx));
+  });
+  return cmp;
+}
+
+void write_json(std::ostream& out, std::size_t threads,
+                const Comparison& matmul, const Comparison& prep) {
+  auto entry = [&](const char* name, const Comparison& c, const char* tail) {
+    out << "  \"" << name << "\": {\"serial_seconds\": " << c.serial_seconds
+        << ", \"parallel_seconds\": " << c.parallel_seconds
+        << ", \"speedup\": " << c.speedup() << "}" << tail << "\n";
+  };
+  out << "{\n  \"threads\": " << threads << ",\n";
+  entry("matmul_256", matmul, ",");
+  entry("prepare_clients", prep, "");
+  out << "}\n";
+}
+
+void run_runtime_comparison() {
+  runtime::ThreadPool pool(0);  // hardware_concurrency
+  runtime::RunContext ctx{&pool, nullptr};
+  std::cout << "\n=== runtime layer: parallel vs serial (threads="
+            << pool.concurrency() << ") ===\n";
+
+  const Comparison matmul = compare_matmul(ctx);
+  std::cout << "matmul 256x256x256:  serial " << matmul.serial_seconds
+            << "s, parallel " << matmul.parallel_seconds << "s, speedup "
+            << matmul.speedup() << "x\n";
+
+  const Comparison prep = compare_prepare_clients(ctx);
+  std::cout << "prepare_clients:     serial " << prep.serial_seconds
+            << "s, parallel " << prep.parallel_seconds << "s, speedup "
+            << prep.speedup() << "x\n";
+
+  std::ofstream json("BENCH_runtime.json");
+  write_json(json, pool.concurrency(), matmul, prep);
+  std::cout << "wrote BENCH_runtime.json\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_runtime_comparison();
+  return 0;
+}

@@ -11,6 +11,7 @@ using namespace evfl::core;
 int main(int argc, char** argv) {
   std::cout << std::unitbuf;  // progress lines reach redirected logs promptly
   ExperimentConfig cfg;
+  cfg.threads = 0;  // pool sized to the machine; override with --threads N
   // The table/figure benches share one expensive pipeline pass (generation,
   // attack injection, autoencoder fitting) through an on-disk cache keyed
   // by the config fingerprint.  Pass --cache-dir "" to disable.

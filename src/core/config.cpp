@@ -40,6 +40,13 @@ void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv) {
         cfg.filter.autoencoder.max_epochs = std::stoul(value);
       } else if (key == "--damping") {
         cfg.ddos.damping = std::stof(value);
+      } else if (key == "--threads") {
+        cfg.threads = std::stoul(value);
+        // stoul wraps "-1" to SIZE_MAX; reject nonsense before it sizes a
+        // worker pool.
+        if (value.find('-') != std::string::npos || cfg.threads > 1024) {
+          throw Error("bad value for --threads: '" + value + "'");
+        }
       } else if (key == "--cache-dir") {
         cfg.cache_dir = value;
       } else {
@@ -68,7 +75,7 @@ std::string describe(const ExperimentConfig& cfg) {
      << " bursts=" << cfg.ddos.bursts
      << " threshold=" << anomaly::to_string(cfg.filter.threshold.kind) << "("
      << cfg.filter.threshold.param << ")"
-     << " seed=" << cfg.seed;
+     << " seed=" << cfg.seed << " threads=" << cfg.threads;
   return os.str();
 }
 

@@ -28,6 +28,12 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   bool threaded = false;                   // ThreadedDriver instead of Sync
 
+  /// Worker-thread budget for the runtime execution context: 1 = serial
+  /// (the default — bit-reproducible and what the tests assume), 0 = size
+  /// to hardware_concurrency(), N = exactly N threads.  Parallel paths are
+  /// bit-identical to serial, so this only trades wall-clock time.
+  std::size_t threads = 1;
+
   /// The paper's centralized baseline pools "combined sequences from all
   /// clients ... without [per-client] preprocessing" (§II-C-1): one global
   /// scaling.  Set false to give the centralized model per-client scaling
@@ -45,6 +51,7 @@ struct ExperimentConfig {
 ///   --seed N  --rounds N  --epochs N  --hours N  --lstm-units N
 ///   --seq-len N  --bursts N  --threshold-pct X  --gap-tolerance N
 ///   --train-fraction X  --threaded 0|1  --ae-epochs N  --damping X
+///   --threads N (0 = hardware_concurrency)
 /// Unknown keys throw evfl::Error (typos must not silently run the default).
 void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv);
 

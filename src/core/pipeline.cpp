@@ -142,47 +142,69 @@ std::string to_string(DataScenario s) {
   return "?";
 }
 
-std::vector<ClientData> prepare_clients(const ExperimentConfig& cfg) {
+std::vector<ClientData> prepare_clients(const ExperimentConfig& cfg,
+                                        const runtime::RunContext* ctx) {
   const std::string fingerprint = pipeline_fingerprint(cfg);
   if (!cfg.cache_dir.empty()) {
     std::vector<ClientData> cached;
     if (load_cached_clients(cfg, fingerprint, cached)) return cached;
   }
 
+  runtime::ScopedTimer prep_timer(ctx != nullptr ? ctx->metrics : nullptr,
+                                  "pipeline.prepare_clients_seconds");
   tensor::Rng root(cfg.seed);
   const std::vector<data::TimeSeries> clean_series =
       datagen::generate_clients(cfg.generator);
   const attack::DdosInjector injector(cfg.ddos);
 
-  std::vector<ClientData> clients;
-  clients.reserve(clean_series.size());
+  const std::size_t n = clean_series.size();
   const std::vector<std::string> zones = {"102", "105", "108"};
 
-  for (std::size_t c = 0; c < clean_series.size(); ++c) {
+  // Pre-split per-client RNGs in the exact order the serial loop consumed
+  // the root stream (attack split then filter split, per client), so the
+  // concurrent path replays identical randomness regardless of schedule.
+  std::vector<tensor::Rng> attack_rngs, filter_rngs;
+  attack_rngs.reserve(n);
+  filter_rngs.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    attack_rngs.push_back(root.split());
+    filter_rngs.push_back(root.split());
+  }
+
+  std::vector<ClientData> clients(n);
+  auto build_client = [&](std::size_t c) {
     ClientData cd;
     cd.zone = c < zones.size() ? zones[c] : std::to_string(c);
     cd.clean = clean_series[c];
 
     // Inject DDoS anomalies over the whole study window.
-    tensor::Rng attack_rng = root.split();
-    cd.injection = injector.inject(cd.clean, cd.attacked, attack_rng);
+    cd.injection = injector.inject(cd.clean, cd.attacked, attack_rngs[c]);
 
     // Fit the anomaly filter on the clean training region only — the paper
     // trains the autoencoder exclusively on normal data segments.
     const data::TrainTestSplit clean_split =
         data::temporal_split(cd.clean, cfg.train_fraction);
-    tensor::Rng filter_rng = root.split();
-    anomaly::EvChargingAnomalyFilter filter(cfg.filter, filter_rng);
+    anomaly::EvChargingAnomalyFilter filter(cfg.filter, filter_rngs[c]);
     const metrics::WallTimer timer;
-    filter.fit(clean_split.train, filter_rng);
+    filter.fit(clean_split.train, filter_rngs[c]);
     cd.filter_fit_seconds = timer.seconds();
 
     // Detect + mitigate across the full attacked series.
     cd.filter_result = filter.filter(cd.attacked);
     cd.filtered = cd.filter_result.filtered;
 
-    clients.push_back(std::move(cd));
+    clients[c] = std::move(cd);
+  };
+
+  if (ctx != nullptr && ctx->parallel() && n > 1) {
+    ctx->count("pipeline.parallel_client_preps");
+    ctx->parallel_for(n, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t c = begin; c < end; ++c) build_client(c);
+    });
+  } else {
+    for (std::size_t c = 0; c < n; ++c) build_client(c);
   }
+
   if (!cfg.cache_dir.empty()) {
     store_cached_clients(cfg, fingerprint, clients);
   }

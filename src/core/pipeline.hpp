@@ -12,6 +12,7 @@
 #include "data/scaler.hpp"
 #include "data/window.hpp"
 #include "metrics/classification.hpp"
+#include "runtime/run_context.hpp"
 
 namespace evfl::core {
 
@@ -44,7 +45,11 @@ struct PreparedClient {
 /// Run generation, attack injection and anomaly filtering for all clients.
 /// The anomaly filter is fitted per client on its clean training region
 /// (the paper trains the autoencoder "exclusively on normal data segments").
-std::vector<ClientData> prepare_clients(const ExperimentConfig& cfg);
+/// With a RunContext, clients are fitted concurrently; per-client RNGs are
+/// pre-split in serial order so the output is bit-identical to the serial
+/// path.
+std::vector<ClientData> prepare_clients(const ExperimentConfig& cfg,
+                                        const runtime::RunContext* ctx = nullptr);
 
 /// Select a scenario's series for a client.
 const data::TimeSeries& scenario_series(const ClientData& client,

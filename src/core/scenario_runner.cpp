@@ -6,11 +6,34 @@
 
 namespace evfl::core {
 
-ScenarioRunner::ScenarioRunner(ExperimentConfig cfg) : cfg_(std::move(cfg)) {}
+ScenarioRunner::ScenarioRunner(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.threads != 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(cfg_.threads);
+  }
+  ctx_.pool = pool_.get();
+  ctx_.metrics = &metrics_;
+}
 
 const std::vector<ClientData>& ScenarioRunner::clients() {
-  if (!clients_) clients_ = prepare_clients(cfg_);
+  if (!clients_) clients_ = prepare_clients(cfg_, &ctx_);
   return *clients_;
+}
+
+std::vector<PreparedClient> ScenarioRunner::window_all(
+    DataScenario scenario, const data::MinMaxScaler* shared_scaler) {
+  const std::vector<ClientData>& data = clients();
+  std::vector<PreparedClient> prepared(data.size());
+  // window_scenario is deterministic and RNG-free, so concurrent windowing
+  // is trivially bit-identical.
+  ctx_.parallel_for(data.size(), 1,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t c = begin; c < end; ++c) {
+                        prepared[c] =
+                            window_scenario(data[c], scenario, cfg_,
+                                            shared_scaler);
+                      }
+                    });
+  return prepared;
 }
 
 ClientEvaluation ScenarioRunner::evaluate_model(nn::Sequential& model,
@@ -19,7 +42,8 @@ ClientEvaluation ScenarioRunner::evaluate_model(nn::Sequential& model,
   ev.zone = prepared.zone;
   ev.actual = prepared.test_actual;
 
-  const tensor::Tensor3 pred = nn::predict_batched(model, prepared.test.x);
+  const tensor::Tensor3 pred =
+      nn::predict_batched(model, prepared.test.x, 256, &ctx_);
   ev.predicted.reserve(pred.batch());
   for (std::size_t i = 0; i < pred.batch(); ++i) {
     ev.predicted.push_back(prepared.scaler.inverse_one(pred(i, 0, 0)));
@@ -29,13 +53,7 @@ ClientEvaluation ScenarioRunner::evaluate_model(nn::Sequential& model,
 }
 
 ScenarioResult ScenarioRunner::run_federated(DataScenario scenario) {
-  const std::vector<ClientData>& data = clients();
-
-  std::vector<PreparedClient> prepared;
-  prepared.reserve(data.size());
-  for (const ClientData& cd : data) {
-    prepared.push_back(window_scenario(cd, scenario, cfg_));
-  }
+  std::vector<PreparedClient> prepared = window_all(scenario, nullptr);
 
   tensor::Rng root(cfg_.seed ^ 0xFEDAu);
   const forecast::ForecasterConfig model_cfg = cfg_.forecaster;
@@ -62,14 +80,13 @@ ScenarioResult ScenarioRunner::run_federated(DataScenario scenario) {
   fl::InMemoryNetwork net;
 
   const metrics::WallTimer timer;
-  fl::FederatedRunResult run;
+  std::unique_ptr<fl::Driver> driver;
   if (cfg_.threaded) {
-    fl::ThreadedDriver driver(server, fl_clients, net);
-    run = driver.run(cfg_.federated_rounds);
+    driver = std::make_unique<fl::ThreadedDriver>(server, fl_clients, net);
   } else {
-    fl::SyncDriver driver(server, fl_clients, net);
-    run = driver.run(cfg_.federated_rounds);
+    driver = std::make_unique<fl::SyncDriver>(server, fl_clients, net, &ctx_);
   }
+  const fl::FederatedRunResult run = driver->run(cfg_.federated_rounds);
 
   ScenarioResult result;
   result.scenario = scenario;
@@ -99,12 +116,10 @@ ScenarioResult ScenarioRunner::run_centralized(DataScenario scenario) {
     shared_ptr = &shared;
   }
 
-  std::vector<PreparedClient> prepared;
+  std::vector<PreparedClient> prepared = window_all(scenario, shared_ptr);
   std::vector<data::SequenceDataset> train_sets;
-  for (const ClientData& cd : data) {
-    prepared.push_back(window_scenario(cd, scenario, cfg_, shared_ptr));
-    train_sets.push_back(prepared.back().train);
-  }
+  train_sets.reserve(prepared.size());
+  for (const PreparedClient& pc : prepared) train_sets.push_back(pc.train);
 
   forecast::CentralizedConfig central_cfg;
   central_cfg.model = cfg_.forecaster;

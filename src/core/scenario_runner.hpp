@@ -12,12 +12,14 @@
 // also exposed for the FedAvg ablation.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "core/pipeline.hpp"
 #include "fl/driver.hpp"
 #include "metrics/regression.hpp"
+#include "runtime/run_context.hpp"
 
 namespace evfl::core {
 
@@ -52,9 +54,18 @@ struct DetectionReport {
 
 class ScenarioRunner {
  public:
+  /// Builds a thread pool sized from cfg.threads (1 = serial, 0 = hardware
+  /// concurrency) that every stage below — pipeline prep, windowing,
+  /// evaluation, the federated driver — partitions work onto.  All parallel
+  /// paths are bit-identical to serial execution.
   explicit ScenarioRunner(ExperimentConfig cfg);
 
   const ExperimentConfig& config() const { return cfg_; }
+
+  /// The execution context shared by every stage this runner drives.
+  const runtime::RunContext& context() const { return ctx_; }
+  /// Counters/timers accumulated by the runtime-aware stages.
+  const runtime::Metrics& runtime_metrics() const { return metrics_; }
 
   /// Pipeline output (generated lazily, cached — all scenarios share it).
   const std::vector<ClientData>& clients();
@@ -74,8 +85,13 @@ class ScenarioRunner {
  private:
   ClientEvaluation evaluate_model(nn::Sequential& model,
                                   const PreparedClient& prepared);
+  std::vector<PreparedClient> window_all(
+      DataScenario scenario, const data::MinMaxScaler* shared_scaler);
 
   ExperimentConfig cfg_;
+  std::unique_ptr<runtime::ThreadPool> pool_;  // null when cfg.threads == 1
+  runtime::Metrics metrics_;
+  runtime::RunContext ctx_;
   std::optional<std::vector<ClientData>> clients_;
 };
 

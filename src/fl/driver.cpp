@@ -1,8 +1,10 @@
 #include "fl/driver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
 
 #include "fl/serialize.hpp"
 
@@ -36,48 +38,84 @@ RoundMetrics make_round_metrics(std::uint32_t round,
 
 SyncDriver::SyncDriver(Server& server,
                        std::vector<std::unique_ptr<Client>>& clients,
-                       InMemoryNetwork& net)
-    : server_(&server), clients_(&clients), net_(&net) {
+                       InMemoryNetwork& net, const runtime::RunContext* ctx)
+    : server_(&server), clients_(&clients), net_(&net), ctx_(ctx) {
   EVFL_REQUIRE(!clients.empty(), "SyncDriver needs clients");
 }
 
 FederatedRunResult SyncDriver::run(std::size_t rounds) {
   const auto t0 = Clock::now();
   FederatedRunResult result;
+  const std::size_t n = clients_->size();
+
+  // Client id -> slot, so updates drained from the shared server mailbox
+  // re-order into deterministic client order whatever the arrival schedule.
+  std::unordered_map<int, std::size_t> slot_of;
+  for (std::size_t c = 0; c < n; ++c) slot_of[(*clients_)[c]->id()] = c;
 
   for (std::size_t r = 0; r < rounds; ++r) {
     const auto round_t0 = Clock::now();
     const GlobalModel global = server_->broadcast();
 
-    std::vector<WeightUpdate> updates;
-    double max_client_seconds = 0.0;
-    for (auto& client : *clients_) {
+    std::atomic<std::size_t> dropped{0};
+    std::vector<double> client_seconds(n, 0.0);
+    auto run_client = [&](std::size_t c) {
+      Client& client = *(*clients_)[c];
       // Broadcast leg: global weights cross the wire to this client.
-      if (!net_->send(Message{kServerNode, client->id(), serialize(global)})) {
-        continue;  // simulated network dropped the broadcast
+      if (!net_->send(Message{kServerNode, client.id(), serialize(global)})) {
+        ++dropped;  // simulated network dropped the broadcast
+        return;
       }
-      std::optional<Message> down = net_->try_receive(client->id());
-      EVFL_ASSERT(down.has_value(), "sync driver lost its own message");
+      std::optional<Message> down = net_->try_receive(client.id());
+      if (!down) {
+        ++dropped;  // self-message lost: degrade the round, never abort
+        return;
+      }
       const GlobalModel received = deserialize_global(down->bytes);
 
-      WeightUpdate update = client->train_round(received);
-      max_client_seconds =
-          std::max(max_client_seconds, client->last_train_seconds());
+      WeightUpdate update = client.train_round(received);
+      client_seconds[c] = client.last_train_seconds();
 
       // Upload leg: the update crosses the wire back to the server.
-      if (!net_->send(Message{client->id(), kServerNode, serialize(update)})) {
-        continue;  // simulated network dropped the upload
+      if (!net_->send(Message{client.id(), kServerNode, serialize(update)})) {
+        ++dropped;  // simulated network dropped the upload
       }
-      std::optional<Message> up = net_->try_receive(kServerNode);
-      EVFL_ASSERT(up.has_value(), "sync driver lost its own message");
-      updates.push_back(deserialize_update(up->bytes));
+    };
+
+    if (ctx_ != nullptr && ctx_->parallel() && n > 1) {
+      ctx_->count("fl.pool_backed_rounds");
+      ctx_->parallel_for(n, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) run_client(c);
+      });
+    } else {
+      for (std::size_t c = 0; c < n; ++c) run_client(c);
+    }
+
+    // Drain the server mailbox into per-client slots.
+    std::vector<std::optional<WeightUpdate>> slots(n);
+    while (std::optional<Message> up = net_->try_receive(kServerNode)) {
+      WeightUpdate u = deserialize_update(up->bytes);
+      const auto it = slot_of.find(u.client_id);
+      if (it == slot_of.end()) {
+        ++dropped;  // update from an unknown sender: skip it
+        continue;
+      }
+      slots[it->second] = std::move(u);
+    }
+
+    std::vector<WeightUpdate> updates;
+    updates.reserve(n);
+    for (std::optional<WeightUpdate>& s : slots) {
+      if (s) updates.push_back(std::move(*s));
     }
 
     const double delta = server_->finish_round(updates);
     RoundMetrics rm = make_round_metrics(global.round, updates, delta,
                                          seconds_since(round_t0));
-    rm.max_client_seconds = max_client_seconds;
-    result.simulated_parallel_seconds += max_client_seconds;
+    rm.max_client_seconds =
+        *std::max_element(client_seconds.begin(), client_seconds.end());
+    rm.dropped_messages = dropped.load();
+    result.simulated_parallel_seconds += rm.max_client_seconds;
     result.rounds.push_back(rm);
   }
 
@@ -92,6 +130,10 @@ ThreadedDriver::ThreadedDriver(Server& server,
                                InMemoryNetwork& net)
     : server_(&server), clients_(&clients), net_(&net) {
   EVFL_REQUIRE(!clients.empty(), "ThreadedDriver needs clients");
+}
+
+FederatedRunResult ThreadedDriver::run(std::size_t rounds) {
+  return run(rounds, 120'000.0);
 }
 
 FederatedRunResult ThreadedDriver::run(std::size_t rounds,
@@ -110,9 +152,12 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
     const auto round_t0 = Clock::now();
     const GlobalModel global = server_->broadcast();
     std::size_t broadcasts_delivered = 0;
+    std::size_t round_drops = 0;
     for (auto& client : *clients_) {
       if (net_->send(Message{kServerNode, client->id(), serialize(global)})) {
         ++broadcasts_delivered;
+      } else {
+        ++round_drops;
       }
     }
 
@@ -137,6 +182,7 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
           std::max(max_client_seconds, client->last_train_seconds());
     }
     rm.max_client_seconds = max_client_seconds;
+    rm.dropped_messages = round_drops;
     result.simulated_parallel_seconds += max_client_seconds;
     result.rounds.push_back(rm);
   }

@@ -1,11 +1,15 @@
-// Federated-round orchestration.
+// Federated-round orchestration behind one Driver interface.
 //
-// SyncDriver runs clients one at a time in deterministic order — the default
-// for experiments, bit-reproducible given seeds.  ThreadedDriver runs each
+// SyncDriver runs clients in deterministic order — the default for
+// experiments, bit-reproducible given seeds.  Given a RunContext with a
+// thread pool it trains the round's clients concurrently (one task per
+// client) while keeping update aggregation in client order, so results
+// stay bit-identical to the serial schedule and "simulated parallel
+// seconds" becomes real wall-clock parallelism.  ThreadedDriver runs each
 // client on its own std::thread communicating through the InMemoryNetwork,
 // demonstrating (and testing) that the protocol tolerates concurrency,
-// message loss and stragglers.  Both routes every parameter exchange through
-// the serialized wire format.
+// message loss and stragglers.  Both route every parameter exchange
+// through the serialized wire format.
 #pragma once
 
 #include <memory>
@@ -14,6 +18,7 @@
 #include "fl/client.hpp"
 #include "fl/network.hpp"
 #include "fl/server.hpp"
+#include "runtime/run_context.hpp"
 
 namespace evfl::fl {
 
@@ -26,6 +31,10 @@ struct RoundMetrics {
   /// Slowest client's local-training time this round: the round's duration
   /// under genuine client parallelism.
   double max_client_seconds = 0.0;
+  /// Messages the (simulated) network lost this round — dropped broadcasts
+  /// and dropped/undeliverable updates.  A lossy round degrades, it never
+  /// aborts.
+  std::size_t dropped_messages = 0;
 };
 
 struct FederatedRunResult {
@@ -38,29 +47,41 @@ struct FederatedRunResult {
   double simulated_parallel_seconds = 0.0;
 };
 
-class SyncDriver {
+/// Common interface over the execution models, so callers pick a driver at
+/// runtime without caring how rounds are scheduled.
+class Driver {
  public:
-  SyncDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
-             InMemoryNetwork& net);
+  virtual ~Driver() = default;
+  virtual FederatedRunResult run(std::size_t rounds) = 0;
+};
 
-  FederatedRunResult run(std::size_t rounds);
+class SyncDriver : public Driver {
+ public:
+  /// `ctx` (optional, non-owning) supplies the thread pool for pool-backed
+  /// rounds; nullptr or a serial context trains clients one at a time.
+  SyncDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
+             InMemoryNetwork& net, const runtime::RunContext* ctx = nullptr);
+
+  FederatedRunResult run(std::size_t rounds) override;
 
  private:
   Server* server_;
   std::vector<std::unique_ptr<Client>>* clients_;
   InMemoryNetwork* net_;
+  const runtime::RunContext* ctx_;
 };
 
-class ThreadedDriver {
+class ThreadedDriver : public Driver {
  public:
   ThreadedDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
                  InMemoryNetwork& net);
 
+  FederatedRunResult run(std::size_t rounds) override;
+
   /// `collect_timeout_ms` bounds how long the server waits for each round's
   /// updates; stragglers past the deadline are skipped (FedAvg over the
   /// received subset).
-  FederatedRunResult run(std::size_t rounds,
-                         double collect_timeout_ms = 120'000.0);
+  FederatedRunResult run(std::size_t rounds, double collect_timeout_ms);
 
  private:
   Server* server_;

@@ -34,6 +34,7 @@ class Writer {
   }
 
   void put_floats(const std::vector<float>& values) {
+    if (values.empty()) return;  // data() may be null for an empty vector
     const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
     out_.insert(out_.end(), p, p + values.size() * sizeof(float));
   }
@@ -67,7 +68,8 @@ class Reader {
     }
     const std::size_t bytes = count * sizeof(float);
     std::vector<float> out(count);
-    std::memcpy(out.data(), in_.data() + pos_, bytes);
+    // Empty payloads are legal; memcpy's pointers must not be null.
+    if (bytes != 0) std::memcpy(out.data(), in_.data() + pos_, bytes);
     pos_ += bytes;
     return out;
   }

@@ -20,6 +20,9 @@ class Dense : public Layer {
   std::vector<ParamRef> params() override;
   std::size_t output_features(std::size_t input_features) const override;
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dense>(*this);
+  }
 
   std::size_t units() const { return units_; }
   const Matrix& weights() const { return w_; }

@@ -17,6 +17,9 @@ class Dropout : public Layer {
     return input_features;
   }
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dropout>(*this);
+  }
 
   float rate() const { return rate_; }
 

@@ -40,6 +40,12 @@ class Layer {
   /// Trainable parameters; empty for stateless layers.
   virtual std::vector<ParamRef> params() { return {}; }
 
+  /// Deep copy of the layer: parameters, lazily-built shapes and caches.
+  /// Clones share the parent's Rng handle, so concurrent *inference* on
+  /// clones is safe (inference never draws), while concurrent training on
+  /// clones would race the generator and is not supported.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
   /// Zero all parameter gradient buffers.
   void zero_grads() {
     for (ParamRef& p : params()) p.grad->set_zero();

@@ -25,6 +25,9 @@ class Lstm : public Layer {
   std::vector<ParamRef> params() override;
   std::size_t output_features(std::size_t input_features) const override;
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Lstm>(*this);
+  }
 
   std::size_t units() const { return units_; }
   bool return_sequences() const { return return_sequences_; }

@@ -16,6 +16,9 @@ class RepeatVector : public Layer {
     return input_features;
   }
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<RepeatVector>(*this);
+  }
 
  private:
   std::size_t repeats_;

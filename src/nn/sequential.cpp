@@ -12,6 +12,12 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
+Sequential Sequential::clone() const {
+  Sequential copy;
+  for (const auto& l : layers_) copy.layers_.push_back(l->clone());
+  return copy;
+}
+
 Tensor3 Sequential::forward(const Tensor3& input, bool training) {
   EVFL_REQUIRE(!layers_.empty(), "Sequential has no layers");
   Tensor3 x = input;

@@ -17,6 +17,10 @@ class Sequential {
   Sequential(Sequential&&) = default;
   Sequential& operator=(Sequential&&) = default;
 
+  /// Deep copy via per-layer clone() — replicates a model so independent
+  /// threads can run inference concurrently (each replica owns its caches).
+  Sequential clone() const;
+
   /// Append a layer; returns *this for fluent building.
   Sequential& add(std::unique_ptr<Layer> layer);
 

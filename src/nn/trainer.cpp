@@ -20,7 +20,8 @@ float Trainer::train_batch(const Tensor3& x, const Tensor3& y) {
 
 FitHistory Trainer::fit(const Tensor3& x, const Tensor3& y,
                         const FitConfig& cfg, const Tensor3* x_val,
-                        const Tensor3* y_val) {
+                        const Tensor3* y_val,
+                        const runtime::RunContext* ctx) {
   EVFL_REQUIRE(x.batch() == y.batch(), "fit: x/y batch mismatch");
   EVFL_REQUIRE(x.batch() > 0, "fit: empty dataset");
   EVFL_REQUIRE((x_val == nullptr) == (y_val == nullptr),
@@ -61,7 +62,7 @@ FitHistory Trainer::fit(const Tensor3& x, const Tensor3& y,
 
     float val_loss = std::numeric_limits<float>::quiet_NaN();
     if (x_val != nullptr) {
-      val_loss = evaluate(*x_val, *y_val);
+      val_loss = evaluate(*x_val, *y_val, 256, ctx);
       hist.val_loss.push_back(val_loss);
     }
     if (cfg.on_epoch_end) cfg.on_epoch_end(epoch, train_loss, val_loss);
@@ -88,39 +89,78 @@ FitHistory Trainer::fit(const Tensor3& x, const Tensor3& y,
 }
 
 float Trainer::evaluate(const Tensor3& x, const Tensor3& y,
-                        std::size_t batch_size) {
+                        std::size_t batch_size,
+                        const runtime::RunContext* ctx) {
   EVFL_REQUIRE(x.batch() == y.batch(), "evaluate: x/y batch mismatch");
-  double acc = 0.0;
-  for (std::size_t start = 0; start < x.batch(); start += batch_size) {
-    const std::size_t end = std::min(x.batch(), start + batch_size);
-    const Tensor3 xb = x.batch_slice(start, end);
-    const Tensor3 yb = y.batch_slice(start, end);
-    const Tensor3 pred = model_->forward(xb, /*training=*/false);
-    acc += static_cast<double>(loss_->value(pred, yb)) *
-           static_cast<double>(end - start);
+  batch_size = std::max<std::size_t>(1, batch_size);
+  const std::size_t n_batches = (x.batch() + batch_size - 1) / batch_size;
+
+  // Per-batch weighted losses land in slots so the final reduction runs in
+  // batch order whether the batches were scored serially or concurrently.
+  std::vector<double> partial(n_batches, 0.0);
+  auto score_batches = [&](Sequential& model, std::size_t batch_begin,
+                           std::size_t batch_end) {
+    for (std::size_t k = batch_begin; k < batch_end; ++k) {
+      const std::size_t start = k * batch_size;
+      const std::size_t end = std::min(x.batch(), start + batch_size);
+      const Tensor3 xb = x.batch_slice(start, end);
+      const Tensor3 yb = y.batch_slice(start, end);
+      const Tensor3 pred = model.forward(xb, /*training=*/false);
+      partial[k] = static_cast<double>(loss_->value(pred, yb)) *
+                   static_cast<double>(end - start);
+    }
+  };
+
+  if (ctx != nullptr && ctx->parallel() && n_batches > 1) {
+    ctx->count("trainer.parallel_evaluations");
+    ctx->parallel_for(n_batches, 1,
+                      [&](std::size_t begin, std::size_t end) {
+                        Sequential replica = model_->clone();
+                        score_batches(replica, begin, end);
+                      });
+  } else {
+    score_batches(*model_, 0, n_batches);
   }
+
+  double acc = 0.0;
+  for (const double p : partial) acc += p;
   return static_cast<float>(acc / static_cast<double>(x.batch()));
 }
 
 Tensor3 predict_batched(Sequential& model, const Tensor3& x,
-                        std::size_t batch_size) {
+                        std::size_t batch_size,
+                        const runtime::RunContext* ctx) {
   EVFL_REQUIRE(x.batch() > 0, "predict_batched: empty input");
-  Tensor3 out;
-  bool first = true;
-  for (std::size_t start = 0; start < x.batch(); start += batch_size) {
-    const std::size_t end = std::min(x.batch(), start + batch_size);
-    const Tensor3 pred = model.forward(x.batch_slice(start, end), false);
-    if (first) {
-      out = Tensor3(x.batch(), pred.time(), pred.features());
-      first = false;
+  batch_size = std::max<std::size_t>(1, batch_size);
+  const std::size_t n_batches = (x.batch() + batch_size - 1) / batch_size;
+
+  // First batch sizes the output (layers may reshape time/features).
+  const Tensor3 head = model.forward(x.batch_slice(0, std::min(x.batch(), batch_size)),
+                                     /*training=*/false);
+  Tensor3 out(x.batch(), head.time(), head.features());
+  head.copy_batch_into(out, 0);
+
+  auto predict_range = [&](Sequential& m, std::size_t batch_begin,
+                           std::size_t batch_end) {
+    for (std::size_t k = batch_begin; k < batch_end; ++k) {
+      const std::size_t start = k * batch_size;
+      const std::size_t end = std::min(x.batch(), start + batch_size);
+      const Tensor3 pred = m.forward(x.batch_slice(start, end), false);
+      pred.copy_batch_into(out, start);
     }
-    for (std::size_t i = 0; i < pred.batch(); ++i) {
-      for (std::size_t t = 0; t < pred.time(); ++t) {
-        for (std::size_t f = 0; f < pred.features(); ++f) {
-          out(start + i, t, f) = pred(i, t, f);
-        }
-      }
-    }
+  };
+
+  if (ctx != nullptr && ctx->parallel() && n_batches > 2) {
+    ctx->count("trainer.parallel_predictions");
+    // Batches [1, n) run concurrently on clones, each writing a disjoint
+    // slice of `out`.
+    ctx->parallel_for(n_batches - 1, 1,
+                      [&](std::size_t begin, std::size_t end) {
+                        Sequential replica = model.clone();
+                        predict_range(replica, begin + 1, end + 1);
+                      });
+  } else {
+    predict_range(model, 1, n_batches);
   }
   return out;
 }

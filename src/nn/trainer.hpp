@@ -10,6 +10,7 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
+#include "runtime/run_context.hpp"
 
 namespace evfl::nn {
 
@@ -41,13 +42,20 @@ class Trainer {
       : model_(&model), loss_(&loss), optimizer_(&optimizer), rng_(&rng) {}
 
   /// Train on (x, y); optionally validate on (x_val, y_val) each epoch.
+  /// Training itself stays sequential per model (weight updates must apply
+  /// in mini-batch order for determinism); a RunContext only parallelizes
+  /// the per-epoch validation evaluation.
   FitHistory fit(const Tensor3& x, const Tensor3& y, const FitConfig& cfg,
                  const Tensor3* x_val = nullptr,
-                 const Tensor3* y_val = nullptr);
+                 const Tensor3* y_val = nullptr,
+                 const runtime::RunContext* ctx = nullptr);
 
   /// Average loss over a dataset, evaluated in inference mode batch-wise.
+  /// With a RunContext, batch slices are scored concurrently on model
+  /// clones and reduced in batch order — bit-identical to the serial path.
   float evaluate(const Tensor3& x, const Tensor3& y,
-                 std::size_t batch_size = 256);
+                 std::size_t batch_size = 256,
+                 const runtime::RunContext* ctx = nullptr);
 
   /// One gradient step on a single batch; returns the batch loss.
   float train_batch(const Tensor3& x, const Tensor3& y);
@@ -59,8 +67,11 @@ class Trainer {
   Rng* rng_;
 };
 
-/// Inference over a dataset in batches (memory-bounded).
+/// Inference over a dataset in batches (memory-bounded).  With a
+/// RunContext, batches run concurrently on model clones, each writing its
+/// disjoint output slice — bit-identical to the serial path.
 Tensor3 predict_batched(Sequential& model, const Tensor3& x,
-                        std::size_t batch_size = 256);
+                        std::size_t batch_size = 256,
+                        const runtime::RunContext* ctx = nullptr);
 
 }  // namespace evfl::nn

@@ -1,0 +1,90 @@
+// RunContext — the execution-context handle threaded through every layer
+// that can exploit parallelism (tensor kernels, trainer evaluation, the
+// data pipeline, the federated drivers).
+//
+// Ownership rules: a RunContext is a non-owning view.  Whoever builds the
+// ThreadPool / Metrics (a ScenarioRunner, a bench main, a test) keeps them
+// alive for as long as any RunContext pointing at them is in use.  A
+// default-constructed RunContext (or a nullptr where one is optional) means
+// "serial, no metrics" and is always valid.
+//
+// Determinism contract: parallel code paths must produce bit-identical
+// results to the serial path.  The two mechanisms are (a) pre-splitting
+// RNGs in serial order via split_rngs() before dispatching work, and
+// (b) keeping per-element floating-point accumulation order fixed (row
+// partitions reduce in-place; batch partitions reduce in index order).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/timer.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/rng.hpp"
+
+namespace evfl::runtime {
+
+/// Thread-safe counter sink for lightweight observability: counters and
+/// accumulated timer seconds share one name → double map.
+class Metrics {
+ public:
+  void add(const std::string& name, double amount = 1.0);
+  /// Current value of a counter; 0 when never touched.
+  double value(const std::string& name) const;
+  std::unordered_map<std::string, double> snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, double> values_;
+};
+
+/// RAII timer accumulating elapsed wall seconds into a Metrics counter on
+/// destruction.  A nullptr sink makes it a no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer(Metrics* sink, std::string name)
+      : sink_(sink), name_(std::move(name)) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->add(name_, timer_.seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Metrics* sink_;
+  std::string name_;
+  metrics::WallTimer timer_;
+};
+
+struct RunContext {
+  ThreadPool* pool = nullptr;   // nullptr -> serial execution
+  Metrics* metrics = nullptr;   // nullptr -> metrics calls are no-ops
+
+  std::size_t concurrency() const { return pool ? pool->concurrency() : 1; }
+  bool parallel() const { return concurrency() > 1; }
+
+  /// Pool-backed parallel_for when a pool with workers is attached;
+  /// otherwise one serial body(0, total) call.
+  void parallel_for(
+      std::size_t total, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& body) const;
+
+  /// Chunk size that yields ~4 chunks per thread over `total` items —
+  /// enough slack to absorb uneven chunk cost without drowning in dispatch.
+  std::size_t grain_for(std::size_t total) const;
+
+  void count(const std::string& name, double amount = 1.0) const {
+    if (metrics != nullptr) metrics->add(name, amount);
+  }
+};
+
+/// Derive `n` child generators from `root` by sequential splitting — the
+/// order is fixed before any work is dispatched, so parallel consumers get
+/// the exact streams the serial loop would have drawn regardless of
+/// execution schedule.
+std::vector<tensor::Rng> split_rngs(tensor::Rng& root, std::size_t n);
+
+}  // namespace evfl::runtime

@@ -1,0 +1,124 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace evfl::runtime {
+
+namespace {
+
+/// Set while a pool worker runs a task so nested parallel_for calls fall
+/// back to the serial path instead of queueing work no free thread can run.
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  EVFL_REQUIRE(threads <= 1024,
+               "ThreadPool: unreasonable thread count (wrapped negative?)");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // only reachable when stopping
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t total, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (total == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = (total + grain - 1) / grain;
+
+  if (workers_.empty() || chunks == 1 || tls_in_worker) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * grain;
+      body(begin, std::min(total, begin + grain));
+    }
+    return;
+  }
+
+  struct ForState {
+    std::size_t total = 0;
+    std::size_t grain = 0;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+  state->total = total;
+  state->grain = grain;
+  state->chunks = chunks;
+
+  // Chunks are claimed with fetch_add so a straggling helper that wakes up
+  // after everything finished claims nothing and never touches `body`
+  // (whose lifetime ends when this call returns).
+  const auto* body_ptr = &body;
+  auto run_chunks = [state, body_ptr] {
+    for (;;) {
+      const std::size_t c = state->next.fetch_add(1);
+      if (c >= state->chunks) return;
+      const std::size_t begin = c * state->grain;
+      const std::size_t end = std::min(state->total, begin + state->grain);
+      try {
+        (*body_ptr)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1) + 1 == state->chunks) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) tasks_.emplace_back(run_chunks);
+  }
+  cv_.notify_all();
+
+  run_chunks();  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock,
+                   [&] { return state->done.load() == state->chunks; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace evfl::runtime

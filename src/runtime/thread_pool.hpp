@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a chunked parallel_for primitive — the
+// execution substrate every context-aware code path (tensor kernels,
+// evaluation, pipeline prep, federated drivers) partitions work onto.
+//
+// Deliberately work-stealing-free: chunks are claimed from one atomic
+// cursor, the calling thread participates, and a pool of size 1 spawns no
+// workers at all, so the 1-thread pool is literally the serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evfl::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total desired concurrency including the calling
+  /// thread: ThreadPool(1) spawns no workers and parallel_for degrades to
+  /// a plain serial loop.  0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency: worker threads plus the calling thread.
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Split [0, total) into chunks of at most `grain` indices and run
+  /// `body(begin, end)` once per chunk across the pool; the calling thread
+  /// participates and the call blocks until every chunk finished.  The
+  /// first exception thrown by any chunk is rethrown on the caller once
+  /// all chunks settle.  Calls from inside a pool worker (nested
+  /// parallelism) run serially instead of deadlocking on their own pool.
+  void parallel_for(std::size_t total, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace evfl::runtime

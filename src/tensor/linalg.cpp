@@ -4,6 +4,71 @@
 
 namespace evfl::tensor {
 
+namespace {
+
+void require_matmul_shapes(const Matrix& a, const Matrix& b, const Matrix& c,
+                           std::size_t k_a, std::size_t k_b, std::size_t m,
+                           std::size_t n, const char* op) {
+  if (k_a != k_b || c.rows() != m || c.cols() != n) {
+    throw ShapeError(std::string(op) + ": incompatible shapes " +
+                     a.shape_str() + " · " + b.shape_str() + " -> " +
+                     c.shape_str());
+  }
+}
+
+}  // namespace
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                const runtime::RunContext& ctx) {
+  require_matmul_shapes(a, b, c, a.cols(), b.rows(), a.rows(), b.cols(),
+                        "matmul");
+  ctx.parallel_for(a.rows(), ctx.grain_for(a.rows()),
+                   [&](std::size_t begin, std::size_t end) {
+                     matmul_acc_rows(a, b, c, begin, end);
+                   });
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                   const runtime::RunContext& ctx) {
+  require_matmul_shapes(a, b, c, a.rows(), b.rows(), a.cols(), b.cols(),
+                        "matmul_tn");
+  ctx.parallel_for(a.cols(), ctx.grain_for(a.cols()),
+                   [&](std::size_t begin, std::size_t end) {
+                     matmul_tn_acc_rows(a, b, c, begin, end);
+                   });
+}
+
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                   const runtime::RunContext& ctx) {
+  require_matmul_shapes(a, b, c, a.cols(), b.cols(), a.rows(), b.rows(),
+                        "matmul_nt");
+  ctx.parallel_for(a.rows(), ctx.grain_for(a.rows()),
+                   [&](std::size_t begin, std::size_t end) {
+                     matmul_nt_acc_rows(a, b, c, begin, end);
+                   });
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b,
+              const runtime::RunContext& ctx) {
+  Matrix c(a.rows(), b.cols());
+  matmul_acc(a, b, c, ctx);
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b,
+                 const runtime::RunContext& ctx) {
+  Matrix c(a.cols(), b.cols());
+  matmul_tn_acc(a, b, c, ctx);
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b,
+                 const runtime::RunContext& ctx) {
+  Matrix c(a.rows(), b.rows());
+  matmul_nt_acc(a, b, c, ctx);
+  return c;
+}
+
 Matrix cholesky(const Matrix& a) {
   EVFL_REQUIRE(a.rows() == a.cols(), "cholesky needs a square matrix");
   const std::size_t n = a.rows();

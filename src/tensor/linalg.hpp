@@ -1,12 +1,36 @@
-// Small dense linear-algebra routines for the classical baselines:
-// Cholesky factorization and SPD solves (normal-equations least squares).
+// Small dense linear-algebra routines for the classical baselines
+// (Cholesky factorization and SPD solves / normal-equations least squares)
+// plus the context-aware GEMM entry points: matmul overloads that
+// row-partition the output across a runtime::RunContext's thread pool while
+// keeping the serial kernels from tensor/matrix as the grain body, so the
+// parallel results stay bit-identical to the serial ones.
 #pragma once
 
 #include <vector>
 
+#include "runtime/run_context.hpp"
 #include "tensor/matrix.hpp"
 
 namespace evfl::tensor {
+
+/// C += A · B, output rows partitioned across ctx's pool.
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                const runtime::RunContext& ctx);
+/// C += Aᵀ · B, output rows partitioned across ctx's pool.
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                   const runtime::RunContext& ctx);
+/// C += A · Bᵀ, output rows partitioned across ctx's pool.
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c,
+                   const runtime::RunContext& ctx);
+
+/// C = A · B under a RunContext.
+Matrix matmul(const Matrix& a, const Matrix& b, const runtime::RunContext& ctx);
+/// C = Aᵀ · B under a RunContext.
+Matrix matmul_tn(const Matrix& a, const Matrix& b,
+                 const runtime::RunContext& ctx);
+/// C = A · Bᵀ under a RunContext.
+Matrix matmul_nt(const Matrix& a, const Matrix& b,
+                 const runtime::RunContext& ctx);
 
 /// Lower-triangular Cholesky factor L of a symmetric positive-definite A
 /// (A = L·Lᵀ).  Throws evfl::Error if A is not SPD (within tolerance).

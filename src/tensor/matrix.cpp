@@ -175,15 +175,12 @@ Matrix operator*(Matrix a, float s) { return a *= s; }
 Matrix operator*(float s, Matrix a) { return a *= s; }
 Matrix hadamard(Matrix a, const Matrix& b) { return a.hadamard_inplace(b); }
 
-void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
-  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
-    throw ShapeError("matmul: incompatible shapes " + a.shape_str() + " · " +
-                     b.shape_str() + " -> " + c.shape_str());
-  }
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+void matmul_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                     std::size_t row_begin, std::size_t row_end) {
+  const std::size_t k = a.cols(), n = b.cols();
   // ikj order: streams B and C rows; good locality for the small-to-medium
   // matrices (batch x hidden · hidden x 4*hidden) the LSTM produces.
-  for (std::size_t i = 0; i < m; ++i) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     const float* arow = a.row(i);
     float* crow = c.row(i);
     for (std::size_t kk = 0; kk < k; ++kk) {
@@ -193,6 +190,14 @@ void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
       for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
     }
   }
+}
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw ShapeError("matmul: incompatible shapes " + a.shape_str() + " · " +
+                     b.shape_str() + " -> " + c.shape_str());
+  }
+  matmul_acc_rows(a, b, c, 0, a.rows());
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -220,19 +225,33 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
+void matmul_tn_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                        std::size_t row_begin, std::size_t row_end) {
+  const std::size_t k = a.rows(), n = b.cols();
+  // i outer so each thread owns a C-row range.  For a fixed element (i,j)
+  // the kk accumulation still runs ascending, matching the kk-outer serial
+  // kernel float-for-float.
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* crow = c.row(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aki = a(kk, i);
+      if (aki == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   Matrix c(a.cols(), b.cols());
   matmul_tn_acc(a, b, c);
   return c;
 }
 
-void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
-  if (a.cols() != b.cols() || c.rows() != a.rows() || c.cols() != b.rows()) {
-    throw ShapeError("matmul_nt: incompatible shapes " + a.shape_str() +
-                     " · " + b.shape_str() + "ᵀ -> " + c.shape_str());
-  }
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
+void matmul_nt_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                        std::size_t row_begin, std::size_t row_end) {
+  const std::size_t k = a.cols(), n = b.rows();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     const float* arow = a.row(i);
     float* crow = c.row(i);
     for (std::size_t j = 0; j < n; ++j) {
@@ -242,6 +261,14 @@ void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
       crow[j] += static_cast<float>(acc);
     }
   }
+}
+
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.cols() || c.rows() != a.rows() || c.cols() != b.rows()) {
+    throw ShapeError("matmul_nt: incompatible shapes " + a.shape_str() +
+                     " · " + b.shape_str() + "ᵀ -> " + c.shape_str());
+  }
+  matmul_nt_acc_rows(a, b, c, 0, a.rows());
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {

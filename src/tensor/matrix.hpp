@@ -119,6 +119,18 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c);
 /// C += A · Bᵀ
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c);
 
+// Row-range kernel bodies: compute output rows [row_begin, row_end) of C
+// only, with the same per-element accumulation order as the full serial
+// kernels (bit-identical results).  These are the grain bodies the
+// context-aware overloads in tensor/linalg partition across a thread pool;
+// shapes are assumed already validated.
+void matmul_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                     std::size_t row_begin, std::size_t row_end);
+void matmul_tn_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                        std::size_t row_begin, std::size_t row_end);
+void matmul_nt_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                        std::size_t row_begin, std::size_t row_end);
+
 /// Max absolute elementwise difference; matrices must share a shape.
 float max_abs_diff(const Matrix& a, const Matrix& b);
 

@@ -81,14 +81,34 @@ Tensor3 Tensor3::batch_slice(std::size_t begin, std::size_t end) const {
 
 Tensor3 Tensor3::gather(const std::vector<std::size_t>& indices) const {
   Tensor3 out(indices.size(), t_, f_);
-  const std::size_t stride = t_ * f_;
   for (std::size_t i = 0; i < indices.size(); ++i) {
     EVFL_REQUIRE(indices[i] < n_, "gather index out of range");
-    std::copy(data_.data() + indices[i] * stride,
-              data_.data() + (indices[i] + 1) * stride,
-              out.data() + i * stride);
+    copy_sample_into(indices[i], out, i);
   }
   return out;
+}
+
+void Tensor3::copy_batch_into(Tensor3& dst, std::size_t offset) const {
+  if (t_ != dst.t_ || f_ != dst.f_) {
+    throw ShapeError("copy_batch_into: " + shape_str() + " into " +
+                     dst.shape_str());
+  }
+  EVFL_REQUIRE(offset + n_ <= dst.n_, "copy_batch_into: batch overflow");
+  const std::size_t stride = t_ * f_;
+  std::copy(data_.data(), data_.data() + n_ * stride,
+            dst.data() + offset * stride);
+}
+
+void Tensor3::copy_sample_into(std::size_t src_index, Tensor3& dst,
+                               std::size_t dst_index) const {
+  EVFL_ASSERT(src_index < n_ && dst_index < dst.n_,
+              "copy_sample_into: index out of range");
+  EVFL_ASSERT(t_ == dst.t_ && f_ == dst.f_,
+              "copy_sample_into: shape mismatch");
+  const std::size_t stride = t_ * f_;
+  std::copy(data_.data() + src_index * stride,
+            data_.data() + (src_index + 1) * stride,
+            dst.data() + dst_index * stride);
 }
 
 Tensor3& Tensor3::operator+=(const Tensor3& o) {

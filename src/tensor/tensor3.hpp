@@ -61,6 +61,14 @@ class Tensor3 {
   /// Gather rows by index (mini-batch sampling).
   Tensor3 gather(const std::vector<std::size_t>& indices) const;
 
+  /// Bulk-copy all of this tensor's samples into `dst` starting at batch
+  /// index `offset` (one contiguous memcpy; time/feature dims must match).
+  void copy_batch_into(Tensor3& dst, std::size_t offset) const;
+
+  /// Copy one sample `src_index` of this tensor into `dst` at `dst_index`.
+  void copy_sample_into(std::size_t src_index, Tensor3& dst,
+                        std::size_t dst_index) const;
+
   Tensor3& operator+=(const Tensor3& o);
   Tensor3& operator-=(const Tensor3& o);
   Tensor3& operator*=(float s);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 namespace evfl::core {
 namespace {
 
@@ -129,6 +131,9 @@ TEST(Pipeline, DeterministicForSameSeed) {
 TEST(Pipeline, CacheRoundTripsExactly) {
   ExperimentConfig cfg = small_config();
   cfg.cache_dir = ::testing::TempDir() + "/evfl_cache_test";
+  // A cache left by a differently-optimized build (Release vs Debug) holds
+  // legitimately different floats; this test is about round-tripping.
+  std::filesystem::remove_all(cfg.cache_dir);
 
   // First call computes and stores; second call must load identical data.
   const auto first = prepare_clients(cfg);
@@ -154,6 +159,7 @@ TEST(Pipeline, CacheRoundTripsExactly) {
 TEST(Pipeline, CacheKeyedByConfig) {
   ExperimentConfig cfg = small_config();
   cfg.cache_dir = ::testing::TempDir() + "/evfl_cache_test2";
+  std::filesystem::remove_all(cfg.cache_dir);
   const auto a = prepare_clients(cfg);
 
   ExperimentConfig changed = cfg;

@@ -1,0 +1,363 @@
+// The runtime execution-context layer: pool semantics, the determinism
+// contract (parallel == serial, bit for bit) across tensor kernels, the
+// trainer, and the pipeline, plus driver degradation under loss/stragglers.
+#include "runtime/run_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/pipeline.hpp"
+#include "fl/driver.hpp"
+#include "forecast/model.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/linalg.hpp"
+
+namespace evfl::runtime {
+namespace {
+
+using tensor::Matrix;
+using tensor::Rng;
+using tensor::Tensor3;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+// ---- ThreadPool / parallel_for ---------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, 7, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, OneThreadPoolIsTheSerialPath) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  // No workers: chunks must run in order on the calling thread.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(10, 3, [&](std::size_t begin, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(begin);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 3, 6, 9}));
+}
+
+TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100, 1,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must survive a throwing loop.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(50, 5, [&](std::size_t begin, std::size_t end) {
+    total += end - begin;
+  });
+  EXPECT_EQ(total.load(), 50u);
+}
+
+TEST(RunContext, SerialDefaultAndGrainFloor) {
+  RunContext ctx;  // no pool, no metrics
+  EXPECT_EQ(ctx.concurrency(), 1u);
+  EXPECT_FALSE(ctx.parallel());
+  EXPECT_GE(ctx.grain_for(0), 1u);
+  std::size_t calls = 0, covered = 0;
+  ctx.parallel_for(17, 4, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    covered += end - begin;
+  });
+  // Serial context runs one body call over the whole range.
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(covered, 17u);
+  ctx.count("noop");  // metrics-free context: must not crash
+}
+
+TEST(RunContext, MetricsAccumulateThreadSafely) {
+  ThreadPool pool(4);
+  Metrics metrics;
+  RunContext ctx{&pool, &metrics};
+  ctx.parallel_for(100, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ctx.count("ticks");
+  });
+  EXPECT_DOUBLE_EQ(metrics.value("ticks"), 100.0);
+  EXPECT_DOUBLE_EQ(metrics.value("never_touched"), 0.0);
+}
+
+TEST(RunContext, SplitRngsMatchesSequentialSplits) {
+  Rng a(123), b(123);
+  std::vector<Rng> pre = split_rngs(a, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    Rng child = b.split();
+    EXPECT_EQ(pre[i].engine()(), child.engine()());
+  }
+  // The parent stream advanced identically.
+  EXPECT_EQ(a.engine()(), b.engine()());
+}
+
+// ---- context-aware tensor kernels ------------------------------------------
+
+TEST(ContextMatmul, BitIdenticalToSerialKernels) {
+  ThreadPool pool(4);
+  RunContext ctx{&pool, nullptr};
+  const Matrix a = random_matrix(61, 47, 1);
+  const Matrix b = random_matrix(47, 53, 2);
+
+  EXPECT_EQ(tensor::max_abs_diff(tensor::matmul(a, b),
+                                 tensor::matmul(a, b, ctx)),
+            0.0f);
+  // matmul_tn computes aᵀ·b: operands share their leading (k) dimension.
+  const Matrix at = random_matrix(47, 61, 4);
+  EXPECT_EQ(tensor::max_abs_diff(tensor::matmul_tn(at, b),
+                                 tensor::matmul_tn(at, b, ctx)),
+            0.0f);
+  const Matrix bt = random_matrix(53, 47, 3);
+  EXPECT_EQ(tensor::max_abs_diff(tensor::matmul_nt(a, bt),
+                                 tensor::matmul_nt(a, bt, ctx)),
+            0.0f);
+}
+
+TEST(ContextMatmul, ShapeChecked) {
+  ThreadPool pool(2);
+  RunContext ctx{&pool, nullptr};
+  const Matrix a(4, 3), b(5, 6);
+  Matrix c(4, 6);
+  EXPECT_THROW(tensor::matmul_acc(a, b, c, ctx), ShapeError);
+}
+
+// ---- model clones & parallel inference -------------------------------------
+
+TEST(CloneAndPredict, ParallelInferenceBitIdentical) {
+  Rng rng(11);
+  forecast::ForecasterConfig cfg;
+  cfg.sequence_length = 8;
+  cfg.lstm_units = 6;
+  cfg.dense_units = 3;
+  nn::Sequential model = forecast::make_forecaster(cfg, rng);
+
+  Tensor3 x(40, 8, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(0, 1);
+
+  const Tensor3 serial = nn::predict_batched(model, x, 8);
+
+  ThreadPool pool(4);
+  RunContext ctx{&pool, nullptr};
+  const Tensor3 parallel = nn::predict_batched(model, x, 8, &ctx);
+  EXPECT_EQ(tensor::max_abs_diff(serial, parallel), 0.0f);
+}
+
+TEST(CloneAndPredict, ParallelEvaluateBitIdentical) {
+  Rng rng(12);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(1, nn::Activation::kLinear, rng, 1);
+  nn::MseLoss loss;
+  nn::Adam opt(1e-3f);
+  nn::Trainer trainer(model, loss, opt, rng);
+
+  Tensor3 x(100, 1, 1), y(100, 1, 1);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0, 0) = rng.uniform(-1, 1);
+    y(i, 0, 0) = 2.0f * x(i, 0, 0);
+  }
+  const float serial = trainer.evaluate(x, y, 16);
+
+  ThreadPool pool(4);
+  RunContext ctx{&pool, nullptr};
+  const float parallel = trainer.evaluate(x, y, 16, &ctx);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(CloneAndPredict, CloneIsIndependent) {
+  Rng rng(13);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(2, nn::Activation::kRelu, rng, 3);
+  Tensor3 x(4, 1, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal();
+  model.forward(x, false);  // build lazily-created weights
+
+  nn::Sequential copy = model.clone();
+  EXPECT_EQ(model.get_weights(), copy.get_weights());
+  // Mutating the clone must not touch the original.
+  std::vector<float> w = copy.get_weights();
+  for (float& v : w) v += 1.0f;
+  copy.set_weights(w);
+  EXPECT_NE(model.get_weights(), copy.get_weights());
+}
+
+// ---- Tensor3 bulk copies ----------------------------------------------------
+
+TEST(Tensor3Copy, CopyBatchIntoMatchesElementwise) {
+  Rng rng(14);
+  Tensor3 src(3, 4, 2);
+  for (std::size_t i = 0; i < src.size(); ++i) src.data()[i] = rng.normal();
+  Tensor3 dst(8, 4, 2);
+  src.copy_batch_into(dst, 5);
+  for (std::size_t n = 0; n < 3; ++n) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      for (std::size_t f = 0; f < 2; ++f) {
+        EXPECT_EQ(dst(5 + n, t, f), src(n, t, f));
+      }
+    }
+  }
+  EXPECT_EQ(dst(0, 0, 0), 0.0f);  // untouched region stays zero
+  Tensor3 wrong(3, 5, 2);
+  EXPECT_THROW(wrong.copy_batch_into(dst, 0), ShapeError);
+  EXPECT_THROW(src.copy_batch_into(dst, 6), Error);
+}
+
+// ---- pipeline determinism ---------------------------------------------------
+
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig cfg;
+  cfg.generator.hours = 480;
+  cfg.ddos.bursts = 6;
+  cfg.filter.autoencoder.window = 12;
+  cfg.filter.autoencoder.encoder_units = 8;
+  cfg.filter.autoencoder.latent_units = 4;
+  cfg.filter.autoencoder.max_epochs = 3;
+  cfg.forecaster.sequence_length = 12;
+  cfg.forecaster.lstm_units = 6;
+  cfg.forecaster.dense_units = 3;
+  cfg.federated_rounds = 1;
+  cfg.epochs_per_round = 1;
+  cfg.seed = 21;
+  cfg.cache_dir.clear();  // determinism must not come from the disk cache
+  return cfg;
+}
+
+TEST(PipelineDeterminism, ParallelPrepareClientsBitIdenticalToSerial) {
+  const core::ExperimentConfig cfg = small_config();
+  const std::vector<core::ClientData> serial = core::prepare_clients(cfg);
+
+  ThreadPool pool(4);
+  Metrics metrics;
+  RunContext ctx{&pool, &metrics};
+  const std::vector<core::ClientData> parallel =
+      core::prepare_clients(cfg, &ctx);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    const core::ClientData& s = serial[c];
+    const core::ClientData& p = parallel[c];
+    EXPECT_EQ(s.zone, p.zone);
+    EXPECT_EQ(s.clean.values, p.clean.values);
+    EXPECT_EQ(s.attacked.values, p.attacked.values);
+    EXPECT_EQ(s.attacked.labels, p.attacked.labels);
+    EXPECT_EQ(s.filtered.values, p.filtered.values);
+    EXPECT_EQ(s.filter_result.scores, p.filter_result.scores);
+    EXPECT_EQ(s.filter_result.flags, p.filter_result.flags);
+    EXPECT_EQ(s.filter_result.threshold, p.filter_result.threshold);
+    EXPECT_EQ(s.injection.points_attacked, p.injection.points_attacked);
+    EXPECT_EQ(s.injection.bursts, p.injection.bursts);
+  }
+  EXPECT_GE(metrics.value("pipeline.parallel_client_preps"), 1.0);
+}
+
+// ---- drivers ----------------------------------------------------------------
+
+fl::ModelFactory linear_factory() {
+  return [](Rng& rng) {
+    nn::Sequential m;
+    m.emplace<nn::Dense>(1, nn::Activation::kLinear, rng, 1);
+    return m;
+  };
+}
+
+std::vector<std::unique_ptr<fl::Client>> make_clients(std::size_t n_per_client,
+                                                      std::uint64_t seed) {
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  Rng root(seed);
+  for (int c = 0; c < 3; ++c) {
+    Tensor3 x(n_per_client, 1, 1), y(n_per_client, 1, 1);
+    Rng data_rng = root.split();
+    for (std::size_t i = 0; i < n_per_client; ++i) {
+      const float xi = data_rng.uniform(-1.0f, 1.0f);
+      x(i, 0, 0) = xi;
+      y(i, 0, 0) = static_cast<float>(c + 1) * xi;
+    }
+    fl::ClientConfig cfg;
+    cfg.epochs_per_round = 5;
+    cfg.learning_rate = 0.05f;
+    cfg.batch_size = 16;
+    clients.push_back(std::make_unique<fl::Client>(
+        c, x, y, linear_factory(), cfg, root.split()));
+  }
+  return clients;
+}
+
+TEST(PoolBackedSyncDriver, BitIdenticalToSerialDriver) {
+  auto run_with = [](const RunContext* ctx) {
+    auto clients = make_clients(32, 5);
+    fl::Server server({0.0f, 0.0f});
+    fl::InMemoryNetwork net;
+    fl::SyncDriver driver(server, clients, net, ctx);
+    return driver.run(3).final_weights;
+  };
+  ThreadPool pool(4);
+  RunContext ctx{&pool, nullptr};
+  EXPECT_EQ(run_with(nullptr), run_with(&ctx));
+}
+
+TEST(PoolBackedSyncDriver, RunsThroughDriverInterface) {
+  auto clients = make_clients(16, 6);
+  fl::Server server({0.0f, 0.0f});
+  fl::InMemoryNetwork net;
+  ThreadPool pool(3);
+  RunContext ctx{&pool, nullptr};
+  std::unique_ptr<fl::Driver> driver =
+      std::make_unique<fl::SyncDriver>(server, clients, net, &ctx);
+  const fl::FederatedRunResult result = driver->run(2);
+  ASSERT_EQ(result.rounds.size(), 2u);
+  for (const fl::RoundMetrics& r : result.rounds) {
+    EXPECT_EQ(r.updates_received, 3u);
+    EXPECT_EQ(r.dropped_messages, 0u);
+  }
+}
+
+TEST(SyncDriver, CountsDropsInsteadOfAborting) {
+  auto clients = make_clients(16, 7);
+  fl::Server server({0.0f, 0.0f});
+  fl::NetworkConfig net_cfg;
+  net_cfg.drop_probability = 0.5;
+  net_cfg.drop_seed = 3;
+  fl::InMemoryNetwork net(net_cfg);
+  fl::SyncDriver driver(server, clients, net);
+  const fl::FederatedRunResult result = driver.run(5);
+  std::size_t dropped = 0, received = 0;
+  for (const fl::RoundMetrics& r : result.rounds) {
+    dropped += r.dropped_messages;
+    received += r.updates_received;
+  }
+  EXPECT_GT(dropped, 0u);   // the lossy network really lost messages...
+  EXPECT_LT(received, 15u); // ...which degraded rounds...
+  EXPECT_EQ(result.rounds.size(), 5u);  // ...without aborting the run
+}
+
+TEST(ThreadedDriverStraggler, RoundCompletesWithFewerUpdatesThanClients) {
+  auto clients = make_clients(256, 8);
+  fl::Server server({0.0f, 0.0f});
+  fl::InMemoryNetwork net;
+  fl::ThreadedDriver driver(server, clients, net);
+  // Zero collection budget: every client is a straggler, each round must
+  // still complete (FedAvg over the empty/partial subset).
+  const fl::FederatedRunResult result = driver.run(2, 0.0);
+  ASSERT_EQ(result.rounds.size(), 2u);
+  EXPECT_LT(result.rounds[0].updates_received, clients.size());
+}
+
+}  // namespace
+}  // namespace evfl::runtime
