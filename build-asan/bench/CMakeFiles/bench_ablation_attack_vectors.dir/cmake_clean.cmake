@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_attack_vectors.dir/bench_ablation_attack_vectors.cpp.o"
+  "CMakeFiles/bench_ablation_attack_vectors.dir/bench_ablation_attack_vectors.cpp.o.d"
+  "bench_ablation_attack_vectors"
+  "bench_ablation_attack_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attack_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

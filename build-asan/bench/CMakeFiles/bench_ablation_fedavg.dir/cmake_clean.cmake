@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fedavg.dir/bench_ablation_fedavg.cpp.o"
+  "CMakeFiles/bench_ablation_fedavg.dir/bench_ablation_fedavg.cpp.o.d"
+  "bench_ablation_fedavg"
+  "bench_ablation_fedavg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fedavg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_r2_bars.dir/bench_fig3_r2_bars.cpp.o"
+  "CMakeFiles/bench_fig3_r2_bars.dir/bench_fig3_r2_bars.cpp.o.d"
+  "bench_fig3_r2_bars"
+  "bench_fig3_r2_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_r2_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fed_vs_central.dir/bench_table3_fed_vs_central.cpp.o"
+  "CMakeFiles/bench_table3_fed_vs_central.dir/bench_table3_fed_vs_central.cpp.o.d"
+  "bench_table3_fed_vs_central"
+  "bench_table3_fed_vs_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fed_vs_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_filtering.dir/anomaly_filtering.cpp.o"
+  "CMakeFiles/anomaly_filtering.dir/anomaly_filtering.cpp.o.d"
+  "anomaly_filtering"
+  "anomaly_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_war_game.dir/attack_war_game.cpp.o"
+  "CMakeFiles/attack_war_game.dir/attack_war_game.cpp.o.d"
+  "attack_war_game"
+  "attack_war_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_war_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_war_game.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_forecasting.dir/fleet_forecasting.cpp.o"
+  "CMakeFiles/fleet_forecasting.dir/fleet_forecasting.cpp.o.d"
+  "fleet_forecasting"
+  "fleet_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

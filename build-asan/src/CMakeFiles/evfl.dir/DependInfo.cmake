@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/autoencoder.cpp" "src/CMakeFiles/evfl.dir/anomaly/autoencoder.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/anomaly/autoencoder.cpp.o.d"
+  "/root/repo/src/anomaly/filter.cpp" "src/CMakeFiles/evfl.dir/anomaly/filter.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/anomaly/filter.cpp.o.d"
+  "/root/repo/src/anomaly/imputation.cpp" "src/CMakeFiles/evfl.dir/anomaly/imputation.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/anomaly/imputation.cpp.o.d"
+  "/root/repo/src/anomaly/segments.cpp" "src/CMakeFiles/evfl.dir/anomaly/segments.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/anomaly/segments.cpp.o.d"
+  "/root/repo/src/anomaly/threshold.cpp" "src/CMakeFiles/evfl.dir/anomaly/threshold.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/anomaly/threshold.cpp.o.d"
+  "/root/repo/src/attack/ddos_injector.cpp" "src/CMakeFiles/evfl.dir/attack/ddos_injector.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/attack/ddos_injector.cpp.o.d"
+  "/root/repo/src/attack/fdi_injector.cpp" "src/CMakeFiles/evfl.dir/attack/fdi_injector.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/attack/fdi_injector.cpp.o.d"
+  "/root/repo/src/attack/ramp_injector.cpp" "src/CMakeFiles/evfl.dir/attack/ramp_injector.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/attack/ramp_injector.cpp.o.d"
+  "/root/repo/src/attack/scenario.cpp" "src/CMakeFiles/evfl.dir/attack/scenario.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/attack/scenario.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/evfl.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/common/error.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/evfl.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/evfl.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/evfl.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/scenario_runner.cpp" "src/CMakeFiles/evfl.dir/core/scenario_runner.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/core/scenario_runner.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/CMakeFiles/evfl.dir/data/csv.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/data/csv.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "src/CMakeFiles/evfl.dir/data/scaler.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/data/scaler.cpp.o.d"
+  "/root/repo/src/data/timeseries.cpp" "src/CMakeFiles/evfl.dir/data/timeseries.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/data/timeseries.cpp.o.d"
+  "/root/repo/src/data/window.cpp" "src/CMakeFiles/evfl.dir/data/window.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/data/window.cpp.o.d"
+  "/root/repo/src/datagen/shenzhen.cpp" "src/CMakeFiles/evfl.dir/datagen/shenzhen.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/datagen/shenzhen.cpp.o.d"
+  "/root/repo/src/datagen/zone_profile.cpp" "src/CMakeFiles/evfl.dir/datagen/zone_profile.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/datagen/zone_profile.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/CMakeFiles/evfl.dir/fl/client.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/fl/client.cpp.o.d"
+  "/root/repo/src/fl/driver.cpp" "src/CMakeFiles/evfl.dir/fl/driver.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/fl/driver.cpp.o.d"
+  "/root/repo/src/fl/fedavg.cpp" "src/CMakeFiles/evfl.dir/fl/fedavg.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/fl/fedavg.cpp.o.d"
+  "/root/repo/src/fl/network.cpp" "src/CMakeFiles/evfl.dir/fl/network.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/fl/network.cpp.o.d"
+  "/root/repo/src/fl/serialize.cpp" "src/CMakeFiles/evfl.dir/fl/serialize.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/fl/serialize.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/CMakeFiles/evfl.dir/fl/server.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/fl/server.cpp.o.d"
+  "/root/repo/src/fl/weights.cpp" "src/CMakeFiles/evfl.dir/fl/weights.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/fl/weights.cpp.o.d"
+  "/root/repo/src/forecast/baselines.cpp" "src/CMakeFiles/evfl.dir/forecast/baselines.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/forecast/baselines.cpp.o.d"
+  "/root/repo/src/forecast/centralized.cpp" "src/CMakeFiles/evfl.dir/forecast/centralized.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/forecast/centralized.cpp.o.d"
+  "/root/repo/src/forecast/model.cpp" "src/CMakeFiles/evfl.dir/forecast/model.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/forecast/model.cpp.o.d"
+  "/root/repo/src/metrics/classification.cpp" "src/CMakeFiles/evfl.dir/metrics/classification.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/metrics/classification.cpp.o.d"
+  "/root/repo/src/metrics/regression.cpp" "src/CMakeFiles/evfl.dir/metrics/regression.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/metrics/regression.cpp.o.d"
+  "/root/repo/src/metrics/timer.cpp" "src/CMakeFiles/evfl.dir/metrics/timer.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/metrics/timer.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/evfl.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/evfl.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/evfl.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/evfl.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/evfl.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/evfl.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/repeat_vector.cpp" "src/CMakeFiles/evfl.dir/nn/repeat_vector.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/repeat_vector.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/evfl.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/evfl.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/runtime/run_context.cpp" "src/CMakeFiles/evfl.dir/runtime/run_context.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/runtime/run_context.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/evfl.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/traffic_model.cpp" "src/CMakeFiles/evfl.dir/sim/traffic_model.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/sim/traffic_model.cpp.o.d"
+  "/root/repo/src/tensor/init.cpp" "src/CMakeFiles/evfl.dir/tensor/init.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/tensor/init.cpp.o.d"
+  "/root/repo/src/tensor/linalg.cpp" "src/CMakeFiles/evfl.dir/tensor/linalg.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/tensor/linalg.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "src/CMakeFiles/evfl.dir/tensor/matrix.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/tensor/matrix.cpp.o.d"
+  "/root/repo/src/tensor/rng.cpp" "src/CMakeFiles/evfl.dir/tensor/rng.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/tensor/rng.cpp.o.d"
+  "/root/repo/src/tensor/tensor3.cpp" "src/CMakeFiles/evfl.dir/tensor/tensor3.cpp.o" "gcc" "src/CMakeFiles/evfl.dir/tensor/tensor3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autoencoder.cpp" "tests/CMakeFiles/test_anomaly.dir/test_autoencoder.cpp.o" "gcc" "tests/CMakeFiles/test_anomaly.dir/test_autoencoder.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/test_anomaly.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_anomaly.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_imputation.cpp" "tests/CMakeFiles/test_anomaly.dir/test_imputation.cpp.o" "gcc" "tests/CMakeFiles/test_anomaly.dir/test_imputation.cpp.o.d"
+  "/root/repo/tests/test_threshold.cpp" "tests/CMakeFiles/test_anomaly.dir/test_threshold.cpp.o" "gcc" "tests/CMakeFiles/test_anomaly.dir/test_threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/evfl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anomaly.dir/test_autoencoder.cpp.o"
+  "CMakeFiles/test_anomaly.dir/test_autoencoder.cpp.o.d"
+  "CMakeFiles/test_anomaly.dir/test_filter.cpp.o"
+  "CMakeFiles/test_anomaly.dir/test_filter.cpp.o.d"
+  "CMakeFiles/test_anomaly.dir/test_imputation.cpp.o"
+  "CMakeFiles/test_anomaly.dir/test_imputation.cpp.o.d"
+  "CMakeFiles/test_anomaly.dir/test_threshold.cpp.o"
+  "CMakeFiles/test_anomaly.dir/test_threshold.cpp.o.d"
+  "test_anomaly"
+  "test_anomaly.pdb"
+  "test_anomaly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/test_csv.cpp.o"
+  "CMakeFiles/test_data.dir/test_csv.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_scaler.cpp.o"
+  "CMakeFiles/test_data.dir/test_scaler.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_timeseries.cpp.o"
+  "CMakeFiles/test_data.dir/test_timeseries.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_window.cpp.o"
+  "CMakeFiles/test_data.dir/test_window.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_client_server.cpp" "tests/CMakeFiles/test_fl.dir/test_client_server.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/test_client_server.cpp.o.d"
+  "/root/repo/tests/test_driver.cpp" "tests/CMakeFiles/test_fl.dir/test_driver.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/test_driver.cpp.o.d"
+  "/root/repo/tests/test_fedavg.cpp" "tests/CMakeFiles/test_fl.dir/test_fedavg.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/test_fedavg.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/test_fl.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/test_fl.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/test_serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/evfl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl.dir/test_client_server.cpp.o"
+  "CMakeFiles/test_fl.dir/test_client_server.cpp.o.d"
+  "CMakeFiles/test_fl.dir/test_driver.cpp.o"
+  "CMakeFiles/test_fl.dir/test_driver.cpp.o.d"
+  "CMakeFiles/test_fl.dir/test_fedavg.cpp.o"
+  "CMakeFiles/test_fl.dir/test_fedavg.cpp.o.d"
+  "CMakeFiles/test_fl.dir/test_network.cpp.o"
+  "CMakeFiles/test_fl.dir/test_network.cpp.o.d"
+  "CMakeFiles/test_fl.dir/test_serialize.cpp.o"
+  "CMakeFiles/test_fl.dir/test_serialize.cpp.o.d"
+  "test_fl"
+  "test_fl.pdb"
+  "test_fl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

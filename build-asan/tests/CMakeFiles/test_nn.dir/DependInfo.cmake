@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_activation.cpp" "tests/CMakeFiles/test_nn.dir/test_activation.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_activation.cpp.o.d"
+  "/root/repo/tests/test_dense.cpp" "tests/CMakeFiles/test_nn.dir/test_dense.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_dense.cpp.o.d"
+  "/root/repo/tests/test_dropout.cpp" "tests/CMakeFiles/test_nn.dir/test_dropout.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_dropout.cpp.o.d"
+  "/root/repo/tests/test_gradcheck.cpp" "tests/CMakeFiles/test_nn.dir/test_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_loss.cpp" "tests/CMakeFiles/test_nn.dir/test_loss.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_loss.cpp.o.d"
+  "/root/repo/tests/test_lstm.cpp" "tests/CMakeFiles/test_nn.dir/test_lstm.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_lstm.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/test_nn.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_repeat_vector.cpp" "tests/CMakeFiles/test_nn.dir/test_repeat_vector.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_repeat_vector.cpp.o.d"
+  "/root/repo/tests/test_sequential.cpp" "tests/CMakeFiles/test_nn.dir/test_sequential.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_sequential.cpp.o.d"
+  "/root/repo/tests/test_trainer.cpp" "tests/CMakeFiles/test_nn.dir/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/evfl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/test_activation.cpp.o"
+  "CMakeFiles/test_nn.dir/test_activation.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_dense.cpp.o"
+  "CMakeFiles/test_nn.dir/test_dense.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_dropout.cpp.o"
+  "CMakeFiles/test_nn.dir/test_dropout.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_gradcheck.cpp.o"
+  "CMakeFiles/test_nn.dir/test_gradcheck.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_loss.cpp.o"
+  "CMakeFiles/test_nn.dir/test_loss.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_lstm.cpp.o"
+  "CMakeFiles/test_nn.dir/test_lstm.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_optimizer.cpp.o"
+  "CMakeFiles/test_nn.dir/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_repeat_vector.cpp.o"
+  "CMakeFiles/test_nn.dir/test_repeat_vector.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_sequential.cpp.o"
+  "CMakeFiles/test_nn.dir/test_sequential.cpp.o.d"
+  "CMakeFiles/test_nn.dir/test_trainer.cpp.o"
+  "CMakeFiles/test_nn.dir/test_trainer.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

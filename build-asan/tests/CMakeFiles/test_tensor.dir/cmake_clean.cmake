@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/test_init.cpp.o"
+  "CMakeFiles/test_tensor.dir/test_init.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/test_matrix.cpp.o"
+  "CMakeFiles/test_tensor.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/test_rng.cpp.o"
+  "CMakeFiles/test_tensor.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/test_tensor3.cpp.o"
+  "CMakeFiles/test_tensor.dir/test_tensor3.cpp.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nn[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_data[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_datagen[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_attack[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_anomaly[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_fl[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_forecast[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
