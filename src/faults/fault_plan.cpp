@@ -1,0 +1,78 @@
+#include "faults/fault_plan.hpp"
+
+#include "common/error.hpp"
+
+namespace evfl::faults {
+
+FaultPlan& FaultPlan::crash(int client, std::uint32_t from, std::uint32_t to,
+                            double probability) {
+  FaultRule r;
+  r.kind = FaultKind::kCrash;
+  r.client = client;
+  r.round_begin = from;
+  r.round_end = to;
+  r.probability = probability;
+  return add(r);
+}
+
+FaultPlan& FaultPlan::straggle(int client, double delay_ms, std::uint32_t from,
+                               std::uint32_t to, double probability) {
+  EVFL_REQUIRE(delay_ms >= 0.0, "straggler delay must be non-negative");
+  FaultRule r;
+  r.kind = FaultKind::kStraggler;
+  r.client = client;
+  r.delay_ms = delay_ms;
+  r.round_begin = from;
+  r.round_end = to;
+  r.probability = probability;
+  return add(r);
+}
+
+FaultPlan& FaultPlan::corrupt(int client, CorruptionMode mode,
+                              std::uint32_t from, std::uint32_t to,
+                              double probability) {
+  FaultRule r;
+  r.kind = FaultKind::kCorrupt;
+  r.client = client;
+  r.mode = mode;
+  r.round_begin = from;
+  r.round_end = to;
+  r.probability = probability;
+  return add(r);
+}
+
+FaultPlan& FaultPlan::duplicate(int client, int extra_copies,
+                                std::uint32_t from, std::uint32_t to,
+                                double probability) {
+  EVFL_REQUIRE(extra_copies >= 1, "duplicate needs at least one extra copy");
+  FaultRule r;
+  r.kind = FaultKind::kDuplicate;
+  r.client = client;
+  r.extra_copies = extra_copies;
+  r.round_begin = from;
+  r.round_end = to;
+  r.probability = probability;
+  return add(r);
+}
+
+FaultPlan& FaultPlan::stale_replay(int client, std::uint32_t from,
+                                   std::uint32_t to, double probability) {
+  FaultRule r;
+  r.kind = FaultKind::kStaleReplay;
+  r.client = client;
+  r.round_begin = from;
+  r.round_end = to;
+  r.probability = probability;
+  return add(r);
+}
+
+FaultPlan& FaultPlan::add(FaultRule rule) {
+  EVFL_REQUIRE(rule.probability >= 0.0 && rule.probability <= 1.0,
+               "fault probability must be in [0, 1]");
+  EVFL_REQUIRE(rule.round_begin <= rule.round_end,
+               "fault rule round range is inverted");
+  rules_.push_back(rule);
+  return *this;
+}
+
+}  // namespace evfl::faults

@@ -1,0 +1,74 @@
+// Scriptable fault plans for the federated runtime.
+//
+// A FaultPlan is a declarative list of rules — "crash client 2 from round 3
+// on", "corrupt client 1's updates with NaNs with probability 0.5" — that a
+// FaultInjector evaluates deterministically per (client, round).  Plans are
+// plain data: they can be built fluently in tests, swept by benches, and
+// printed into reports.  Nothing in this layer touches the network or the
+// model; it only answers "what goes wrong, where, when".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace evfl::faults {
+
+/// Rule matches every client / every round unless narrowed.
+inline constexpr int kAllClients = -1;
+inline constexpr std::uint32_t kAllRounds = 0xFFFFFFFFu;
+
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,        // client dies after receiving the broadcast, sends nothing
+  kStraggler = 1,    // client delays its update past (possibly) the deadline
+  kCorrupt = 2,      // client's update payload is damaged before sending
+  kDuplicate = 3,    // the network delivers the client's update more than once
+  kStaleReplay = 4,  // client re-sends its previous round's update
+};
+
+enum class CorruptionMode : std::uint8_t {
+  kNaN = 0,          // poison a few weights with quiet NaNs
+  kInf = 1,          // poison a few weights with +/- infinity
+  kNormInflate = 2,  // scale the whole update by norm_factor (gradient blow-up)
+  kSignFlip = 3,     // negate the update (classic Byzantine sign-flip attack)
+};
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kCrash;
+  int client = kAllClients;             // exact id, or kAllClients
+  std::uint32_t round_begin = 0;        // inclusive
+  std::uint32_t round_end = kAllRounds; // inclusive
+  double probability = 1.0;             // per-(client, round) Bernoulli
+  CorruptionMode mode = CorruptionMode::kNaN;  // kCorrupt only
+  double delay_ms = 0.0;                // kStraggler only
+  double norm_factor = 1e4;             // kNormInflate multiplier
+  int extra_copies = 1;                 // kDuplicate: additional deliveries
+
+  bool matches(int client_id, std::uint32_t round) const {
+    return (client == kAllClients || client == client_id) &&
+           round >= round_begin && round <= round_end;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& crash(int client, std::uint32_t from = 0,
+                   std::uint32_t to = kAllRounds, double probability = 1.0);
+  FaultPlan& straggle(int client, double delay_ms, std::uint32_t from = 0,
+                      std::uint32_t to = kAllRounds, double probability = 1.0);
+  FaultPlan& corrupt(int client, CorruptionMode mode, std::uint32_t from = 0,
+                     std::uint32_t to = kAllRounds, double probability = 1.0);
+  FaultPlan& duplicate(int client, int extra_copies = 1, std::uint32_t from = 0,
+                       std::uint32_t to = kAllRounds, double probability = 1.0);
+  FaultPlan& stale_replay(int client, std::uint32_t from = 0,
+                          std::uint32_t to = kAllRounds,
+                          double probability = 1.0);
+  FaultPlan& add(FaultRule rule);
+
+  const std::vector<FaultRule>& rules() const { return rules_; }
+  bool empty() const { return rules_.empty(); }
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+}  // namespace evfl::faults

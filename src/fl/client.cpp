@@ -1,8 +1,32 @@
 #include "fl/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "metrics/timer.hpp"
 
 namespace evfl::fl {
+
+namespace {
+
+/// Bounded retry-with-backoff receive: attempts grow geometrically but the
+/// total wait never exceeds `opts.receive_timeout_ms`.
+std::optional<Message> receive_with_backoff(InMemoryNetwork& net, int node,
+                                            const ServeOptions& opts) {
+  double budget_ms = opts.receive_timeout_ms;
+  for (std::size_t attempt = 0; attempt < opts.backoff.max_attempts;
+       ++attempt) {
+    const double wait =
+        std::min(runtime::backoff_wait_ms(opts.backoff, attempt), budget_ms);
+    if (wait <= 0.0) break;
+    if (std::optional<Message> msg = net.receive(node, wait)) return msg;
+    budget_ms -= wait;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 Client::Client(int id, tensor::Tensor3 x_train, tensor::Tensor3 y_train,
                const ModelFactory& factory, ClientConfig cfg, tensor::Rng rng)
@@ -28,7 +52,7 @@ WeightUpdate Client::train_round(const GlobalModel& global) {
   fit.epochs = cfg_.epochs_per_round;
   fit.batch_size = cfg_.batch_size;
   const nn::FitHistory hist = trainer.fit(x_, y_, fit);
-  last_train_seconds_ = timer.seconds();
+  last_train_seconds_.store(timer.seconds(), std::memory_order_relaxed);
 
   WeightUpdate update;
   update.client_id = id_;
@@ -40,14 +64,49 @@ WeightUpdate Client::train_round(const GlobalModel& global) {
 }
 
 void Client::serve(InMemoryNetwork& net, std::size_t rounds,
-                   double timeout_ms) {
+                   ServeOptions opts) {
+  std::vector<std::uint8_t> previous_update_bytes;
   for (std::size_t r = 0; r < rounds; ++r) {
-    std::optional<Message> msg = net.receive(id_, timeout_ms);
-    if (!msg) return;  // server went away or broadcast was dropped
+    std::optional<Message> msg = receive_with_backoff(net, id_, opts);
+    if (!msg) return;  // retry budget exhausted: server went away
     const GlobalModel global = deserialize_global(msg->bytes);
+
+    // Crash-before-update: the client received the broadcast but dies
+    // before contributing — the server must time it out, not hang.
+    if (opts.injector != nullptr &&
+        opts.injector->should_crash(id_, global.round)) {
+      return;
+    }
+
     WeightUpdate update = train_round(global);
-    net.send(Message{id_, kServerNode, serialize(update)});
+
+    if (opts.injector != nullptr) {
+      const double delay_ms =
+          opts.injector->straggler_delay_ms(id_, global.round);
+      if (delay_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            delay_ms));
+      }
+      opts.injector->corrupt_update(update);
+      // Stale replay: re-send the previous round's bytes alongside the
+      // fresh update — the server's validator must reject the old round.
+      if (!previous_update_bytes.empty() &&
+          opts.injector->should_replay_stale(id_, global.round)) {
+        net.send(Message{id_, kServerNode, previous_update_bytes});
+      }
+    }
+
+    std::vector<std::uint8_t> bytes = serialize(update);
+    previous_update_bytes = bytes;
+    net.send(Message{id_, kServerNode, std::move(bytes)});
   }
+}
+
+void Client::serve(InMemoryNetwork& net, std::size_t rounds,
+                   double timeout_ms) {
+  ServeOptions opts;
+  opts.receive_timeout_ms = timeout_ms;
+  serve(net, rounds, opts);
 }
 
 }  // namespace evfl::fl

@@ -3,9 +3,11 @@
 // messages; training data is deliberately inaccessible from outside.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
+#include "faults/fault_injector.hpp"
 #include "fl/network.hpp"
 #include "fl/serialize.hpp"
 #include "fl/weights.hpp"
@@ -13,6 +15,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
 #include "nn/trainer.hpp"
+#include "runtime/backoff.hpp"
 
 namespace evfl::fl {
 
@@ -24,6 +27,18 @@ struct ClientConfig {
   std::size_t epochs_per_round = 10;   // paper: EPOCHS_PER_ROUND = 10
   std::size_t batch_size = 32;
   float learning_rate = 1e-3f;
+};
+
+/// Knobs for the threaded service loop.
+struct ServeOptions {
+  /// Total per-round wait budget for the broadcast.  The wait is split into
+  /// bounded retry attempts (see `backoff`) so a dropped broadcast costs a
+  /// short retry, not one monolithic hang.
+  double receive_timeout_ms = 60'000.0;
+  runtime::BackoffPolicy backoff{};
+  /// Optional scripted faults this client is subject to (crash, straggler
+  /// delay, update corruption, stale replay).  Non-owning.
+  const faults::FaultInjector* injector = nullptr;
 };
 
 class Client {
@@ -38,8 +53,12 @@ class Client {
   WeightUpdate train_round(const GlobalModel& global);
 
   /// Threaded-mode service loop: for each of `rounds`, wait for a
-  /// GlobalModel broadcast on `net`, train, and send the update back to the
-  /// server node.  Exits early on receive timeout.
+  /// GlobalModel broadcast on `net` (bounded retry-with-backoff), train,
+  /// and send the update back to the server node.  Exits when the retry
+  /// budget is exhausted (server gone) or a scripted crash fault fires.
+  void serve(InMemoryNetwork& net, std::size_t rounds, ServeOptions opts);
+
+  /// Legacy convenience overload: one total receive budget, no faults.
   void serve(InMemoryNetwork& net, std::size_t rounds,
              double timeout_ms = 60'000.0);
 
@@ -51,7 +70,10 @@ class Client {
 
   /// Wall-clock seconds of the most recent train_round (what a genuinely
   /// distributed deployment would spend on this client in parallel).
-  double last_train_seconds() const { return last_train_seconds_; }
+  /// Atomic: the ThreadedDriver reads it while the client thread trains.
+  double last_train_seconds() const {
+    return last_train_seconds_.load(std::memory_order_relaxed);
+  }
 
  private:
   int id_;
@@ -62,7 +84,7 @@ class Client {
   nn::Sequential model_;
   nn::MseLoss loss_;
   nn::Adam optimizer_;
-  double last_train_seconds_ = 0.0;
+  std::atomic<double> last_train_seconds_{0.0};
 };
 
 }  // namespace evfl::fl

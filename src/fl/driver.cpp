@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "fl/serialize.hpp"
 
@@ -18,29 +19,83 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-RoundMetrics make_round_metrics(std::uint32_t round,
-                                const std::vector<WeightUpdate>& updates,
-                                double delta, double wall_seconds) {
+/// Diagnostic mean training loss over the round's raw arrivals (corrupted
+/// or stale arrivals included — it is a health signal, not an input to
+/// aggregation).
+float mean_loss(const std::vector<WeightUpdate>& raw) {
+  if (raw.empty()) return 0.0f;
+  double acc = 0.0;
+  for (const WeightUpdate& u : raw) acc += u.train_loss;
+  return static_cast<float>(acc / raw.size());
+}
+
+/// Distinct clients that contributed a *current-round* update.  A stale
+/// replay or leftover straggler message is not a contribution: that client
+/// still timed out on this round.
+std::size_t distinct_fresh_senders(const std::vector<WeightUpdate>& raw,
+                                   std::uint32_t round) {
+  std::unordered_set<int> ids;
+  for (const WeightUpdate& u : raw) {
+    if (u.round == round) ids.insert(u.client_id);
+  }
+  return ids.size();
+}
+
+RoundMetrics close_round(Server& server, std::uint32_t round,
+                         std::vector<WeightUpdate> raw,
+                         std::size_t client_count, double wall_seconds) {
   RoundMetrics m;
   m.round = round;
-  m.updates_received = updates.size();
-  m.weight_delta = delta;
+  m.mean_train_loss = mean_loss(raw);
+  m.timed_out_clients = client_count - distinct_fresh_senders(raw, round);
   m.wall_seconds = wall_seconds;
-  if (!updates.empty()) {
-    double acc = 0.0;
-    for (const WeightUpdate& u : updates) acc += u.train_loss;
-    m.mean_train_loss = static_cast<float>(acc / updates.size());
-  }
+  // Deterministic aggregation order whatever the arrival schedule: stable
+  // sort by client id (duplicates stay adjacent, first arrival first).
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const WeightUpdate& a, const WeightUpdate& b) {
+                     return a.client_id < b.client_id;
+                   });
+  m.weight_delta = server.finish_round(std::move(raw));
+  const RoundAudit& audit = server.last_audit();
+  m.updates_received = audit.accepted;
+  m.rejected_updates = audit.rejected_nonfinite + audit.rejected_duplicate;
+  m.late_updates = audit.rejected_stale;
   return m;
 }
 
 }  // namespace
 
+std::size_t FederatedRunResult::total_rejected_updates() const {
+  std::size_t n = 0;
+  for (const RoundMetrics& r : rounds) n += r.rejected_updates;
+  return n;
+}
+
+std::size_t FederatedRunResult::total_late_updates() const {
+  std::size_t n = 0;
+  for (const RoundMetrics& r : rounds) n += r.late_updates;
+  return n;
+}
+
+std::size_t FederatedRunResult::total_timed_out_clients() const {
+  std::size_t n = 0;
+  for (const RoundMetrics& r : rounds) n += r.timed_out_clients;
+  return n;
+}
+
 SyncDriver::SyncDriver(Server& server,
                        std::vector<std::unique_ptr<Client>>& clients,
-                       InMemoryNetwork& net, const runtime::RunContext* ctx)
-    : server_(&server), clients_(&clients), net_(&net), ctx_(ctx) {
+                       InMemoryNetwork& net, const runtime::RunContext* ctx,
+                       const faults::FaultInjector* injector,
+                       RoundPolicy policy)
+    : server_(&server),
+      clients_(&clients),
+      net_(&net),
+      ctx_(ctx),
+      injector_(injector),
+      policy_(policy) {
   EVFL_REQUIRE(!clients.empty(), "SyncDriver needs clients");
+  if (injector_ != nullptr) net_->set_fault_injector(injector_);
 }
 
 FederatedRunResult SyncDriver::run(std::size_t rounds) {
@@ -48,10 +103,11 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
   FederatedRunResult result;
   const std::size_t n = clients_->size();
 
-  // Client id -> slot, so updates drained from the shared server mailbox
-  // re-order into deterministic client order whatever the arrival schedule.
-  std::unordered_map<int, std::size_t> slot_of;
-  for (std::size_t c = 0; c < n; ++c) slot_of[(*clients_)[c]->id()] = c;
+  std::unordered_set<int> known_ids;
+  for (const auto& client : *clients_) known_ids.insert(client->id());
+
+  // Previous serialized update per client slot, for stale-replay injection.
+  std::vector<std::vector<std::uint8_t>> last_sent(n);
 
   for (std::size_t r = 0; r < rounds; ++r) {
     const auto round_t0 = Clock::now();
@@ -73,11 +129,38 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
       }
       const GlobalModel received = deserialize_global(down->bytes);
 
+      // Crash-before-update: broadcast consumed, nothing contributed.
+      if (injector_ != nullptr &&
+          injector_->should_crash(client.id(), received.round)) {
+        return;
+      }
+
       WeightUpdate update = client.train_round(received);
-      client_seconds[c] = client.last_train_seconds();
+      double elapsed = client.last_train_seconds();
+      if (injector_ != nullptr) {
+        // Straggler delay is simulated time in the sync schedule — it
+        // counts against the deadline without sleeping the run.
+        elapsed +=
+            injector_->straggler_delay_ms(client.id(), received.round) / 1e3;
+      }
+      client_seconds[c] = elapsed;
+      if (policy_.round_deadline_ms > 0.0 &&
+          elapsed * 1000.0 > policy_.round_deadline_ms) {
+        return;  // missed the round deadline: the update never ships
+      }
+
+      if (injector_ != nullptr) {
+        injector_->corrupt_update(update);
+        if (!last_sent[c].empty() &&
+            injector_->should_replay_stale(client.id(), received.round)) {
+          net_->send(Message{client.id(), kServerNode, last_sent[c]});
+        }
+      }
 
       // Upload leg: the update crosses the wire back to the server.
-      if (!net_->send(Message{client.id(), kServerNode, serialize(update)})) {
+      std::vector<std::uint8_t> bytes = serialize(update);
+      last_sent[c] = bytes;
+      if (!net_->send(Message{client.id(), kServerNode, std::move(bytes)})) {
         ++dropped;  // simulated network dropped the upload
       }
     };
@@ -91,30 +174,33 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
       for (std::size_t c = 0; c < n; ++c) run_client(c);
     }
 
-    // Drain the server mailbox into per-client slots.
-    std::vector<std::optional<WeightUpdate>> slots(n);
+    // Drain the server mailbox; the validator (not the driver) judges what
+    // is aggregatable, so corrupted or replayed arrivals reach the server
+    // and get counted there.
+    std::vector<WeightUpdate> raw;
+    raw.reserve(n);
     while (std::optional<Message> up = net_->try_receive(kServerNode)) {
       WeightUpdate u = deserialize_update(up->bytes);
-      const auto it = slot_of.find(u.client_id);
-      if (it == slot_of.end()) {
+      if (known_ids.find(u.client_id) == known_ids.end()) {
         ++dropped;  // update from an unknown sender: skip it
         continue;
       }
-      slots[it->second] = std::move(u);
+      raw.push_back(std::move(u));
     }
 
-    std::vector<WeightUpdate> updates;
-    updates.reserve(n);
-    for (std::optional<WeightUpdate>& s : slots) {
-      if (s) updates.push_back(std::move(*s));
-    }
-
-    const double delta = server_->finish_round(updates);
-    RoundMetrics rm = make_round_metrics(global.round, updates, delta,
-                                         seconds_since(round_t0));
+    RoundMetrics rm =
+        close_round(*server_, global.round, std::move(raw), n,
+                    seconds_since(round_t0));
     rm.max_client_seconds =
         *std::max_element(client_seconds.begin(), client_seconds.end());
     rm.dropped_messages = dropped.load();
+    if (ctx_ != nullptr) {
+      ctx_->count("fl.rejected_updates",
+                  static_cast<double>(rm.rejected_updates));
+      ctx_->count("fl.late_updates", static_cast<double>(rm.late_updates));
+      ctx_->count("fl.timed_out_clients",
+                  static_cast<double>(rm.timed_out_clients));
+    }
     result.simulated_parallel_seconds += rm.max_client_seconds;
     result.rounds.push_back(rm);
   }
@@ -127,25 +213,39 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
 
 ThreadedDriver::ThreadedDriver(Server& server,
                                std::vector<std::unique_ptr<Client>>& clients,
-                               InMemoryNetwork& net)
-    : server_(&server), clients_(&clients), net_(&net) {
+                               InMemoryNetwork& net,
+                               const faults::FaultInjector* injector)
+    : server_(&server), clients_(&clients), net_(&net), injector_(injector) {
   EVFL_REQUIRE(!clients.empty(), "ThreadedDriver needs clients");
+  if (injector_ != nullptr) net_->set_fault_injector(injector_);
 }
 
 FederatedRunResult ThreadedDriver::run(std::size_t rounds) {
-  return run(rounds, 120'000.0);
+  return run(rounds, RoundPolicy{});
 }
 
 FederatedRunResult ThreadedDriver::run(std::size_t rounds,
                                        double collect_timeout_ms) {
+  RoundPolicy policy;
+  policy.round_deadline_ms = collect_timeout_ms;
+  return run(rounds, policy);
+}
+
+FederatedRunResult ThreadedDriver::run(std::size_t rounds,
+                                       const RoundPolicy& policy) {
   const auto t0 = Clock::now();
   FederatedRunResult result;
+  const std::size_t n = clients_->size();
+
+  ServeOptions serve_opts;
+  serve_opts.injector = injector_;
 
   std::vector<std::thread> workers;
-  workers.reserve(clients_->size());
+  workers.reserve(n);
   for (auto& client : *clients_) {
-    workers.emplace_back(
-        [&client, this, rounds] { client->serve(*net_, rounds); });
+    workers.emplace_back([&client, this, rounds, serve_opts] {
+      client->serve(*net_, rounds, serve_opts);
+    });
   }
 
   for (std::size_t r = 0; r < rounds; ++r) {
@@ -161,21 +261,24 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
       }
     }
 
-    std::vector<WeightUpdate> updates;
-    // Collect at most one update per delivered broadcast, bounded by the
-    // straggler deadline.
-    while (updates.size() < broadcasts_delivered) {
+    // Collect until the hard deadline, or earlier once every delivered
+    // broadcast has produced a current-round update.  Stale and duplicate
+    // arrivals are kept for the validator to count and reject.
+    std::vector<WeightUpdate> raw;
+    std::unordered_set<int> fresh_senders;
+    while (fresh_senders.size() < broadcasts_delivered) {
       const double elapsed_ms = seconds_since(round_t0) * 1000.0;
-      const double remaining = collect_timeout_ms - elapsed_ms;
+      const double remaining = policy.round_deadline_ms - elapsed_ms;
       if (remaining <= 0.0) break;
       std::optional<Message> msg = net_->receive(kServerNode, remaining);
       if (!msg) break;
-      updates.push_back(deserialize_update(msg->bytes));
+      WeightUpdate u = deserialize_update(msg->bytes);
+      if (u.round == global.round) fresh_senders.insert(u.client_id);
+      raw.push_back(std::move(u));
     }
 
-    const double delta = server_->finish_round(updates);
-    RoundMetrics rm = make_round_metrics(global.round, updates, delta,
-                                         seconds_since(round_t0));
+    RoundMetrics rm = close_round(*server_, global.round, std::move(raw), n,
+                                  seconds_since(round_t0));
     double max_client_seconds = 0.0;
     for (auto& client : *clients_) {
       max_client_seconds =

@@ -8,13 +8,22 @@
 // seconds" becomes real wall-clock parallelism.  ThreadedDriver runs each
 // client on its own std::thread communicating through the InMemoryNetwork,
 // demonstrating (and testing) that the protocol tolerates concurrency,
-// message loss and stragglers.  Both route every parameter exchange
-// through the serialized wire format.
+// message loss, stragglers and Byzantine clients.  Both route every
+// parameter exchange through the serialized wire format.
+//
+// Robustness model: each round has a deadline.  At the deadline the server
+// aggregates whatever validated updates arrived (partial aggregation); the
+// Server's UpdateValidator rejects stale/duplicate/non-finite updates and
+// its quorum decides whether the round moves the global model at all.  An
+// optional FaultInjector scripts crashes, stragglers, corruption,
+// duplicates and replays for both drivers through one seed-deterministic
+// plan.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "faults/fault_injector.hpp"
 #include "fl/client.hpp"
 #include "fl/network.hpp"
 #include "fl/server.hpp"
@@ -22,9 +31,17 @@
 
 namespace evfl::fl {
 
+/// Per-round protocol knobs shared by both drivers.
+struct RoundPolicy {
+  /// Hard per-round collection deadline: the server never waits longer than
+  /// this for updates; stragglers past it are partially aggregated away.
+  double round_deadline_ms = 120'000.0;
+};
+
 struct RoundMetrics {
   std::uint32_t round = 0;
   float mean_train_loss = 0.0f;
+  /// Updates accepted by the validator and aggregated this round.
   std::size_t updates_received = 0;
   double weight_delta = 0.0;     // L2 movement of the global model
   double wall_seconds = 0.0;
@@ -35,6 +52,13 @@ struct RoundMetrics {
   /// and dropped/undeliverable updates.  A lossy round degrades, it never
   /// aborts.
   std::size_t dropped_messages = 0;
+  /// Arrivals the validator rejected: non-finite payloads and duplicate
+  /// (client, round) sends.
+  std::size_t rejected_updates = 0;
+  /// Arrivals carrying a past round number (straggler or replay).
+  std::size_t late_updates = 0;
+  /// Clients the server heard nothing from before the round closed.
+  std::size_t timed_out_clients = 0;
 };
 
 struct FederatedRunResult {
@@ -45,6 +69,11 @@ struct FederatedRunResult {
   /// Sum over rounds of max_client_seconds — training time a physically
   /// distributed deployment would observe (clients train concurrently).
   double simulated_parallel_seconds = 0.0;
+
+  /// Per-run totals of the per-round robustness counters.
+  std::size_t total_rejected_updates() const;
+  std::size_t total_late_updates() const;
+  std::size_t total_timed_out_clients() const;
 };
 
 /// Common interface over the execution models, so callers pick a driver at
@@ -59,8 +88,12 @@ class SyncDriver : public Driver {
  public:
   /// `ctx` (optional, non-owning) supplies the thread pool for pool-backed
   /// rounds; nullptr or a serial context trains clients one at a time.
+  /// `injector` (optional, non-owning) scripts faults; it is also attached
+  /// to the network so message-level faults (duplicates) apply.
   SyncDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
-             InMemoryNetwork& net, const runtime::RunContext* ctx = nullptr);
+             InMemoryNetwork& net, const runtime::RunContext* ctx = nullptr,
+             const faults::FaultInjector* injector = nullptr,
+             RoundPolicy policy = {});
 
   FederatedRunResult run(std::size_t rounds) override;
 
@@ -69,24 +102,30 @@ class SyncDriver : public Driver {
   std::vector<std::unique_ptr<Client>>* clients_;
   InMemoryNetwork* net_;
   const runtime::RunContext* ctx_;
+  const faults::FaultInjector* injector_;
+  RoundPolicy policy_;
 };
 
 class ThreadedDriver : public Driver {
  public:
   ThreadedDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
-                 InMemoryNetwork& net);
+                 InMemoryNetwork& net,
+                 const faults::FaultInjector* injector = nullptr);
 
   FederatedRunResult run(std::size_t rounds) override;
 
-  /// `collect_timeout_ms` bounds how long the server waits for each round's
-  /// updates; stragglers past the deadline are skipped (FedAvg over the
-  /// received subset).
+  /// Legacy overload: `collect_timeout_ms` is the per-round deadline.
   FederatedRunResult run(std::size_t rounds, double collect_timeout_ms);
+
+  /// Rounds close at policy.round_deadline_ms — the server aggregates the
+  /// validated partial set and never blocks past the deadline.
+  FederatedRunResult run(std::size_t rounds, const RoundPolicy& policy);
 
  private:
   Server* server_;
   std::vector<std::unique_ptr<Client>>* clients_;
   InMemoryNetwork* net_;
+  const faults::FaultInjector* injector_;
 };
 
 }  // namespace evfl::fl

@@ -2,10 +2,19 @@
 
 #include <chrono>
 
+#include "faults/fault_injector.hpp"
+#include "fl/serialize.hpp"
+
 namespace evfl::fl {
 
 InMemoryNetwork::InMemoryNetwork(NetworkConfig cfg)
     : cfg_(cfg), drop_rng_(cfg.drop_seed) {}
+
+void InMemoryNetwork::set_fault_injector(
+    const faults::FaultInjector* injector) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  injector_ = injector;
+}
 
 bool InMemoryNetwork::send(Message msg) {
   std::unique_lock<std::mutex> lock(mutex_);
@@ -19,7 +28,23 @@ bool InMemoryNetwork::send(Message msg) {
     ++stats_.messages_dropped;
     return false;
   }
-  queues_[msg.to].push_back(std::move(msg));
+  // Scripted duplicate delivery: a faulty client (or a retransmitting
+  // transport) hands the server the same update more than once.  Only
+  // client->server WeightUpdates duplicate; broadcasts stay single.
+  int extra_copies = 0;
+  if (injector_ != nullptr && msg.to == kServerNode) {
+    if (const std::optional<WirePeek> peek = peek_header(msg.bytes)) {
+      if (peek->kind == MessageKind::kWeightUpdate) {
+        extra_copies = injector_->duplicate_copies(peek->client, peek->round);
+      }
+    }
+  }
+  auto& q = queues_[msg.to];
+  for (int i = 0; i < extra_copies; ++i) {
+    ++stats_.messages_duplicated;
+    q.push_back(Message{msg.from, msg.to, msg.bytes});
+  }
+  q.push_back(std::move(msg));
   cv_.notify_all();
   return true;
 }
@@ -27,14 +52,14 @@ bool InMemoryNetwork::send(Message msg) {
 std::optional<Message> InMemoryNetwork::receive(int node, double timeout_ms) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto& q = queues_[node];
+  // Absolute monotonic deadline fixed before any wait: however many spurious
+  // wakeups or foreign-node notifications land, the last wait still expires
+  // at entry-time + timeout_ms.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(
                             static_cast<std::int64_t>(timeout_ms * 1000.0));
-  while (q.empty()) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-        q.empty()) {
-      return std::nullopt;
-    }
+  if (!cv_.wait_until(lock, deadline, [&q] { return !q.empty(); })) {
+    return std::nullopt;
   }
   Message msg = std::move(q.front());
   q.pop_front();

@@ -5,6 +5,10 @@
 // Optional per-message simulated latency accumulates into a virtual clock,
 // and optional loss probability drops messages — both used by the
 // robustness tests and the communication-cost reporting.
+//
+// An optional FaultInjector adds scripted message-level faults: currently
+// duplicate delivery of client updates (the Byzantine "send it twice"
+// case), keyed off the (sender, round) visible in the wire header.
 #pragma once
 
 #include <condition_variable>
@@ -16,6 +20,10 @@
 #include <vector>
 
 #include "tensor/rng.hpp"
+
+namespace evfl::faults {
+class FaultInjector;
+}  // namespace evfl::faults
 
 namespace evfl::fl {
 
@@ -37,6 +45,7 @@ struct NetworkConfig {
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;  // injected duplicate deliveries
   std::uint64_t bytes_sent = 0;
   double virtual_latency_ms = 0.0;  // accumulated simulated transfer time
 };
@@ -45,11 +54,17 @@ class InMemoryNetwork {
  public:
   explicit InMemoryNetwork(NetworkConfig cfg = {});
 
+  /// Attach (or detach, with nullptr) a fault injector consulted on every
+  /// send.  Non-owning; the injector must outlive the network's use of it.
+  void set_fault_injector(const faults::FaultInjector* injector);
+
   /// Enqueue a message for `msg.to`.  Returns false if the (simulated)
   /// network dropped it.
   bool send(Message msg);
 
-  /// Blocking receive for a node; std::nullopt on timeout.
+  /// Blocking receive for a node; std::nullopt on timeout.  The timeout is
+  /// an absolute monotonic deadline fixed on entry: spurious wakeups and
+  /// notifications for other nodes never extend the wait.
   std::optional<Message> receive(int node, double timeout_ms = 30'000.0);
 
   /// Non-blocking receive.
@@ -68,6 +83,7 @@ class InMemoryNetwork {
   std::unordered_map<int, std::deque<Message>> queues_;
   NetworkStats stats_;
   tensor::Rng drop_rng_;
+  const faults::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace evfl::fl

@@ -174,6 +174,24 @@ MessageKind peek_kind(const std::vector<std::uint8_t>& bytes) {
   return static_cast<MessageKind>(h.kind);
 }
 
+std::optional<WirePeek> peek_header(const std::vector<std::uint8_t>& bytes) {
+  try {
+    Reader r(bytes);
+    const Header h = read_header(r);
+    if (h.kind != static_cast<std::uint16_t>(MessageKind::kWeightUpdate) &&
+        h.kind != static_cast<std::uint16_t>(MessageKind::kGlobalModel)) {
+      return std::nullopt;
+    }
+    WirePeek p;
+    p.kind = static_cast<MessageKind>(h.kind);
+    p.round = h.round;
+    p.client = h.client;
+    return p;
+  } catch (const FormatError&) {
+    return std::nullopt;
+  }
+}
+
 WeightUpdate deserialize_update(const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
   const Header h = read_header(r);

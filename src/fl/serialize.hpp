@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "fl/weights.hpp"
@@ -42,6 +43,17 @@ std::vector<std::uint8_t> serialize(const GlobalModel& model);
 /// Peek at the message kind without full decoding; throws FormatError on
 /// malformed headers.
 MessageKind peek_kind(const std::vector<std::uint8_t>& bytes);
+
+/// Header fields visible without decoding the payload — what the simulated
+/// network needs to apply per-(sender, round) fault rules.
+struct WirePeek {
+  MessageKind kind = MessageKind::kWeightUpdate;
+  std::uint32_t round = 0;
+  std::int32_t client = -1;
+};
+
+/// Non-throwing header peek; std::nullopt on anything malformed.
+std::optional<WirePeek> peek_header(const std::vector<std::uint8_t>& bytes);
 
 /// Decoders throw evfl::FormatError on bad magic/version/kind/CRC/size.
 WeightUpdate deserialize_update(const std::vector<std::uint8_t>& bytes);

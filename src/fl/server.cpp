@@ -4,8 +4,11 @@
 
 namespace evfl::fl {
 
-Server::Server(std::vector<float> initial_weights, FedAvgConfig cfg)
-    : weights_(std::move(initial_weights)), cfg_(cfg) {
+Server::Server(std::vector<float> initial_weights, FedAvgConfig cfg,
+               ValidatorConfig validator_cfg)
+    : weights_(std::move(initial_weights)),
+      cfg_(cfg),
+      validator_(validator_cfg) {
   EVFL_REQUIRE(!weights_.empty(), "server needs non-empty initial weights");
 }
 
@@ -13,14 +16,20 @@ GlobalModel Server::broadcast() const {
   return GlobalModel{round_, weights_};
 }
 
-double Server::finish_round(const std::vector<WeightUpdate>& updates) {
-  ++round_;
-  if (updates.empty()) return 0.0;
+double Server::finish_round(std::vector<WeightUpdate> updates) {
+  // Dimension mismatch is an in-process programming error (every update is
+  // CRC-checked off the wire), not a Byzantine input — fail loudly.
   for (const WeightUpdate& u : updates) {
     EVFL_REQUIRE(u.weights.size() == weights_.size(),
                  "update dimension mismatch at server");
   }
-  std::vector<float> next = fed_avg(updates, cfg_);
+
+  const std::vector<WeightUpdate> accepted = validator_.filter(
+      std::move(updates), round_, weights_, last_audit_);
+  ++round_;
+  if (accepted.empty() || !last_audit_.quorum_met) return 0.0;
+
+  std::vector<float> next = fed_avg(accepted, cfg_);
   const double delta = l2_distance(weights_, next);
   weights_ = std::move(next);
   return delta;

@@ -1,18 +1,27 @@
 // Federated server: holds the global model and applies FedAvg to the
 // updates collected each round.  Transport-agnostic — the drivers move the
 // serialized bytes.
+//
+// The server does not trust incoming updates: every finish_round runs the
+// UpdateValidator first (stale/duplicate rejection, non-finite rejection,
+// optional norm clipping, quorum), and publishes what it rejected through
+// last_audit().  An all-rejected or under-quorum round leaves the global
+// weights unchanged but still advances the round counter, so a poisoned
+// round costs progress, never correctness.
 #pragma once
 
 #include <vector>
 
 #include "fl/fedavg.hpp"
+#include "fl/validator.hpp"
 #include "fl/weights.hpp"
 
 namespace evfl::fl {
 
 class Server {
  public:
-  Server(std::vector<float> initial_weights, FedAvgConfig cfg = {});
+  explicit Server(std::vector<float> initial_weights, FedAvgConfig cfg = {},
+                  ValidatorConfig validator_cfg = {});
 
   std::uint32_t round() const { return round_; }
   const std::vector<float>& weights() const { return weights_; }
@@ -20,14 +29,20 @@ class Server {
   /// The broadcast for the current round.
   GlobalModel broadcast() const;
 
-  /// Aggregate one round's updates and advance the round counter.  Returns
-  /// the L2 movement of the global weights (convergence diagnostic).  An
-  /// empty update set (all clients dropped) leaves weights unchanged.
-  double finish_round(const std::vector<WeightUpdate>& updates);
+  /// Validate and aggregate one round's updates and advance the round
+  /// counter.  Returns the L2 movement of the global weights (convergence
+  /// diagnostic).  An empty, all-rejected, or under-quorum update set
+  /// leaves weights unchanged.
+  double finish_round(std::vector<WeightUpdate> updates);
+
+  /// Validation outcome of the most recent finish_round.
+  const RoundAudit& last_audit() const { return last_audit_; }
 
  private:
   std::vector<float> weights_;
   FedAvgConfig cfg_;
+  UpdateValidator validator_;
+  RoundAudit last_audit_;
   std::uint32_t round_ = 0;
 };
 

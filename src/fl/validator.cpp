@@ -1,0 +1,77 @@
+#include "fl/validator.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace evfl::fl {
+
+UpdateValidator::UpdateValidator(ValidatorConfig cfg) : cfg_(cfg) {
+  EVFL_REQUIRE(cfg_.max_update_norm >= 0.0,
+               "max_update_norm must be non-negative");
+  EVFL_REQUIRE(cfg_.min_updates >= 1, "quorum must be at least 1");
+}
+
+bool all_finite(const std::vector<float>& weights) {
+  for (const float w : weights) {
+    if (!std::isfinite(w)) return false;
+  }
+  return true;
+}
+
+std::vector<WeightUpdate> UpdateValidator::filter(
+    std::vector<WeightUpdate> updates, std::uint32_t expected_round,
+    const std::vector<float>& global_weights, RoundAudit& audit) const {
+  audit = RoundAudit{};
+  audit.received = updates.size();
+
+  std::vector<WeightUpdate> accepted;
+  accepted.reserve(updates.size());
+  std::unordered_set<int> seen_clients;
+
+  for (WeightUpdate& u : updates) {
+    if (cfg_.reject_stale && u.round != expected_round) {
+      ++audit.rejected_stale;
+      continue;
+    }
+    if (cfg_.reject_duplicates && !seen_clients.insert(u.client_id).second) {
+      ++audit.rejected_duplicate;
+      continue;
+    }
+    if (cfg_.reject_nonfinite && !all_finite(u.weights)) {
+      ++audit.rejected_nonfinite;
+      continue;
+    }
+    if (cfg_.max_update_norm > 0.0 &&
+        u.weights.size() == global_weights.size()) {
+      // Clip the *movement* ||u - global||, not the raw weight norm: a
+      // legitimate large model is fine, a huge per-round jump is not.
+      double sq = 0.0;
+      for (std::size_t i = 0; i < u.weights.size(); ++i) {
+        const double d = static_cast<double>(u.weights[i]) -
+                         static_cast<double>(global_weights[i]);
+        sq += d * d;
+      }
+      const double norm = std::sqrt(sq);
+      if (norm > cfg_.max_update_norm) {
+        const double scale = cfg_.max_update_norm / norm;
+        for (std::size_t i = 0; i < u.weights.size(); ++i) {
+          const double d = static_cast<double>(u.weights[i]) -
+                           static_cast<double>(global_weights[i]);
+          u.weights[i] =
+              static_cast<float>(static_cast<double>(global_weights[i]) +
+                                 d * scale);
+        }
+        ++audit.clipped;
+      }
+    }
+    accepted.push_back(std::move(u));
+  }
+
+  audit.accepted = accepted.size();
+  audit.quorum_met = accepted.size() >= cfg_.min_updates;
+  return accepted;
+}
+
+}  // namespace evfl::fl

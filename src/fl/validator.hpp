@@ -1,0 +1,72 @@
+// Server-side sanitization of incoming WeightUpdates.
+//
+// The server must not trust what arrives off the wire: a Byzantine or
+// faulty client can send NaN/Inf payloads, norm-inflated updates, stale
+// round numbers, or the same update twice.  UpdateValidator filters a
+// round's raw arrivals down to the set FedAvg may safely aggregate and
+// reports exactly what it rejected, so drivers can surface per-round
+// robustness counters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fl/weights.hpp"
+
+namespace evfl::fl {
+
+struct ValidatorConfig {
+  /// Drop updates containing NaN or +/-Inf weights (one poisoned update
+  /// would otherwise poison the whole global model).
+  bool reject_nonfinite = true;
+  /// Drop updates whose round number is not the server's current round —
+  /// late stragglers and replayed messages must not leak into a later round.
+  bool reject_stale = true;
+  /// Keep only the first update per client id within a round.
+  bool reject_duplicates = true;
+  /// Clip the L2 norm of (update - global) to this value; 0 disables
+  /// clipping.  Bounds the influence of finite-but-huge Byzantine updates.
+  double max_update_norm = 0.0;
+  /// Minimum accepted updates required to aggregate at all (quorum).  Below
+  /// it the round is skipped: global weights stay unchanged.
+  std::size_t min_updates = 1;
+};
+
+/// What happened to one round's raw arrivals.
+struct RoundAudit {
+  std::size_t received = 0;            // raw updates handed to the validator
+  std::size_t accepted = 0;
+  std::size_t rejected_nonfinite = 0;
+  std::size_t rejected_stale = 0;
+  std::size_t rejected_duplicate = 0;
+  std::size_t clipped = 0;             // accepted, but norm-clipped
+  bool quorum_met = true;
+
+  std::size_t rejected() const {
+    return rejected_nonfinite + rejected_stale + rejected_duplicate;
+  }
+};
+
+class UpdateValidator {
+ public:
+  explicit UpdateValidator(ValidatorConfig cfg = {});
+
+  const ValidatorConfig& config() const { return cfg_; }
+
+  /// Filter `updates` against `expected_round` and the current global
+  /// weights.  Accepted updates are returned (norm-clipped if configured);
+  /// `audit` records every rejection.  Quorum is *reported*, not enforced —
+  /// the caller decides what an under-quorum round means.
+  std::vector<WeightUpdate> filter(std::vector<WeightUpdate> updates,
+                                   std::uint32_t expected_round,
+                                   const std::vector<float>& global_weights,
+                                   RoundAudit& audit) const;
+
+ private:
+  ValidatorConfig cfg_;
+};
+
+/// True when every weight is finite.
+bool all_finite(const std::vector<float>& weights);
+
+}  // namespace evfl::fl

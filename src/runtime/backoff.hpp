@@ -1,0 +1,30 @@
+// Bounded exponential backoff for retrying transient failures (a dropped
+// broadcast, a slow peer).  Deliberately jitter-free: evfl's determinism
+// contract means two runs with the same seeds must retry on the same
+// schedule.
+#pragma once
+
+#include <cstddef>
+
+namespace evfl::runtime {
+
+struct BackoffPolicy {
+  double initial_ms = 100.0;   // first wait
+  double multiplier = 2.0;     // growth per attempt
+  std::size_t max_attempts = 6;
+  double max_wait_ms = 5'000.0;  // per-attempt ceiling
+};
+
+/// Wait before attempt `attempt` (0-based): initial * multiplier^attempt,
+/// capped at max_wait_ms.
+inline double backoff_wait_ms(const BackoffPolicy& policy,
+                              std::size_t attempt) {
+  double wait = policy.initial_ms;
+  for (std::size_t i = 0; i < attempt; ++i) {
+    wait *= policy.multiplier;
+    if (wait >= policy.max_wait_ms) return policy.max_wait_ms;
+  }
+  return wait < policy.max_wait_ms ? wait : policy.max_wait_ms;
+}
+
+}  // namespace evfl::runtime

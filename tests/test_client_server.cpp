@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "fl/client.hpp"
 #include "fl/server.hpp"
 #include "nn/dense.hpp"
@@ -118,6 +120,32 @@ TEST(Server, EmptyRoundKeepsWeights) {
   EXPECT_EQ(server.round(), 1u);
   EXPECT_FLOAT_EQ(server.weights()[0], 3.0f);
   EXPECT_EQ(delta, 0.0);
+}
+
+TEST(Server, AllRejectedRoundKeepsWeightsAndAdvancesRound) {
+  // Every arrival is non-finite: the validator rejects them all, the global
+  // weights stay untouched, and the round counter still advances so the
+  // protocol makes progress instead of wedging on a poisoned round.
+  Server server({1.5f, -2.5f});
+  const std::vector<float> before = server.weights();
+
+  WeightUpdate nan_update;
+  nan_update.client_id = 0;
+  nan_update.round = 0;
+  nan_update.sample_count = 8;
+  nan_update.weights = {std::numeric_limits<float>::quiet_NaN(), 1.0f};
+  WeightUpdate inf_update;
+  inf_update.client_id = 1;
+  inf_update.round = 0;
+  inf_update.sample_count = 8;
+  inf_update.weights = {0.0f, std::numeric_limits<float>::infinity()};
+
+  const double delta = server.finish_round({nan_update, inf_update});
+  EXPECT_EQ(delta, 0.0);
+  EXPECT_EQ(server.weights(), before);
+  EXPECT_EQ(server.round(), 1u);
+  EXPECT_EQ(server.last_audit().rejected_nonfinite, 2u);
+  EXPECT_EQ(server.last_audit().accepted, 0u);
 }
 
 TEST(Server, RejectsDimensionMismatch) {

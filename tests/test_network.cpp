@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace evfl::fl {
@@ -99,6 +101,69 @@ TEST(Network, DropProbabilityDropsRoughlyThatFraction) {
   EXPECT_EQ(st.messages_dropped, n - delivered);
   EXPECT_NEAR(static_cast<double>(st.messages_dropped) / n, 0.3, 0.05);
   EXPECT_EQ(net.pending(1), delivered);
+}
+
+TEST(Network, TryReceiveOnEmptyQueueIsNullopt) {
+  InMemoryNetwork net;
+  EXPECT_FALSE(net.try_receive(0).has_value());
+  // A node that was drained earlier behaves the same as a never-used one.
+  net.send(msg(0, 1));
+  net.try_receive(1);
+  EXPECT_FALSE(net.try_receive(1).has_value());
+  EXPECT_EQ(net.pending(1), 0u);
+}
+
+TEST(Network, TimeoutIsAnAbsoluteDeadlineDespiteForeignWakeups) {
+  // Sends to *other* nodes notify the receiver's condition variable; those
+  // wakeups must not extend the receiver's deadline beyond timeout_ms.
+  InMemoryNetwork net;
+  std::atomic<bool> stop{false};
+  std::thread noisy([&] {
+    while (!stop.load()) {
+      net.send(msg(0, 2));  // wrong node: pure wakeup noise
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = net.receive(1, 100.0);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  stop.store(true);
+  noisy.join();
+  EXPECT_FALSE(r.has_value());
+  EXPECT_GE(elapsed_ms, 99.0);
+  EXPECT_LT(elapsed_ms, 1000.0);  // not extended by the wakeup stream
+}
+
+TEST(Network, DropPatternIsDeterministicUnderFixedSeed) {
+  const auto delivered_pattern = [](std::uint64_t seed) {
+    NetworkConfig cfg;
+    cfg.drop_probability = 0.5;
+    cfg.drop_seed = seed;
+    InMemoryNetwork net(cfg);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) pattern.push_back(net.send(msg(0, 1)));
+    return pattern;
+  };
+  EXPECT_EQ(delivered_pattern(11), delivered_pattern(11));
+  EXPECT_NE(delivered_pattern(11), delivered_pattern(12));
+}
+
+TEST(Network, InterleavedMultiNodeSendsKeepPerNodeFifo) {
+  InMemoryNetwork net;
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    Message m = msg(0, i % 3);  // round-robin across three nodes
+    m.bytes = {i};
+    net.send(m);
+  }
+  // Each node sees only its own messages, in send order.
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_EQ(net.try_receive(node)->bytes[0], node);
+    EXPECT_EQ(net.try_receive(node)->bytes[0], node + 3);
+    EXPECT_FALSE(net.try_receive(node).has_value());
+  }
 }
 
 TEST(Network, ConcurrentSendersDoNotLoseMessages) {

@@ -1,0 +1,124 @@
+#include "fl/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace evfl::fl {
+namespace {
+
+WeightUpdate update(int client, std::uint32_t round,
+                    std::vector<float> weights) {
+  WeightUpdate u;
+  u.client_id = client;
+  u.round = round;
+  u.sample_count = 10;
+  u.weights = std::move(weights);
+  return u;
+}
+
+TEST(Validator, AcceptsCleanCurrentRoundUpdates) {
+  UpdateValidator v;
+  RoundAudit audit;
+  const auto out = v.filter({update(0, 3, {1.0f}), update(1, 3, {2.0f})}, 3,
+                            {0.0f}, audit);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(audit.received, 2u);
+  EXPECT_EQ(audit.accepted, 2u);
+  EXPECT_EQ(audit.rejected(), 0u);
+  EXPECT_TRUE(audit.quorum_met);
+}
+
+TEST(Validator, RejectsStaleAndFutureRounds) {
+  UpdateValidator v;
+  RoundAudit audit;
+  const auto out = v.filter(
+      {update(0, 2, {1.0f}), update(1, 3, {1.0f}), update(2, 4, {1.0f})}, 3,
+      {0.0f}, audit);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].client_id, 1);
+  EXPECT_EQ(audit.rejected_stale, 2u);
+}
+
+TEST(Validator, KeepsFirstUpdatePerClient) {
+  UpdateValidator v;
+  RoundAudit audit;
+  const auto out = v.filter(
+      {update(0, 1, {1.0f}), update(0, 1, {9.0f}), update(1, 1, {2.0f})}, 1,
+      {0.0f}, audit);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FLOAT_EQ(out[0].weights[0], 1.0f);  // first arrival wins
+  EXPECT_EQ(audit.rejected_duplicate, 1u);
+}
+
+TEST(Validator, RejectsNonFinitePayloads) {
+  UpdateValidator v;
+  RoundAudit audit;
+  const auto out = v.filter(
+      {update(0, 0, {std::numeric_limits<float>::quiet_NaN()}),
+       update(1, 0, {-std::numeric_limits<float>::infinity()}),
+       update(2, 0, {1.0f})},
+      0, {0.0f}, audit);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(audit.rejected_nonfinite, 2u);
+}
+
+TEST(Validator, ClipsMovementNormAgainstGlobalWeights) {
+  ValidatorConfig cfg;
+  cfg.max_update_norm = 2.0;
+  UpdateValidator v(cfg);
+  RoundAudit audit;
+  // Movement (3, 4) has norm 5 → clipped to norm 2 → (1.2, 1.6) + global.
+  const auto out =
+      v.filter({update(0, 0, {4.0f, 5.0f})}, 0, {1.0f, 1.0f}, audit);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(audit.clipped, 1u);
+  EXPECT_NEAR(out[0].weights[0], 1.0f + 1.2f, 1e-5f);
+  EXPECT_NEAR(out[0].weights[1], 1.0f + 1.6f, 1e-5f);
+
+  // Small movements pass through untouched.
+  const auto small =
+      v.filter({update(0, 0, {1.5f, 1.0f})}, 0, {1.0f, 1.0f}, audit);
+  EXPECT_EQ(audit.clipped, 0u);
+  EXPECT_FLOAT_EQ(small[0].weights[0], 1.5f);
+}
+
+TEST(Validator, QuorumReportedNotEnforced) {
+  ValidatorConfig cfg;
+  cfg.min_updates = 3;
+  UpdateValidator v(cfg);
+  RoundAudit audit;
+  const auto out = v.filter({update(0, 0, {1.0f})}, 0, {0.0f}, audit);
+  EXPECT_EQ(out.size(), 1u);  // caller sees the updates...
+  EXPECT_FALSE(audit.quorum_met);  // ...and the quorum verdict
+}
+
+TEST(Validator, ChecksCanBeDisabled) {
+  ValidatorConfig cfg;
+  cfg.reject_nonfinite = false;
+  cfg.reject_stale = false;
+  cfg.reject_duplicates = false;
+  UpdateValidator v(cfg);
+  RoundAudit audit;
+  const auto out = v.filter(
+      {update(0, 9, {std::numeric_limits<float>::quiet_NaN()}),
+       update(0, 9, {1.0f})},
+      0, {0.0f}, audit);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(audit.rejected(), 0u);
+}
+
+TEST(Validator, RejectsBadConfig) {
+  ValidatorConfig bad_norm;
+  bad_norm.max_update_norm = -1.0;
+  EXPECT_THROW(UpdateValidator{bad_norm}, Error);
+  ValidatorConfig bad_quorum;
+  bad_quorum.min_updates = 0;
+  EXPECT_THROW(UpdateValidator{bad_quorum}, Error);
+}
+
+}  // namespace
+}  // namespace evfl::fl
