@@ -10,13 +10,16 @@ namespace evfl::fl {
 
 namespace {
 
-/// Bounded retry-with-backoff receive: attempts grow geometrically but the
-/// total wait never exceeds `opts.receive_timeout_ms`.
+/// Budget-bounded retry-with-backoff receive: waits ramp geometrically to
+/// the per-attempt ceiling and then keep retrying at that ceiling until the
+/// full `opts.receive_timeout_ms` budget is spent.  The budget — not the
+/// backoff ramp — decides when the client gives up, so a server that
+/// legitimately holds a round open until its deadline is waited out rather
+/// than abandoned.
 std::optional<Message> receive_with_backoff(InMemoryNetwork& net, int node,
                                             const ServeOptions& opts) {
   double budget_ms = opts.receive_timeout_ms;
-  for (std::size_t attempt = 0; attempt < opts.backoff.max_attempts;
-       ++attempt) {
+  for (std::size_t attempt = 0; budget_ms > 0.0; ++attempt) {
     const double wait =
         std::min(runtime::backoff_wait_ms(opts.backoff, attempt), budget_ms);
     if (wait <= 0.0) break;
@@ -65,11 +68,17 @@ WeightUpdate Client::train_round(const GlobalModel& global) {
 
 void Client::serve(InMemoryNetwork& net, std::size_t rounds,
                    ServeOptions opts) {
+  // Keeping a serialized copy of every round's update costs a payload-sized
+  // copy per round, so only do it when a stale-replay rule can actually ask
+  // for it.
+  const bool retain_previous =
+      opts.injector != nullptr && opts.injector->may_replay_stale(id_);
   std::vector<std::uint8_t> previous_update_bytes;
   for (std::size_t r = 0; r < rounds; ++r) {
     std::optional<Message> msg = receive_with_backoff(net, id_, opts);
     if (!msg) return;  // retry budget exhausted: server went away
     const GlobalModel global = deserialize_global(msg->bytes);
+    if (global.round == kShutdownRound) return;  // server finished its rounds
 
     // Crash-before-update: the client received the broadcast but dies
     // before contributing — the server must time it out, not hang.
@@ -97,7 +106,7 @@ void Client::serve(InMemoryNetwork& net, std::size_t rounds,
     }
 
     std::vector<std::uint8_t> bytes = serialize(update);
-    previous_update_bytes = bytes;
+    if (retain_previous) previous_update_bytes = bytes;
     net.send(Message{id_, kServerNode, std::move(bytes)});
   }
 }

@@ -32,9 +32,13 @@ struct ClientConfig {
 /// Knobs for the threaded service loop.
 struct ServeOptions {
   /// Total per-round wait budget for the broadcast.  The wait is split into
-  /// bounded retry attempts (see `backoff`) so a dropped broadcast costs a
-  /// short retry, not one monolithic hang.
-  double receive_timeout_ms = 60'000.0;
+  /// retry attempts (see `backoff`) so a dropped broadcast costs a short
+  /// retry, not one monolithic hang — but the attempts keep coming until
+  /// this whole budget is spent.  Must cover the server's
+  /// RoundPolicy::round_deadline_ms (120 s default): a round that closes at
+  /// the deadline is normal operation, not a dead server.  ThreadedDriver
+  /// raises it automatically when handed a larger deadline.
+  double receive_timeout_ms = 150'000.0;
   runtime::BackoffPolicy backoff{};
   /// Optional scripted faults this client is subject to (crash, straggler
   /// delay, update corruption, stale replay).  Non-owning.
@@ -53,9 +57,10 @@ class Client {
   WeightUpdate train_round(const GlobalModel& global);
 
   /// Threaded-mode service loop: for each of `rounds`, wait for a
-  /// GlobalModel broadcast on `net` (bounded retry-with-backoff), train,
-  /// and send the update back to the server node.  Exits when the retry
-  /// budget is exhausted (server gone) or a scripted crash fault fires.
+  /// GlobalModel broadcast on `net` (budget-bounded retry-with-backoff),
+  /// train, and send the update back to the server node.  Exits when the
+  /// retry budget is exhausted (server gone), a kShutdownRound broadcast
+  /// arrives (server finished), or a scripted crash fault fires.
   void serve(InMemoryNetwork& net, std::size_t rounds, ServeOptions opts);
 
   /// Legacy convenience overload: one total receive budget, no faults.

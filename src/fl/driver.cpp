@@ -41,13 +41,18 @@ std::size_t distinct_fresh_senders(const std::vector<WeightUpdate>& raw,
   return ids.size();
 }
 
+/// `reachable_clients` is the number of clients that actually received this
+/// round's broadcast: only those could have contributed, so only those can
+/// *time out*.  Clients whose broadcast the lossy network dropped are
+/// accounted in dropped_messages, not here.
 RoundMetrics close_round(Server& server, std::uint32_t round,
                          std::vector<WeightUpdate> raw,
-                         std::size_t client_count, double wall_seconds) {
+                         std::size_t reachable_clients, double wall_seconds) {
   RoundMetrics m;
   m.round = round;
   m.mean_train_loss = mean_loss(raw);
-  m.timed_out_clients = client_count - distinct_fresh_senders(raw, round);
+  const std::size_t fresh = distinct_fresh_senders(raw, round);
+  m.timed_out_clients = reachable_clients > fresh ? reachable_clients - fresh : 0;
   m.wall_seconds = wall_seconds;
   // Deterministic aggregation order whatever the arrival schedule: stable
   // sort by client id (duplicates stay adjacent, first arrival first).
@@ -58,7 +63,8 @@ RoundMetrics close_round(Server& server, std::uint32_t round,
   m.weight_delta = server.finish_round(std::move(raw));
   const RoundAudit& audit = server.last_audit();
   m.updates_received = audit.accepted;
-  m.rejected_updates = audit.rejected_nonfinite + audit.rejected_duplicate;
+  m.rejected_updates = audit.rejected_nonfinite + audit.rejected_duplicate +
+                       audit.rejected_dimension;
   m.late_updates = audit.rejected_stale;
   return m;
 }
@@ -114,6 +120,7 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     const GlobalModel global = server_->broadcast();
 
     std::atomic<std::size_t> dropped{0};
+    std::atomic<std::size_t> reached{0};
     std::vector<double> client_seconds(n, 0.0);
     auto run_client = [&](std::size_t c) {
       Client& client = *(*clients_)[c];
@@ -127,6 +134,7 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
         ++dropped;  // self-message lost: degrade the round, never abort
         return;
       }
+      ++reached;  // broadcast delivered: this client can now time out
       const GlobalModel received = deserialize_global(down->bytes);
 
       // Crash-before-update: broadcast consumed, nothing contributed.
@@ -159,7 +167,9 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
 
       // Upload leg: the update crosses the wire back to the server.
       std::vector<std::uint8_t> bytes = serialize(update);
-      last_sent[c] = bytes;
+      if (injector_ != nullptr && injector_->may_replay_stale(client.id())) {
+        last_sent[c] = bytes;  // retained only if a replay rule can want it
+      }
       if (!net_->send(Message{client.id(), kServerNode, std::move(bytes)})) {
         ++dropped;  // simulated network dropped the upload
       }
@@ -189,7 +199,7 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     }
 
     RoundMetrics rm =
-        close_round(*server_, global.round, std::move(raw), n,
+        close_round(*server_, global.round, std::move(raw), reached.load(),
                     seconds_since(round_t0));
     rm.max_client_seconds =
         *std::max_element(client_seconds.begin(), client_seconds.end());
@@ -239,6 +249,11 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
 
   ServeOptions serve_opts;
   serve_opts.injector = injector_;
+  // A server that holds a round open until its deadline is healthy: clients
+  // must out-wait the deadline (plus slack for aggregation) before deciding
+  // the server is gone, or every long round ends the fleet.
+  serve_opts.receive_timeout_ms = std::max(serve_opts.receive_timeout_ms,
+                                           policy.round_deadline_ms * 1.25);
 
   std::vector<std::thread> workers;
   workers.reserve(n);
@@ -277,8 +292,9 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
       raw.push_back(std::move(u));
     }
 
-    RoundMetrics rm = close_round(*server_, global.round, std::move(raw), n,
-                                  seconds_since(round_t0));
+    RoundMetrics rm =
+        close_round(*server_, global.round, std::move(raw),
+                    broadcasts_delivered, seconds_since(round_t0));
     double max_client_seconds = 0.0;
     for (auto& client : *clients_) {
       max_client_seconds =
@@ -290,6 +306,15 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
     result.rounds.push_back(rm);
   }
 
+  // Release clients still waiting on a broadcast (theirs was dropped, or
+  // they lag the server after missed rounds): a control-plane shutdown the
+  // lossy simulation never drops, so join() is prompt instead of costing a
+  // full receive budget per straggling client.
+  const std::vector<std::uint8_t> bye =
+      serialize(GlobalModel{kShutdownRound, {}});
+  for (auto& client : *clients_) {
+    net_->send_control(Message{kServerNode, client->id(), bye});
+  }
   for (std::thread& w : workers) w.join();
 
   result.final_weights = server_->weights();

@@ -52,12 +52,15 @@ struct RoundMetrics {
   /// and dropped/undeliverable updates.  A lossy round degrades, it never
   /// aborts.
   std::size_t dropped_messages = 0;
-  /// Arrivals the validator rejected: non-finite payloads and duplicate
-  /// (client, round) sends.
+  /// Arrivals the validator rejected: non-finite payloads, wrong-dimension
+  /// payloads, and duplicate (client, round) sends.
   std::size_t rejected_updates = 0;
   /// Arrivals carrying a past round number (straggler or replay).
   std::size_t late_updates = 0;
-  /// Clients the server heard nothing from before the round closed.
+  /// Clients that received this round's broadcast yet contributed no
+  /// current-round update before the round closed (crashed, straggling, or
+  /// their upload was lost).  Clients whose broadcast the network dropped
+  /// are counted in dropped_messages, not here.
   std::size_t timed_out_clients = 0;
 };
 

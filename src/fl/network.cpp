@@ -30,11 +30,18 @@ bool InMemoryNetwork::send(Message msg) {
   }
   // Scripted duplicate delivery: a faulty client (or a retransmitting
   // transport) hands the server the same update more than once.  Only
-  // client->server WeightUpdates duplicate; broadcasts stay single.
+  // client->server WeightUpdates duplicate; broadcasts stay single.  An
+  // update whose round differs from the latest broadcast is a stale replay
+  // already in flight — it must not consult the duplicate rule a second
+  // time, or the "one decision per (client, round)" stats contract breaks.
   int extra_copies = 0;
-  if (injector_ != nullptr && msg.to == kServerNode) {
+  if (injector_ != nullptr) {
     if (const std::optional<WirePeek> peek = peek_header(msg.bytes)) {
-      if (peek->kind == MessageKind::kWeightUpdate) {
+      if (peek->kind == MessageKind::kGlobalModel) {
+        current_round_ = peek->round;
+      } else if (msg.to == kServerNode &&
+                 peek->kind == MessageKind::kWeightUpdate &&
+                 peek->round == current_round_) {
         extra_copies = injector_->duplicate_copies(peek->client, peek->round);
       }
     }
@@ -47,6 +54,12 @@ bool InMemoryNetwork::send(Message msg) {
   q.push_back(std::move(msg));
   cv_.notify_all();
   return true;
+}
+
+void InMemoryNetwork::send_control(Message msg) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queues_[msg.to].push_back(std::move(msg));
+  cv_.notify_all();
 }
 
 std::optional<Message> InMemoryNetwork::receive(int node, double timeout_ms) {

@@ -62,6 +62,11 @@ class InMemoryNetwork {
   /// network dropped it.
   bool send(Message msg);
 
+  /// Enqueue a control-plane message: never dropped, never duplicated, not
+  /// counted in the traffic stats.  For simulation control (e.g. the
+  /// driver's shutdown broadcast), not for modeled protocol traffic.
+  void send_control(Message msg);
+
   /// Blocking receive for a node; std::nullopt on timeout.  The timeout is
   /// an absolute monotonic deadline fixed on entry: spurious wakeups and
   /// notifications for other nodes never extend the wait.
@@ -84,6 +89,11 @@ class InMemoryNetwork {
   NetworkStats stats_;
   tensor::Rng drop_rng_;
   const faults::FaultInjector* injector_ = nullptr;
+  /// Round of the most recent server broadcast — the wall-clock "current"
+  /// round.  Duplicate injection only applies to updates carrying it, so a
+  /// stale replay crossing the wire later cannot re-trigger a duplicate
+  /// rule from the round it originally belonged to.
+  std::uint32_t current_round_ = 0;
 };
 
 }  // namespace evfl::fl

@@ -17,13 +17,6 @@ GlobalModel Server::broadcast() const {
 }
 
 double Server::finish_round(std::vector<WeightUpdate> updates) {
-  // Dimension mismatch is an in-process programming error (every update is
-  // CRC-checked off the wire), not a Byzantine input — fail loudly.
-  for (const WeightUpdate& u : updates) {
-    EVFL_REQUIRE(u.weights.size() == weights_.size(),
-                 "update dimension mismatch at server");
-  }
-
   const std::vector<WeightUpdate> accepted = validator_.filter(
       std::move(updates), round_, weights_, last_audit_);
   ++round_;

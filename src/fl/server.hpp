@@ -3,9 +3,9 @@
 // serialized bytes.
 //
 // The server does not trust incoming updates: every finish_round runs the
-// UpdateValidator first (stale/duplicate rejection, non-finite rejection,
-// optional norm clipping, quorum), and publishes what it rejected through
-// last_audit().  An all-rejected or under-quorum round leaves the global
+// UpdateValidator first (stale/duplicate rejection, non-finite and
+// wrong-dimension rejection, optional norm clipping, quorum), and publishes
+// what it rejected through last_audit().  An all-rejected or under-quorum round leaves the global
 // weights unchanged but still advances the round counter, so a poisoned
 // round costs progress, never correctness.
 #pragma once

@@ -39,12 +39,17 @@ std::vector<WeightUpdate> UpdateValidator::filter(
       ++audit.rejected_duplicate;
       continue;
     }
+    // Wrong-dimension payloads are unconditionally unaggregatable — a
+    // malformed update degrades the round, it never terminates the server.
+    if (u.weights.size() != global_weights.size()) {
+      ++audit.rejected_dimension;
+      continue;
+    }
     if (cfg_.reject_nonfinite && !all_finite(u.weights)) {
       ++audit.rejected_nonfinite;
       continue;
     }
-    if (cfg_.max_update_norm > 0.0 &&
-        u.weights.size() == global_weights.size()) {
+    if (cfg_.max_update_norm > 0.0) {
       // Clip the *movement* ||u - global||, not the raw weight norm: a
       // legitimate large model is fine, a huge per-round jump is not.
       double sq = 0.0;

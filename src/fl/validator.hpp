@@ -2,10 +2,12 @@
 //
 // The server must not trust what arrives off the wire: a Byzantine or
 // faulty client can send NaN/Inf payloads, norm-inflated updates, stale
-// round numbers, or the same update twice.  UpdateValidator filters a
-// round's raw arrivals down to the set FedAvg may safely aggregate and
-// reports exactly what it rejected, so drivers can surface per-round
-// robustness counters.
+// round numbers, wrong-dimension weight vectors, or the same update twice.
+// UpdateValidator filters a round's raw arrivals down to the set FedAvg may
+// safely aggregate and reports exactly what it rejected, so drivers can
+// surface per-round robustness counters.  Dimension rejection is
+// unconditional (a mismatched vector is unaggregatable no matter what);
+// the other rejections are configurable.
 #pragma once
 
 #include <cstddef>
@@ -39,11 +41,13 @@ struct RoundAudit {
   std::size_t rejected_nonfinite = 0;
   std::size_t rejected_stale = 0;
   std::size_t rejected_duplicate = 0;
+  std::size_t rejected_dimension = 0;  // weight count != global model's
   std::size_t clipped = 0;             // accepted, but norm-clipped
   bool quorum_met = true;
 
   std::size_t rejected() const {
-    return rejected_nonfinite + rejected_stale + rejected_duplicate;
+    return rejected_nonfinite + rejected_stale + rejected_duplicate +
+           rejected_dimension;
   }
 };
 

@@ -11,12 +11,14 @@ namespace evfl::runtime {
 struct BackoffPolicy {
   double initial_ms = 100.0;   // first wait
   double multiplier = 2.0;     // growth per attempt
-  std::size_t max_attempts = 6;
   double max_wait_ms = 5'000.0;  // per-attempt ceiling
 };
 
 /// Wait before attempt `attempt` (0-based): initial * multiplier^attempt,
-/// capped at max_wait_ms.
+/// capped at max_wait_ms.  There is deliberately no attempt limit in the
+/// policy itself — callers own the total budget and keep retrying at
+/// max_wait_ms until it is spent, so the time a caller waits is governed by
+/// its budget, not by how the ramp happens to sum.
 inline double backoff_wait_ms(const BackoffPolicy& policy,
                               std::size_t attempt) {
   double wait = policy.initial_ms;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <limits>
+#include <thread>
 
 #include "fl/client.hpp"
 #include "fl/server.hpp"
@@ -95,6 +97,51 @@ TEST(Client, ServeExitsOnTimeout) {
   EXPECT_EQ(net.stats().messages_sent, 0u);
 }
 
+TEST(Client, ServeRetriesUntilBudgetNotBackoffRampExhausted) {
+  // With a tiny backoff ramp the exponential waits sum to ~20 ms; the client
+  // must keep retrying at the per-attempt ceiling until the full budget is
+  // spent, so a broadcast arriving well after the ramp still gets served.
+  Tensor3 x, y;
+  make_data(x, y, 1.0f, 16, 7);
+  ClientConfig cfg;
+  cfg.epochs_per_round = 1;
+  Client client(3, x, y, linear_factory(), cfg, Rng(8));
+  InMemoryNetwork net;
+
+  ServeOptions opts;
+  opts.receive_timeout_ms = 5'000.0;
+  opts.backoff.initial_ms = 1.0;
+  opts.backoff.multiplier = 2.0;
+  opts.backoff.max_wait_ms = 4.0;  // ramp: 1+2+4+4+... — ceiling after 3
+
+  std::thread server_side([&net, &client] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    GlobalModel global;
+    global.weights = client.initial_weights();
+    net.send(Message{kServerNode, 3, serialize(global)});
+  });
+  client.serve(net, 1, opts);
+  server_side.join();
+
+  // The late broadcast was received and answered.
+  EXPECT_TRUE(net.try_receive(kServerNode).has_value());
+}
+
+TEST(Client, ServeExitsPromptlyOnShutdownBroadcast) {
+  Tensor3 x, y;
+  make_data(x, y, 1.0f, 8, 9);
+  ClientConfig cfg;
+  Client client(4, x, y, linear_factory(), cfg, Rng(10));
+  InMemoryNetwork net;
+  net.send_control(
+      Message{kServerNode, 4, serialize(GlobalModel{kShutdownRound, {}})});
+  // Huge budget and 5 pending rounds: only the shutdown makes this return.
+  ServeOptions opts;
+  opts.receive_timeout_ms = 600'000.0;
+  client.serve(net, 5, opts);
+  EXPECT_EQ(net.stats().messages_sent, 0u);  // no update was produced
+}
+
 TEST(Server, BroadcastCarriesRoundAndWeights) {
   Server server({1.0f, 2.0f});
   const GlobalModel g = server.broadcast();
@@ -149,11 +196,17 @@ TEST(Server, AllRejectedRoundKeepsWeightsAndAdvancesRound) {
 }
 
 TEST(Server, RejectsDimensionMismatch) {
+  // A wrong-dimension payload is Byzantine input like any other: the round
+  // degrades (update rejected, weights unchanged) — the server never aborts.
   Server server({1.0f, 2.0f});
   WeightUpdate u;
   u.sample_count = 1;
   u.weights = {1.0f};
-  EXPECT_THROW(server.finish_round({u}), Error);
+  const double delta = server.finish_round({u});
+  EXPECT_EQ(delta, 0.0);
+  EXPECT_EQ(server.weights(), (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(server.round(), 1u);
+  EXPECT_EQ(server.last_audit().rejected_dimension, 1u);
   EXPECT_THROW(Server({}), Error);
 }
 

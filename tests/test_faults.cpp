@@ -247,6 +247,46 @@ TEST(Faults, StaleReplaysAreCountedAsLateAndRejected) {
   EXPECT_TRUE(all_finite(result.final_weights));
 }
 
+TEST(Faults, WrongDimensionUpdateDegradesRoundNotServer) {
+  // A malformed payload must be rejected like any other Byzantine input,
+  // never terminate the server process.
+  Server server({1.0f, 1.0f});
+  WeightUpdate good;
+  good.client_id = 0;
+  good.round = 0;
+  good.sample_count = 10;
+  good.weights = {2.0f, 0.0f};
+  WeightUpdate malformed = good;
+  malformed.client_id = 1;
+  malformed.weights = {1.0f, 2.0f, 3.0f};  // global model has 2 weights
+  server.finish_round({good, malformed});
+  EXPECT_EQ(server.last_audit().rejected_dimension, 1u);
+  EXPECT_EQ(server.last_audit().accepted, 1u);
+  EXPECT_EQ(server.round(), 1u);
+  EXPECT_FLOAT_EQ(server.weights()[0], 2.0f);
+}
+
+TEST(Faults, StaleReplayDoesNotRetriggerDuplicateRule) {
+  // A replayed round r-1 message crossing the wire during round r must not
+  // consult the duplicate rule again: decisions are once per (client,
+  // round), so duplicate counts track fresh sends only.
+  auto clients = make_clients(3, 32, 8);
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  FaultPlan plan;
+  plan.duplicate(2);         // every fresh upload from client 2 duplicated
+  plan.stale_replay(2, 1);   // from round 1 on, client 2 replays round r-1
+  const FaultInjector injector(plan, 9);
+  SyncDriver driver(server, clients, net, nullptr, &injector);
+  const FederatedRunResult result = driver.run(4);
+
+  // 4 fresh uploads duplicated once each; the 3 stale replays add nothing.
+  EXPECT_EQ(net.stats().messages_duplicated, 4u);
+  EXPECT_EQ(injector.stats().duplicated_messages, 4u);
+  EXPECT_EQ(injector.stats().stale_replays, 3u);
+  EXPECT_EQ(result.total_late_updates(), 3u);
+}
+
 // --- Norm clipping --------------------------------------------------------
 
 TEST(Faults, NormInflatedUpdateIsClippedNotFatal) {

@@ -86,6 +86,33 @@ TEST(Validator, ClipsMovementNormAgainstGlobalWeights) {
   EXPECT_FLOAT_EQ(small[0].weights[0], 1.5f);
 }
 
+TEST(Validator, RejectsWrongDimensionUpdates) {
+  UpdateValidator v;
+  RoundAudit audit;
+  // Global model has 2 weights; 1- and 3-weight payloads are unaggregatable.
+  const auto out = v.filter(
+      {update(0, 0, {1.0f}), update(1, 0, {1.0f, 2.0f}),
+       update(2, 0, {1.0f, 2.0f, 3.0f})},
+      0, {0.0f, 0.0f}, audit);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].client_id, 1);
+  EXPECT_EQ(audit.rejected_dimension, 2u);
+  EXPECT_EQ(audit.rejected(), 2u);
+}
+
+TEST(Validator, DimensionRejectionIsUnconditional) {
+  ValidatorConfig cfg;
+  cfg.reject_nonfinite = false;
+  cfg.reject_stale = false;
+  cfg.reject_duplicates = false;
+  UpdateValidator v(cfg);
+  RoundAudit audit;
+  const auto out = v.filter({update(0, 0, {1.0f, 2.0f, 3.0f})}, 0,
+                            {0.0f, 0.0f}, audit);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(audit.rejected_dimension, 1u);
+}
+
 TEST(Validator, QuorumReportedNotEnforced) {
   ValidatorConfig cfg;
   cfg.min_updates = 3;
