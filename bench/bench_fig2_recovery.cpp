@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.threads = 0;  // pool sized to the machine; override with --threads N
   cfg.cache_dir = "bench_cache";  // share the pipeline pass across benches
-  std::string out_path = "fig2_client1_series.csv";
+  std::string out_path = data::artifact_path("fig2_client1_series.csv");
   try {
     apply_cli_overrides(cfg, argc, argv);
   } catch (const Error& e) {

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "data/csv.hpp"
 #include "core/report.hpp"
 #include "core/scenario_runner.hpp"
 
@@ -15,7 +16,7 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.threads = 0;  // pool sized to the machine; override with --threads N
   cfg.cache_dir = "bench_cache";  // share the pipeline pass across benches
-  const std::string out_path = "fig3_r2_bars.csv";
+  const std::string out_path = data::artifact_path("fig3_r2_bars.csv");
   try {
     apply_cli_overrides(cfg, argc, argv);
   } catch (const Error& e) {

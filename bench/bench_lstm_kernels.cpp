@@ -1,0 +1,190 @@
+// Microbench of the LSTM training fast path at the paper's forecaster shape
+// (batch 32, seq 24, hidden 64): step throughput plus *heap allocations per
+// step* — the metric the workspace/fused-kernel work drives to zero and the
+// perf-smoke CI job pins (allocation counts are deterministic; timings are
+// not).  Writes BENCH_kernels.json.
+//
+//   bench_lstm_kernels                 # full run, prints + writes JSON
+//   bench_lstm_kernels --check-allocs  # short run; exit 1 if the steady
+//                                      # state still allocates
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+
+#include "metrics/timer.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/rng.hpp"
+
+// ---- global allocation counter ---------------------------------------------
+// Replacing the global allocation functions makes every heap allocation in
+// the process visible; the bench reads the counter before/after a measured
+// region.  Counting is relaxed-atomic: cheap enough not to distort timings.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace evfl;
+using tensor::Rng;
+using tensor::Tensor3;
+
+constexpr std::size_t kBatch = 32;
+constexpr std::size_t kSeq = 24;
+constexpr std::size_t kHidden = 64;
+
+struct StepStats {
+  double steps_per_sec = 0.0;
+  double allocs_per_step = 0.0;
+  double bytes_per_step = 0.0;
+};
+
+/// Time `step()` over `iters` iterations after `warmup` unmeasured ones;
+/// allocation counters are sampled around the measured region only.
+template <typename Fn>
+StepStats measure(std::size_t warmup, std::size_t iters, Fn&& step) {
+  for (std::size_t i = 0; i < warmup; ++i) step();
+  const std::uint64_t a0 = g_alloc_count.load();
+  const std::uint64_t b0 = g_alloc_bytes.load();
+  const metrics::WallTimer timer;
+  for (std::size_t i = 0; i < iters; ++i) step();
+  const double secs = timer.seconds();
+  const std::uint64_t a1 = g_alloc_count.load();
+  const std::uint64_t b1 = g_alloc_bytes.load();
+  StepStats s;
+  s.steps_per_sec = secs > 0.0 ? static_cast<double>(iters) / secs : 0.0;
+  s.allocs_per_step = static_cast<double>(a1 - a0) / iters;
+  s.bytes_per_step = static_cast<double>(b1 - b0) / iters;
+  return s;
+}
+
+/// Forward+backward through a single Lstm layer (the kernel under test).
+StepStats bench_lstm_fwd_bwd(std::size_t warmup, std::size_t iters) {
+  Rng rng(1);
+  nn::Lstm lstm(kHidden, /*return_sequences=*/true, rng, 1);
+  Tensor3 x(kBatch, kSeq, 1), grad(kBatch, kSeq, kHidden);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(0, 1);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad.data()[i] = rng.normal(0.0f, 0.01f);
+  }
+  return measure(warmup, iters, [&] {
+    const Tensor3 out = lstm.forward(x, /*training=*/true);
+    const Tensor3 dx = lstm.backward(grad);
+    if (out.size() + dx.size() == 0) std::abort();  // keep the work alive
+  });
+}
+
+/// A complete training step of the paper-shaped forecaster:
+/// forward, loss, backward, Adam update.
+StepStats bench_train_step(std::size_t warmup, std::size_t iters) {
+  Rng rng(2);
+  nn::Sequential model;
+  model.emplace<nn::Lstm>(kHidden, /*return_sequences=*/false, rng, 1);
+  model.emplace<nn::Dense>(8, nn::Activation::kRelu, rng, kHidden);
+  model.emplace<nn::Dense>(1, nn::Activation::kLinear, rng, 8);
+  nn::MseLoss loss;
+  nn::Adam opt(1e-3f);
+  nn::Trainer trainer(model, loss, opt, rng);
+
+  Tensor3 x(kBatch, kSeq, 1), y(kBatch, 1, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(0, 1);
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = rng.uniform(0, 1);
+
+  return measure(warmup, iters, [&] {
+    const float l = trainer.train_batch(x, y);
+    if (!(l >= 0.0f)) std::abort();
+  });
+}
+
+void print_stats(const char* name, const StepStats& s) {
+  std::printf("%-14s %10.1f steps/s   %8.1f allocs/step   %10.0f B/step\n",
+              name, s.steps_per_sec, s.allocs_per_step, s.bytes_per_step);
+}
+
+void write_json(const StepStats& kernel, const StepStats& train) {
+  std::ofstream out("BENCH_kernels.json");
+  auto entry = [&](const char* name, const StepStats& s, const char* tail) {
+    out << "  \"" << name << "\": {\"steps_per_sec\": " << s.steps_per_sec
+        << ", \"allocs_per_step\": " << s.allocs_per_step
+        << ", \"bytes_per_step\": " << s.bytes_per_step << "}" << tail
+        << "\n";
+  };
+  out << "{\n  \"config\": {\"batch\": " << kBatch << ", \"seq\": " << kSeq
+      << ", \"hidden\": " << kHidden << "},\n";
+  entry("lstm_fwd_bwd", kernel, ",");
+  entry("train_step", train, "");
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_allocs = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-allocs") == 0) check_allocs = true;
+  }
+
+  const std::size_t warmup = check_allocs ? 3 : 10;
+  const std::size_t iters = check_allocs ? 5 : 200;
+
+  const StepStats kernel = bench_lstm_fwd_bwd(warmup, iters);
+  const StepStats train = bench_train_step(warmup, iters);
+  std::printf("=== LSTM kernel bench (batch %zu, seq %zu, hidden %zu) ===\n",
+              kBatch, kSeq, kHidden);
+  print_stats("lstm_fwd_bwd", kernel);
+  print_stats("train_step", train);
+
+  if (check_allocs) {
+    // The deterministic regression gate: the steady-state training step
+    // must not touch the heap at all.
+    if (kernel.allocs_per_step > 0.0 || train.allocs_per_step > 0.0) {
+      std::printf("FAIL: steady-state heap allocations detected "
+                  "(lstm_fwd_bwd %.1f/step, train_step %.1f/step)\n",
+                  kernel.allocs_per_step, train.allocs_per_step);
+      return 1;
+    }
+    std::printf("OK: steady state is allocation-free\n");
+    return 0;
+  }
+
+  write_json(kernel, train);
+  std::printf("wrote BENCH_kernels.json\n");
+  return 0;
+}

@@ -9,7 +9,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
-#include <limits>
+#include <vector>
 
 #include "anomaly/autoencoder.hpp"
 #include "core/pipeline.hpp"
@@ -162,16 +162,21 @@ BENCHMARK(BM_AutoencoderScore);
 
 // ---- parallel-vs-serial comparison of the runtime layer --------------------
 
-/// Best-of-reps wall time of fn() in seconds.
+/// Median wall time of fn() in seconds over `trials` measured runs, after
+/// `warmup` unmeasured runs.  The warmup runs absorb one-time costs (page
+/// faults, cache/TLB fill, thread-pool spin-up); the median is robust to the
+/// occasional scheduler hiccup that min/mean are not.
 template <typename Fn>
-double time_best_of(std::size_t reps, Fn&& fn) {
-  double best = std::numeric_limits<double>::infinity();
-  for (std::size_t r = 0; r < reps; ++r) {
+double time_median_of(std::size_t trials, std::size_t warmup, Fn&& fn) {
+  for (std::size_t r = 0; r < warmup; ++r) fn();
+  std::vector<double> samples(trials);
+  for (std::size_t r = 0; r < trials; ++r) {
     const metrics::WallTimer timer;
     fn();
-    best = std::min(best, timer.seconds());
+    samples[r] = timer.seconds();
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  return samples[trials / 2];
 }
 
 struct Comparison {
@@ -188,12 +193,12 @@ Comparison compare_matmul(const runtime::RunContext& ctx) {
   const tensor::Matrix b = random_matrix(n, n, 22);
   tensor::Matrix c(n, n);
   Comparison cmp;
-  cmp.serial_seconds = time_best_of(5, [&] {
+  cmp.serial_seconds = time_median_of(5, 2, [&] {
     c.set_zero();
     tensor::matmul_acc(a, b, c);
     benchmark::DoNotOptimize(c.data());
   });
-  cmp.parallel_seconds = time_best_of(5, [&] {
+  cmp.parallel_seconds = time_median_of(5, 2, [&] {
     c.set_zero();
     tensor::matmul_acc(a, b, c, ctx);
     benchmark::DoNotOptimize(c.data());
@@ -211,10 +216,12 @@ Comparison compare_prepare_clients(const runtime::RunContext& ctx) {
   cfg.filter.autoencoder.max_epochs = 4;
   cfg.cache_dir.clear();  // measure the real fit, not a cache hit
   Comparison cmp;
-  cmp.serial_seconds = time_best_of(2, [&] {
+  // prepare_clients is seconds-scale: median-of-3 with one warmup keeps the
+  // comparison honest without blowing up the bench's runtime.
+  cmp.serial_seconds = time_median_of(3, 1, [&] {
     benchmark::DoNotOptimize(core::prepare_clients(cfg));
   });
-  cmp.parallel_seconds = time_best_of(2, [&] {
+  cmp.parallel_seconds = time_median_of(3, 1, [&] {
     benchmark::DoNotOptimize(core::prepare_clients(cfg, &ctx));
   });
   return cmp;

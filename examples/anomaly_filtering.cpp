@@ -3,7 +3,7 @@
 // repair it with gap-tolerant linear interpolation — the paper's
 // EVChargingAnomalyFilter pipeline in isolation.
 //
-//   ./anomaly_filtering            # writes anomaly_demo.csv
+//   ./anomaly_filtering            # writes build/artifacts/anomaly_demo.csv
 #include <iostream>
 
 #include "anomaly/filter.hpp"
@@ -74,11 +74,12 @@ int main() {
   // Dump everything for plotting.
   std::vector<float> flags_f(result.flags.begin(), result.flags.end());
   std::vector<float> truth_f(attacked.labels.begin(), attacked.labels.end());
+  const std::string out_path = data::artifact_path("anomaly_demo.csv");
   data::write_columns_csv(
       {"clean", "attacked", "filtered", "score", "flagged", "truth"},
       {clean.values, attacked.values, result.filtered.values, result.scores,
        flags_f, truth_f},
-      "anomaly_demo.csv");
-  std::cout << "\nseries + scores written to anomaly_demo.csv\n";
+      out_path);
+  std::cout << "\nseries + scores written to " << out_path << "\n";
   return 0;
 }

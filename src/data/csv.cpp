@@ -1,5 +1,6 @@
 #include "data/csv.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -97,6 +98,14 @@ void write_columns_csv(const std::vector<std::string>& names,
     for (const auto& c : columns) os << "," << c[i];
     os << "\n";
   }
+}
+
+std::string artifact_path(const std::string& filename) {
+  const std::filesystem::path dir{"build/artifacts"};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw Error("cannot create " + dir.string() + ": " + ec.message());
+  return (dir / filename).string();
 }
 
 }  // namespace evfl::data

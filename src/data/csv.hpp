@@ -24,4 +24,9 @@ void write_columns_csv(const std::vector<std::string>& names,
                        const std::vector<std::vector<float>>& columns,
                        const std::string& path);
 
+/// Path for a generated artifact (plot CSVs, dumps): `build/artifacts/` +
+/// filename, creating the directory if needed.  Keeps bench and example
+/// output out of the repo root; the directory is gitignored.
+std::string artifact_path(const std::string& filename);
+
 }  // namespace evfl::data

@@ -1,5 +1,8 @@
 #include "nn/dense.hpp"
 
+#include <cstring>
+
+#include "runtime/workspace.hpp"
 #include "tensor/init.hpp"
 
 namespace evfl::nn {
@@ -29,36 +32,64 @@ Tensor3 Dense::forward(const Tensor3& input, bool /*training*/) {
   ensure_built(input.features());
   cached_n_ = input.batch();
   cached_t_ = input.time();
-  cached_input_ = input.flatten_rows();
+  input.flatten_rows_into(cached_input_);
 
-  Matrix out = matmul(cached_input_, w_);
-  out.add_row_broadcast(b_);
-  apply_activation(activation_, out);
-  cached_output_ = out;
-  return Tensor3::from_flat_rows(out, cached_n_, cached_t_);
+  // Compute straight into the cached output; same-shape reuse means the
+  // steady state allocates nothing.
+  const std::size_t rows = cached_input_.rows();
+  if (cached_output_.rows() != rows || cached_output_.cols() != units_) {
+    cached_output_ = Matrix(rows, units_);
+  } else {
+    cached_output_.set_zero();
+  }
+  matmul_acc(cached_input_, w_, cached_output_);
+  cached_output_.add_row_broadcast(b_);
+  apply_activation(activation_, cached_output_);
+  return Tensor3::from_flat_rows(cached_output_, cached_n_, cached_t_);
 }
 
 Tensor3 Dense::backward(const Tensor3& grad_output) {
   EVFL_ASSERT(!cached_input_.empty(), "Dense::backward before forward");
-  Matrix dy = grad_output.flatten_rows();
-  if (!dy.same_shape(cached_output_)) {
-    throw ShapeError("Dense::backward grad " + dy.shape_str() +
+  const std::size_t rows = cached_output_.rows();
+  const std::size_t cols = cached_output_.cols();
+  if (grad_output.batch() * grad_output.time() != rows ||
+      grad_output.features() != cols) {
+    throw ShapeError("Dense::backward grad " + grad_output.shape_str() +
                      " vs output " + cached_output_.shape_str());
   }
 
+  // dy and dx are step-local: borrow both from the thread's scratch lane
+  // and run the view kernels over them directly.
+  runtime::ScratchScope scratch(runtime::thread_workspace());
+  tensor::MatView dy{scratch.borrow(rows * cols), rows, cols, cols};
+  std::memcpy(dy.data, grad_output.data(), rows * cols * sizeof(float));
+
   // Chain through the activation using the cached outputs.
   if (activation_ != Activation::kLinear) {
-    float* g = dy.data();
+    float* g = dy.data;
     const float* y = cached_output_.data();
-    for (std::size_t i = 0; i < dy.size(); ++i) {
+    for (std::size_t i = 0; i < rows * cols; ++i) {
       g[i] *= activation_grad_from_output(activation_, y[i]);
     }
   }
 
-  matmul_tn_acc(cached_input_, dy, gw_);  // gw += xᵀ · dy
-  gb_ += dy.col_sums();
-  Matrix dx = matmul_nt(dy, w_);          // dx = dy · wᵀ
-  return Tensor3::from_flat_rows(dx, cached_n_, cached_t_);
+  matmul_tn_acc(cached_input_.view(), dy, gw_.view());  // gw += xᵀ · dy
+  {
+    // gb += column sums of dy, accumulated in the usual row-major order.
+    tensor::MatView sums{scratch.borrow_zeroed(cols), 1, cols, cols};
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* src = dy.row(r);
+      for (std::size_t c = 0; c < cols; ++c) sums.data[c] += src[c];
+    }
+    float* gb = gb_.data();
+    for (std::size_t c = 0; c < cols; ++c) gb[c] += sums.data[c];
+  }
+
+  const std::size_t in = w_.rows();
+  tensor::MatView dx{scratch.borrow(rows * in), rows, in, in};
+  dx.set_zero();
+  matmul_nt_acc(dy, w_.view(), dx);  // dx = dy · wᵀ
+  return Tensor3::from_flat_rows(tensor::ConstMatView(dx), cached_n_, cached_t_);
 }
 
 std::vector<ParamRef> Dense::params() {

@@ -18,6 +18,11 @@ class Dense : public Layer {
   Tensor3 forward(const Tensor3& input, bool training) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   std::vector<ParamRef> params() override;
+  void zero_grads() override {
+    if (gw_.empty()) return;
+    gw_.set_zero();
+    gb_.set_zero();
+  }
   std::size_t output_features(std::size_t input_features) const override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override {

@@ -47,7 +47,10 @@ class Layer {
   virtual std::unique_ptr<Layer> clone() const = 0;
 
   /// Zero all parameter gradient buffers.
-  void zero_grads() {
+  /// Zero all gradient buffers.  Layers with parameters override this to
+  /// hit their members directly — the default builds a params() vector,
+  /// which is allocation churn in the training hot loop.
+  virtual void zero_grads() {
     for (ParamRef& p : params()) p.grad->set_zero();
   }
 

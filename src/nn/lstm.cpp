@@ -9,25 +9,10 @@ namespace evfl::nn {
 
 namespace {
 
-/// Copy gate block `g` (0..3) out of a fused [N, 4H] matrix.
-Matrix gate_block(const Matrix& z, std::size_t g, std::size_t h) {
-  Matrix out(z.rows(), h);
-  for (std::size_t r = 0; r < z.rows(); ++r) {
-    const float* src = z.row(r) + g * h;
-    float* dst = out.row(r);
-    for (std::size_t c = 0; c < h; ++c) dst[c] = src[c];
-  }
-  return out;
-}
-
-/// Write gate block `g` into a fused [N, 4H] matrix.
-void set_gate_block(Matrix& z, std::size_t g, const Matrix& block) {
-  const std::size_t h = block.cols();
-  for (std::size_t r = 0; r < z.rows(); ++r) {
-    float* dst = z.row(r) + g * h;
-    const float* src = block.row(r);
-    for (std::size_t c = 0; c < h; ++c) dst[c] = src[c];
-  }
+/// Reshape `m` to [rows x cols] only when needed, preserving storage (and
+/// thus avoiding an allocation) when the shape already matches.
+void ensure_shape(Matrix& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) m = Matrix(rows, cols);
 }
 
 }  // namespace
@@ -69,53 +54,66 @@ Tensor3 Lstm::forward(const Tensor3& input, bool /*training*/) {
   ensure_built(input.features());
   const std::size_t n = input.batch(), t_len = input.time(), h = units_;
   EVFL_REQUIRE(t_len > 0, "Lstm forward needs time >= 1");
-  cached_n_ = n;
-  cached_t_ = t_len;
-  cached_in_ = input.features();
-  cache_.assign(t_len, StepCache{});
+  if (cached_n_ != n || cached_t_ != t_len || cached_in_ != input.features()) {
+    cache_.assign(t_len, StepCache{});
+    cached_n_ = n;
+    cached_t_ = t_len;
+    cached_in_ = input.features();
+  }
 
-  Matrix h_state(n, h);
-  Matrix c_state(n, h);
+  ensure_shape(h_state_, n, h);
+  ensure_shape(c_state_, n, h);
+  h_state_.set_zero();
+  c_state_.set_zero();
   Tensor3 out_seq(n, return_sequences_ ? t_len : 1, h);
 
   for (std::size_t t = 0; t < t_len; ++t) {
     StepCache& sc = cache_[t];
-    sc.x = input.timestep(t);
-    sc.h_prev = h_state;
-    sc.c_prev = c_state;
+    input.copy_timestep_into(t, sc.x);
+    sc.h_prev = h_state_;  // same-shape copy: storage reused, no alloc
+    sc.c_prev = c_state_;
 
-    // Fused pre-activation Z = x·Wx + h·Wh + b.
-    Matrix z(n, 4 * h);
-    z.add_row_broadcast(b_);
-    matmul_acc(sc.x, wx_, z);
-    matmul_acc(sc.h_prev, wh_, z);
+    // Fused pre-activation Z = x·Wx + h·Wh + b, activated in place so the
+    // gate blocks [i | f | g | o] live inside z with stride 4H.
+    ensure_shape(sc.z, n, 4 * h);
+    sc.z.set_zero();
+    sc.z.add_row_broadcast(b_);
+    matmul_acc(sc.x, wx_, sc.z);
+    matmul_acc(sc.h_prev, wh_, sc.z);
 
-    sc.i = gate_block(z, 0, h);
-    sc.f = gate_block(z, 1, h);
-    sc.g = gate_block(z, 2, h);
-    sc.o = gate_block(z, 3, h);
-    apply_activation(Activation::kSigmoid, sc.i);
-    apply_activation(Activation::kSigmoid, sc.f);
-    apply_activation(Activation::kTanh, sc.g);
-    apply_activation(Activation::kSigmoid, sc.o);
+    for (std::size_t r = 0; r < n; ++r) {
+      float* zrow = sc.z.row(r);
+      for (std::size_t c = 0; c < 2 * h; ++c) zrow[c] = sigmoidf(zrow[c]);
+      for (std::size_t c = 2 * h; c < 3 * h; ++c) zrow[c] = std::tanh(zrow[c]);
+      for (std::size_t c = 3 * h; c < 4 * h; ++c) zrow[c] = sigmoidf(zrow[c]);
+    }
 
     // c = f ⊙ c_prev + i ⊙ g ;  h = o ⊙ tanh(c)
-    for (std::size_t idx = 0; idx < n * h; ++idx) {
-      c_state.data()[idx] = sc.f.data()[idx] * sc.c_prev.data()[idx] +
-                            sc.i.data()[idx] * sc.g.data()[idx];
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* zi = sc.z.row(r);
+      const float* zf = zi + h;
+      const float* zg = zi + 2 * h;
+      const float* cp = sc.c_prev.row(r);
+      float* cs = c_state_.row(r);
+      for (std::size_t c = 0; c < h; ++c) {
+        cs[c] = zf[c] * cp[c] + zi[c] * zg[c];
+      }
     }
-    sc.c_tanh = c_state;
+    sc.c_tanh = c_state_;
     apply_activation(Activation::kTanh, sc.c_tanh);
-    for (std::size_t idx = 0; idx < n * h; ++idx) {
-      h_state.data()[idx] = sc.o.data()[idx] * sc.c_tanh.data()[idx];
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* zo = sc.z.row(r) + 3 * h;
+      const float* ct = sc.c_tanh.row(r);
+      float* hs = h_state_.row(r);
+      for (std::size_t c = 0; c < h; ++c) hs[c] = zo[c] * ct[c];
     }
 
     if (return_sequences_) {
-      out_seq.set_timestep(t, h_state);
+      out_seq.set_timestep(t, h_state_);
     }
   }
   if (!return_sequences_) {
-    out_seq.set_timestep(0, h_state);
+    out_seq.set_timestep(0, h_state_);
   }
   return out_seq;
 }
@@ -134,55 +132,82 @@ Tensor3 Lstm::backward(const Tensor3& grad_output) {
   }
 
   Tensor3 dx(n, t_len, cached_in_);
-  Matrix dh_next(n, h);  // dL/dh_t flowing from step t+1
-  Matrix dc_next(n, h);  // dL/dc_t flowing from step t+1
+  ensure_shape(bwd_dh_, n, h);        // dh_t: dZ·Whᵀ from step t+1, + grads
+  ensure_shape(bwd_dc_, n, h);
+  ensure_shape(bwd_dc_next_, n, h);   // dL/dc_t flowing from step t+1
+  ensure_shape(bwd_dz_, n, 4 * h);
+  ensure_shape(bwd_dx_step_, n, cached_in_);
+  bwd_dh_.set_zero();
+  bwd_dc_next_.set_zero();
 
   for (std::size_t ti = t_len; ti-- > 0;) {
     const StepCache& sc = cache_[ti];
 
-    Matrix dh = dh_next;
-    if (return_sequences_) {
-      dh += grad_output.timestep(ti);
-    } else if (ti == t_len - 1) {
-      dh += grad_output.timestep(0);
+    // dh = dh_next + incoming grad for this step (bwd_dh_ already holds
+    // dZ·Whᵀ from the step above; the last step starts from zero).
+    if (return_sequences_ || ti == t_len - 1) {
+      const std::size_t got = return_sequences_ ? ti : 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const float* src =
+            grad_output.data() + (r * grad_output.time() + got) * h;
+        float* dst = bwd_dh_.row(r);
+        for (std::size_t c = 0; c < h; ++c) dst[c] += src[c];
+      }
     }
 
     // dc = dh ⊙ o ⊙ (1 - tanh(c)^2) + dc_next
-    Matrix dc(n, h);
-    for (std::size_t idx = 0; idx < n * h; ++idx) {
-      const float ct = sc.c_tanh.data()[idx];
-      dc.data()[idx] = dh.data()[idx] * sc.o.data()[idx] * (1.0f - ct * ct) +
-                       dc_next.data()[idx];
-    }
-
-    // Gate pre-activation gradients, fused into dZ [N, 4H].
-    Matrix dz(n, 4 * h);
-    {
-      Matrix dzi(n, h), dzf(n, h), dzg(n, h), dzo(n, h);
-      for (std::size_t idx = 0; idx < n * h; ++idx) {
-        const float i = sc.i.data()[idx], f = sc.f.data()[idx];
-        const float g = sc.g.data()[idx], o = sc.o.data()[idx];
-        const float dci = dc.data()[idx];
-        dzi.data()[idx] = dci * g * i * (1.0f - i);
-        dzf.data()[idx] = dci * sc.c_prev.data()[idx] * f * (1.0f - f);
-        dzg.data()[idx] = dci * i * (1.0f - g * g);
-        dzo.data()[idx] = dh.data()[idx] * sc.c_tanh.data()[idx] * o * (1.0f - o);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* zo = sc.z.row(r) + 3 * h;
+      const float* ct = sc.c_tanh.row(r);
+      const float* dhp = bwd_dh_.row(r);
+      const float* dcn = bwd_dc_next_.row(r);
+      float* dcp = bwd_dc_.row(r);
+      for (std::size_t c = 0; c < h; ++c) {
+        const float t = ct[c];
+        dcp[c] = dhp[c] * zo[c] * (1.0f - t * t) + dcn[c];
       }
-      set_gate_block(dz, 0, dzi);
-      set_gate_block(dz, 1, dzf);
-      set_gate_block(dz, 2, dzg);
-      set_gate_block(dz, 3, dzo);
     }
 
-    matmul_tn_acc(sc.x, dz, gwx_);       // gWx += xᵀ · dZ
-    matmul_tn_acc(sc.h_prev, dz, gwh_);  // gWh += h_prevᵀ · dZ
-    gb_ += dz.col_sums();
+    // Gate pre-activation gradients, written straight into the fused
+    // dZ [N, 4H] blocks — no per-gate temporaries.
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* zi = sc.z.row(r);
+      const float* zf = zi + h;
+      const float* zg = zi + 2 * h;
+      const float* zo = zi + 3 * h;
+      const float* cp = sc.c_prev.row(r);
+      const float* ct = sc.c_tanh.row(r);
+      const float* dhp = bwd_dh_.row(r);
+      const float* dcp = bwd_dc_.row(r);
+      float* dzrow = bwd_dz_.row(r);
+      for (std::size_t c = 0; c < h; ++c) {
+        const float i = zi[c], f = zf[c], g = zg[c], o = zo[c];
+        const float dci = dcp[c];
+        dzrow[c] = dci * g * i * (1.0f - i);
+        dzrow[h + c] = dci * cp[c] * f * (1.0f - f);
+        dzrow[2 * h + c] = dci * i * (1.0f - g * g);
+        dzrow[3 * h + c] = dhp[c] * ct[c] * o * (1.0f - o);
+      }
+    }
 
-    dx.set_timestep(ti, matmul_nt(dz, wx_));  // dx_t = dZ · Wxᵀ
-    dh_next = matmul_nt(dz, wh_);             // dh_prev = dZ · Whᵀ
+    matmul_tn_acc(sc.x, bwd_dz_, gwx_);       // gWx += xᵀ · dZ
+    matmul_tn_acc(sc.h_prev, bwd_dz_, gwh_);  // gWh += h_prevᵀ · dZ
+    bwd_dz_.col_sums_into(bwd_col_sums_);
+    gb_ += bwd_col_sums_;
+
+    bwd_dx_step_.set_zero();
+    matmul_nt_acc(bwd_dz_, wx_, bwd_dx_step_);  // dx_t = dZ · Wxᵀ
+    dx.set_timestep(ti, bwd_dx_step_);
+
+    bwd_dh_.set_zero();
+    matmul_nt_acc(bwd_dz_, wh_, bwd_dh_);  // dh_prev = dZ · Whᵀ
+
     // dc_prev = dc ⊙ f
-    for (std::size_t idx = 0; idx < n * h; ++idx) {
-      dc_next.data()[idx] = dc.data()[idx] * sc.f.data()[idx];
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* zf = sc.z.row(r) + h;
+      const float* dcp = bwd_dc_.row(r);
+      float* dcn = bwd_dc_next_.row(r);
+      for (std::size_t c = 0; c < h; ++c) dcn[c] = dcp[c] * zf[c];
     }
   }
   return dx;

@@ -23,6 +23,12 @@ class Lstm : public Layer {
   Tensor3 forward(const Tensor3& input, bool training) override;
   Tensor3 backward(const Tensor3& grad_output) override;
   std::vector<ParamRef> params() override;
+  void zero_grads() override {
+    if (gwx_.empty()) return;
+    gwx_.set_zero();
+    gwh_.set_zero();
+    gb_.set_zero();
+  }
   std::size_t output_features(std::size_t input_features) const override;
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override {
@@ -44,18 +50,30 @@ class Lstm : public Layer {
   Matrix b_;   // [1, 4H]
   Matrix gwx_, gwh_, gb_;
 
-  // Per-timestep caches from the last forward pass.
+  // Per-timestep caches from the last forward pass.  Gate activations live
+  // fused in `z` ([i | f | g | o] blocks of the pre-activation, activated
+  // in place); backward reads them through col_block views instead of
+  // materializing per-gate copies.  Caches are reused across steps and
+  // epochs — same-shape reassignment never reallocates.
   struct StepCache {
     Matrix x;       // [N, in]
     Matrix h_prev;  // [N, H]
     Matrix c_prev;  // [N, H]
-    Matrix i, f, g, o;  // gate activations, each [N, H]
+    Matrix z;       // [N, 4H] activated gates, fused
     Matrix c_tanh;  // tanh(c_t), [N, H]
   };
   std::vector<StepCache> cache_;
   std::size_t cached_n_ = 0;
   std::size_t cached_t_ = 0;
   std::size_t cached_in_ = 0;
+
+  // Forward state + backward scratch, reused across calls so the steady
+  // state allocates nothing.
+  Matrix h_state_, c_state_;              // [N, H]
+  Matrix bwd_dh_, bwd_dc_, bwd_dc_next_;  // [N, H]
+  Matrix bwd_dz_;                         // [N, 4H]
+  Matrix bwd_dx_step_;                    // [N, in]
+  Matrix bwd_col_sums_;                   // [1, 4H]
 };
 
 }  // namespace evfl::nn

@@ -13,8 +13,8 @@ float Trainer::train_batch(const Tensor3& x, const Tensor3& y) {
   model_->zero_grads();
   LossResult lr = loss_->value_and_grad(pred, y);
   model_->backward(lr.grad);
-  auto params = model_->params();
-  optimizer_->step(params);
+  if (param_refs_.empty()) param_refs_ = model_->params();
+  optimizer_->step(param_refs_);
   return lr.value;
 }
 
@@ -46,10 +46,11 @@ FitHistory Trainer::fit(const Tensor3& x, const Tensor3& y,
 
     double epoch_loss = 0.0;
     std::size_t seen = 0;
+    std::vector<std::size_t> idx;
+    idx.reserve(bs);
     for (std::size_t start = 0; start < n; start += bs) {
       const std::size_t end = std::min(n, start + bs);
-      const std::vector<std::size_t> idx(order.begin() + start,
-                                         order.begin() + end);
+      idx.assign(order.begin() + start, order.begin() + end);
       const Tensor3 xb = x.gather(idx);
       const Tensor3 yb = y.gather(idx);
       const float l = train_batch(xb, yb);

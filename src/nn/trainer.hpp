@@ -65,6 +65,10 @@ class Trainer {
   Loss* loss_;
   Optimizer* optimizer_;
   Rng* rng_;
+  // Parameter refs resolved once after the first forward pass (layers build
+  // lazily); Matrix addresses are stable for the model's lifetime, so the
+  // per-step params() vector rebuild would be pure allocation churn.
+  std::vector<ParamRef> param_refs_;
 };
 
 /// Inference over a dataset in batches (memory-bounded).  With a

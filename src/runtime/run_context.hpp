@@ -23,6 +23,7 @@
 
 #include "metrics/timer.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
 #include "tensor/rng.hpp"
 
 namespace evfl::runtime {
@@ -62,9 +63,21 @@ class ScopedTimer {
 struct RunContext {
   ThreadPool* pool = nullptr;   // nullptr -> serial execution
   Metrics* metrics = nullptr;   // nullptr -> metrics calls are no-ops
+  // Optional explicit scratch arena.  Leave null to use the per-thread
+  // lane; set only for single-threaded callers (tests, benches) that want
+  // an isolated arena they can inspect.
+  Workspace* workspace = nullptr;
 
   std::size_t concurrency() const { return pool ? pool->concurrency() : 1; }
   bool parallel() const { return concurrency() > 1; }
+
+  /// Scratch arena for kernel temporaries: the explicitly attached one if
+  /// set, else the calling thread's lane.  Inside a parallel_for body this
+  /// must be re-fetched (each worker has its own lane); never share the
+  /// attached workspace across concurrent workers.
+  Workspace& scratch() const {
+    return workspace != nullptr ? *workspace : thread_workspace();
+  }
 
   /// Pool-backed parallel_for when a pool with workers is attached;
   /// otherwise one serial body(0, total) call.

@@ -74,10 +74,12 @@ Matrix cholesky(const Matrix& a) {
   const std::size_t n = a.rows();
   Matrix l(n, n);
   for (std::size_t i = 0; i < n; ++i) {
+    const float* lrow_i = l.row(i);
     for (std::size_t j = 0; j <= i; ++j) {
+      const float* lrow_j = l.row(j);
       double sum = a(i, j);
       for (std::size_t k = 0; k < j; ++k) {
-        sum -= static_cast<double>(l(i, k)) * l(j, k);
+        sum -= static_cast<double>(lrow_i[k]) * lrow_j[k];
       }
       if (i == j) {
         if (sum <= 0.0) {
@@ -99,26 +101,47 @@ Matrix solve_spd(const Matrix& a, const Matrix& b) {
   const std::size_t n = a.rows();
   const std::size_t k = b.cols();
 
+  // Both substitutions solve all right-hand sides together, row by row:
+  // the inner j loop then reads whole z/x rows contiguously instead of
+  // striding down one column at a time.  Per (row, col) element the j
+  // accumulation order is unchanged, so results match the column-at-a-
+  // time loops exactly.
+  std::vector<double> acc(k);
+
   // Forward substitution: L·z = b.
   Matrix z(n, k);
-  for (std::size_t col = 0; col < k; ++col) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double sum = b(i, col);
-      for (std::size_t j = 0; j < i; ++j) {
-        sum -= static_cast<double>(l(i, j)) * z(j, col);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* lrow = l.row(i);
+    for (std::size_t col = 0; col < k; ++col) acc[col] = b(i, col);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double lij = lrow[j];
+      const float* zrow = z.row(j);
+      for (std::size_t col = 0; col < k; ++col) {
+        acc[col] -= lij * static_cast<double>(zrow[col]);
       }
-      z(i, col) = static_cast<float>(sum / l(i, i));
+    }
+    const float lii = lrow[i];
+    float* zout = z.row(i);
+    for (std::size_t col = 0; col < k; ++col) {
+      zout[col] = static_cast<float>(acc[col] / lii);
     }
   }
   // Back substitution: Lᵀ·x = z.
   Matrix x(n, k);
-  for (std::size_t col = 0; col < k; ++col) {
-    for (std::size_t ii = n; ii-- > 0;) {
-      double sum = z(ii, col);
-      for (std::size_t j = ii + 1; j < n; ++j) {
-        sum -= static_cast<double>(l(j, ii)) * x(j, col);
+  for (std::size_t ii = n; ii-- > 0;) {
+    const float* zrow = z.row(ii);
+    for (std::size_t col = 0; col < k; ++col) acc[col] = zrow[col];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      const double lji = l(j, ii);
+      const float* xrow = x.row(j);
+      for (std::size_t col = 0; col < k; ++col) {
+        acc[col] -= lji * static_cast<double>(xrow[col]);
       }
-      x(ii, col) = static_cast<float>(sum / l(ii, ii));
+    }
+    const float lii = l(ii, ii);
+    float* xout = x.row(ii);
+    for (std::size_t col = 0; col < k; ++col) {
+      xout[col] = static_cast<float>(acc[col] / lii);
     }
   }
   return x;

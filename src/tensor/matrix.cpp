@@ -4,6 +4,10 @@
 #include <cmath>
 #include <sstream>
 
+#if defined(__AVX__)
+#include <immintrin.h>
+#endif
+
 namespace evfl::tensor {
 
 namespace {
@@ -15,7 +19,33 @@ void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
   }
 }
 
+void require_view_shapes(ConstMatView c, std::size_t k_a, std::size_t k_b,
+                         std::size_t m, std::size_t n, const char* op) {
+  if (k_a != k_b || c.rows != m || c.cols != n) {
+    throw ShapeError(std::string(op) + ": incompatible view shapes");
+  }
+}
+
 }  // namespace
+
+void MatView::set_zero() const {
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fill(row(r), row(r) + cols, 0.0f);
+  }
+}
+
+MatView Matrix::col_block(std::size_t col_begin, std::size_t n_cols) {
+  EVFL_REQUIRE(col_begin + n_cols <= cols_,
+               "col_block out of range in " + shape_str());
+  return {data() + col_begin, rows_, n_cols, cols_};
+}
+
+ConstMatView Matrix::col_block(std::size_t col_begin,
+                               std::size_t n_cols) const {
+  EVFL_REQUIRE(col_begin + n_cols <= cols_,
+               "col_block out of range in " + shape_str());
+  return {data() + col_begin, rows_, n_cols, cols_};
+}
 
 Matrix Matrix::from_rows(
     std::initializer_list<std::initializer_list<float>> rows) {
@@ -139,12 +169,18 @@ float Matrix::max() const {
 
 Matrix Matrix::col_sums() const {
   Matrix out(1, cols_);
+  col_sums_into(out);
+  return out;
+}
+
+void Matrix::col_sums_into(Matrix& out) const {
+  if (out.rows() != 1 || out.cols() != cols_) out = Matrix(1, cols_);
+  out.set_zero();
   float* dst = out.data();
   for (std::size_t r = 0; r < rows_; ++r) {
     const float* src = row(r);
     for (std::size_t c = 0; c < cols_; ++c) dst[c] += src[c];
   }
-  return out;
 }
 
 float Matrix::squared_norm() const {
@@ -175,21 +211,48 @@ Matrix operator*(Matrix a, float s) { return a *= s; }
 Matrix operator*(float s, Matrix a) { return a *= s; }
 Matrix hadamard(Matrix a, const Matrix& b) { return a.hadamard_inplace(b); }
 
-void matmul_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+// ---- blocked GEMM kernels --------------------------------------------------
+// All three kernels tile the *output*: i blocks keep a C panel resident
+// while B rows stream through, j blocks keep the streamed B columns inside
+// L1.  The k loop is never reordered or split, so each C element sees the
+// exact accumulation sequence of the naive ikj loop — the determinism
+// contract (DESIGN.md §8) that lets blocked, unblocked, and thread-
+// partitioned runs produce bit-identical results.
+
+namespace {
+constexpr std::size_t kBlockI = 64;   // C rows per tile
+constexpr std::size_t kBlockJ = 128;  // C cols per tile (512 B per row)
+}  // namespace
+
+void matmul_acc_rows(ConstMatView a, ConstMatView b, MatView c,
                      std::size_t row_begin, std::size_t row_end) {
-  const std::size_t k = a.cols(), n = b.cols();
-  // ikj order: streams B and C rows; good locality for the small-to-medium
-  // matrices (batch x hidden · hidden x 4*hidden) the LSTM produces.
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      const float* brow = b.row(kk);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  const std::size_t k = a.cols, n = b.cols;
+  for (std::size_t ib = row_begin; ib < row_end; ib += kBlockI) {
+    const std::size_t iend = std::min(row_end, ib + kBlockI);
+    for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+      const std::size_t jend = std::min(n, jb + kBlockJ);
+      for (std::size_t i = ib; i < iend; ++i) {
+        const float* arow = a.row(i);
+        float* crow = c.row(i);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float aik = arow[kk];
+          if (aik == 0.0f) continue;
+          const float* brow = b.row(kk);
+          for (std::size_t j = jb; j < jend; ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
   }
+}
+
+void matmul_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                     std::size_t row_begin, std::size_t row_end) {
+  matmul_acc_rows(a.view(), b.view(), c.view(), row_begin, row_end);
+}
+
+void matmul_acc(ConstMatView a, ConstMatView b, MatView c) {
+  require_view_shapes(c, a.cols, b.rows, a.rows, b.cols, "matmul");
+  matmul_acc_rows(a, b, c, 0, a.rows);
 }
 
 void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -206,40 +269,47 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
-  if (a.rows() != b.rows() || c.rows() != a.cols() || c.cols() != b.cols()) {
-    throw ShapeError("matmul_tn: incompatible shapes " + a.shape_str() +
-                     "ᵀ · " + b.shape_str() + " -> " + c.shape_str());
-  }
-  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
-  // C[i,j] += sum_kk A[kk,i] * B[kk,j]; iterate kk outer to stream rows.
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.row(kk);
-    const float* brow = b.row(kk);
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c.row(i);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+void matmul_tn_acc_rows(ConstMatView a, ConstMatView b, MatView c,
+                        std::size_t row_begin, std::size_t row_end) {
+  // C[i,j] += sum_kk A[kk,i] * B[kk,j].  kk runs outermost *within* each
+  // tile so A and B rows stream contiguously; for a fixed (i,j) the kk
+  // accumulation is still ascending, matching the naive kernel bit for
+  // bit.
+  const std::size_t k = a.rows, n = b.cols;
+  for (std::size_t ib = row_begin; ib < row_end; ib += kBlockI) {
+    const std::size_t iend = std::min(row_end, ib + kBlockI);
+    for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+      const std::size_t jend = std::min(n, jb + kBlockJ);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* arow = a.row(kk);
+        const float* brow = b.row(kk);
+        for (std::size_t i = ib; i < iend; ++i) {
+          const float aki = arow[i];
+          if (aki == 0.0f) continue;
+          float* crow = c.row(i);
+          for (std::size_t j = jb; j < jend; ++j) crow[j] += aki * brow[j];
+        }
+      }
     }
   }
 }
 
 void matmul_tn_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
                         std::size_t row_begin, std::size_t row_end) {
-  const std::size_t k = a.rows(), n = b.cols();
-  // i outer so each thread owns a C-row range.  For a fixed element (i,j)
-  // the kk accumulation still runs ascending, matching the kk-outer serial
-  // kernel float-for-float.
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    float* crow = c.row(i);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aki = a(kk, i);
-      if (aki == 0.0f) continue;
-      const float* brow = b.row(kk);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
+  matmul_tn_acc_rows(a.view(), b.view(), c.view(), row_begin, row_end);
+}
+
+void matmul_tn_acc(ConstMatView a, ConstMatView b, MatView c) {
+  require_view_shapes(c, a.rows, b.rows, a.cols, b.cols, "matmul_tn");
+  matmul_tn_acc_rows(a, b, c, 0, a.cols);
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.rows() != b.rows() || c.rows() != a.cols() || c.cols() != b.cols()) {
+    throw ShapeError("matmul_tn: incompatible shapes " + a.shape_str() +
+                     "ᵀ · " + b.shape_str() + " -> " + c.shape_str());
   }
+  matmul_tn_acc_rows(a, b, c, 0, a.cols());
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
@@ -248,19 +318,83 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void matmul_nt_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+void matmul_nt_acc_rows(ConstMatView a, ConstMatView b, MatView c,
                         std::size_t row_begin, std::size_t row_end) {
-  const std::size_t k = a.cols(), n = b.rows();
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      double acc = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += static_cast<float>(acc);
+  // Each C element is a double-accumulated dot of two float rows — a
+  // strictly serial dependency chain (~4-cycle add latency per element).
+  // Independent chains hide that latency: process 8 output columns at
+  // once, each with its own accumulator running its exact serial order.
+  // The products stay float (only the running sum is double), matching the
+  // one-column loop bit for bit.
+  const std::size_t k = a.cols, n = b.rows;
+  // Column-major pack of 8 B rows so the 8 chains load one contiguous
+  // vector per k step; reused across every A row of the block.
+  static thread_local std::vector<float> packed;
+  if (n >= 8 && packed.size() < k * 8) packed.resize(k * 8);
+  for (std::size_t ib = row_begin; ib < row_end; ib += kBlockI) {
+    const std::size_t iend = std::min(row_end, ib + kBlockI);
+    for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+      const std::size_t jend = std::min(n, jb + kBlockJ);
+      std::size_t j = jb;
+      for (; j + 8 <= jend; j += 8) {
+        for (std::size_t m = 0; m < 8; ++m) {
+          const float* brow = b.row(j + m);
+          for (std::size_t kk = 0; kk < k; ++kk) packed[kk * 8 + m] = brow[kk];
+        }
+        const float* bp = packed.data();
+        for (std::size_t i = ib; i < iend; ++i) {
+          const float* arow = a.row(i);
+          float* crow = c.row(i);
+#if defined(__AVX__)
+          // Lane m runs column j+m's exact serial chain: IEEE float
+          // multiply, exact widen to double, double add per k step.
+          __m256d slo = _mm256_setzero_pd();
+          __m256d shi = _mm256_setzero_pd();
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const __m256 prod = _mm256_mul_ps(_mm256_broadcast_ss(arow + kk),
+                                              _mm256_loadu_ps(bp + kk * 8));
+            slo = _mm256_add_pd(slo,
+                                _mm256_cvtps_pd(_mm256_castps256_ps128(prod)));
+            shi = _mm256_add_pd(shi,
+                                _mm256_cvtps_pd(_mm256_extractf128_ps(prod, 1)));
+          }
+          double s[8];
+          _mm256_storeu_pd(s, slo);
+          _mm256_storeu_pd(s + 4, shi);
+#else
+          double s[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float* col = bp + kk * 8;
+            for (std::size_t m = 0; m < 8; ++m) s[m] += av * col[m];
+          }
+#endif
+          for (std::size_t m = 0; m < 8; ++m) {
+            crow[j + m] += static_cast<float>(s[m]);
+          }
+        }
+      }
+      for (; j < jend; ++j) {
+        const float* brow = b.row(j);
+        for (std::size_t i = ib; i < iend; ++i) {
+          const float* arow = a.row(i);
+          double acc = 0.0;
+          for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          c.row(i)[j] += static_cast<float>(acc);
+        }
+      }
     }
   }
+}
+
+void matmul_nt_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                        std::size_t row_begin, std::size_t row_end) {
+  matmul_nt_acc_rows(a.view(), b.view(), c.view(), row_begin, row_end);
+}
+
+void matmul_nt_acc(ConstMatView a, ConstMatView b, MatView c) {
+  require_view_shapes(c, a.cols, b.cols, a.rows, b.rows, "matmul_nt");
+  matmul_nt_acc_rows(a, b, c, 0, a.rows);
 }
 
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {

@@ -1,6 +1,11 @@
 // Dense row-major float matrix with the handful of BLAS-like kernels the
-// neural-network substrate needs.  Deliberately small: no expression
-// templates, no views — clarity and predictable performance on one core.
+// neural-network substrate needs, plus lightweight strided views so a
+// column block of a fused matrix (e.g. one LSTM gate inside [N, 4H]) can
+// be read and written in place.  Storage is pool-recycled (tensor/pool) so
+// steady-state temporaries don't touch the heap.  Kernels are cache-
+// blocked over output rows/columns only — the per-element accumulation
+// order over k is identical to the naive loops, so blocked, serial, and
+// row-partitioned parallel runs all produce bit-identical results.
 #pragma once
 
 #include <cstddef>
@@ -9,8 +14,38 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "tensor/pool.hpp"
 
 namespace evfl::tensor {
+
+// ---- strided views ---------------------------------------------------------
+// Non-owning [rows x cols] window onto row-major storage whose rows are
+// `stride` floats apart.  A Matrix is the stride == cols special case; a
+// gate block of a fused [N, 4H] matrix is a stride == 4H view.  Views are
+// cheap value types; the referenced storage must outlive them.
+
+struct ConstMatView {
+  const float* data = nullptr;
+  std::size_t rows = 0, cols = 0, stride = 0;
+
+  const float* row(std::size_t r) const { return data + r * stride; }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data[r * stride + c];
+  }
+};
+
+struct MatView {
+  float* data = nullptr;
+  std::size_t rows = 0, cols = 0, stride = 0;
+
+  float* row(std::size_t r) const { return data + r * stride; }
+  float& operator()(std::size_t r, std::size_t c) const {
+    return data[r * stride + c];
+  }
+  operator ConstMatView() const { return {data, rows, cols, stride}; }
+
+  void set_zero() const;
+};
 
 class Matrix {
  public:
@@ -59,6 +94,15 @@ class Matrix {
   float* row(std::size_t r) { return data_.data() + r * cols_; }
   const float* row(std::size_t r) const { return data_.data() + r * cols_; }
 
+  /// Whole-matrix view (stride == cols).
+  MatView view() { return {data(), rows_, cols_, cols_}; }
+  ConstMatView view() const { return {data(), rows_, cols_, cols_}; }
+
+  /// Strided view of columns [col_begin, col_begin + n_cols): reads and
+  /// writes go straight to this matrix's storage.
+  MatView col_block(std::size_t col_begin, std::size_t n_cols);
+  ConstMatView col_block(std::size_t col_begin, std::size_t n_cols) const;
+
   void fill(float value);
   void set_zero() { fill(0.0f); }
 
@@ -84,6 +128,9 @@ class Matrix {
   float max() const;
   /// Sum over rows producing a 1 x cols row vector (bias gradient).
   Matrix col_sums() const;
+  /// col_sums into a pre-shaped 1 x cols matrix — same accumulation order,
+  /// no allocation when `out` already has the right shape.
+  void col_sums_into(Matrix& out) const;
   /// Frobenius norm squared.
   float squared_norm() const;
 
@@ -94,7 +141,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  FloatVec data_;
 };
 
 // ---- free functions --------------------------------------------------------
@@ -112,18 +159,33 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b);
 /// C = A · Bᵀ  (without materializing the transpose)
 Matrix matmul_nt(const Matrix& a, const Matrix& b);
 
-/// C += A · B  — the LSTM hot loop; kernel is cache-blocked ikj.
+/// C += A · B  — the LSTM hot loop; kernel is cache-blocked over i/j.
 void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c);
 /// C += Aᵀ · B
 void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c);
 /// C += A · Bᵀ
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c);
 
+// Shape-checked view entry points: identical kernels over strided storage
+// (workspace scratch, gate blocks), so hot paths can multiply without
+// materializing Matrix temporaries.
+void matmul_acc(ConstMatView a, ConstMatView b, MatView c);
+void matmul_tn_acc(ConstMatView a, ConstMatView b, MatView c);
+void matmul_nt_acc(ConstMatView a, ConstMatView b, MatView c);
+
 // Row-range kernel bodies: compute output rows [row_begin, row_end) of C
-// only, with the same per-element accumulation order as the full serial
-// kernels (bit-identical results).  These are the grain bodies the
-// context-aware overloads in tensor/linalg partition across a thread pool;
-// shapes are assumed already validated.
+// only.  Blocking covers output rows and columns exclusively — for every
+// C element the k accumulation runs ascending exactly like the naive
+// triple loop, so blocked, unblocked, and row-partitioned parallel runs
+// are bit-identical.  These are the grain bodies the context-aware
+// overloads in tensor/linalg partition across a thread pool; shapes are
+// assumed already validated.
+void matmul_acc_rows(ConstMatView a, ConstMatView b, MatView c,
+                     std::size_t row_begin, std::size_t row_end);
+void matmul_tn_acc_rows(ConstMatView a, ConstMatView b, MatView c,
+                        std::size_t row_begin, std::size_t row_end);
+void matmul_nt_acc_rows(ConstMatView a, ConstMatView b, MatView c,
+                        std::size_t row_begin, std::size_t row_end);
 void matmul_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
                      std::size_t row_begin, std::size_t row_end);
 void matmul_tn_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,

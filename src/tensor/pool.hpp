@@ -1,0 +1,76 @@
+// Thread-local recycling pool for tensor storage.
+//
+// Matrix and Tensor3 back their float buffers with PoolAllocator: freed
+// blocks park in a per-thread, size-bucketed free list instead of going
+// back to the heap, and a later allocation of the same byte size is a
+// pointer pop.  Training loops cycle through a fixed set of shapes, so
+// after one warm-up step every temporary (forward outputs, gradients,
+// mini-batch gathers) is a pool hit and the steady state performs zero
+// heap allocations — the property bench_lstm_kernels pins.
+//
+// The pool is invisible to callers: allocator instances are stateless and
+// always equal, so vector copy/move semantics are unchanged.  Blocks freed
+// on a different thread than they were allocated on simply park in the
+// freeing thread's pool (ownership transfers; no cross-thread races).
+// Each pool is torn down at thread exit, returning every parked block to
+// the heap, so sanitizer leak checks stay clean.  Under ASan/TSan the pool
+// compiles to plain operator new/delete so the sanitizers keep full
+// visibility into buffer lifetimes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace evfl::tensor {
+
+/// Allocate `bytes` from the calling thread's pool (exact-size bucket hit)
+/// or the heap on a miss.
+void* pool_allocate(std::size_t bytes);
+/// Return a block to the calling thread's pool (or the heap if the bucket
+/// is full or the block is oversized).
+void pool_deallocate(void* p, std::size_t bytes) noexcept;
+
+struct PoolStats {
+  std::uint64_t hits = 0;      // allocations served from the free list
+  std::uint64_t misses = 0;    // allocations that fell through to the heap
+  std::uint64_t parked = 0;    // blocks currently held by the pool
+  std::uint64_t parked_bytes = 0;
+};
+
+/// Statistics of the calling thread's pool (always zero when the pool is
+/// compiled out under sanitizers).
+PoolStats pool_stats();
+
+/// Release every parked block of the calling thread back to the heap.
+void pool_trim();
+
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    pool_deallocate(p, n * sizeof(T));
+  }
+};
+
+template <typename T, typename U>
+bool operator==(const PoolAllocator<T>&, const PoolAllocator<U>&) {
+  return true;
+}
+template <typename T, typename U>
+bool operator!=(const PoolAllocator<T>&, const PoolAllocator<U>&) {
+  return false;
+}
+
+/// The storage type behind Matrix and Tensor3.
+using FloatVec = std::vector<float, PoolAllocator<float>>;
+
+}  // namespace evfl::tensor

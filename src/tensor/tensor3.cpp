@@ -16,6 +16,15 @@ Matrix Tensor3::timestep(std::size_t t) const {
   return m;
 }
 
+void Tensor3::copy_timestep_into(std::size_t t, Matrix& dst) const {
+  EVFL_ASSERT(t < t_, "timestep out of range");
+  if (dst.rows() != n_ || dst.cols() != f_) dst = Matrix(n_, f_);
+  for (std::size_t n = 0; n < n_; ++n) {
+    const float* src = data_.data() + (n * t_ + t) * f_;
+    std::copy(src, src + f_, dst.row(n));
+  }
+}
+
 void Tensor3::set_timestep(std::size_t t, const Matrix& m) {
   EVFL_ASSERT(t < t_, "timestep out of range");
   if (m.rows() != n_ || m.cols() != f_) {
@@ -24,6 +33,18 @@ void Tensor3::set_timestep(std::size_t t, const Matrix& m) {
   for (std::size_t n = 0; n < n_; ++n) {
     float* dst = data_.data() + (n * t_ + t) * f_;
     std::copy(m.row(n), m.row(n) + f_, dst);
+  }
+}
+
+void Tensor3::set_timestep(std::size_t t, ConstMatView m) {
+  EVFL_ASSERT(t < t_, "timestep out of range");
+  if (m.rows != n_ || m.cols != f_) {
+    throw ShapeError("set_timestep: view into " + shape_str());
+  }
+  for (std::size_t n = 0; n < n_; ++n) {
+    float* dst = data_.data() + (n * t_ + t) * f_;
+    const float* src = m.row(n);
+    std::copy(src, src + f_, dst);
   }
 }
 
@@ -61,12 +82,29 @@ Matrix Tensor3::flatten_rows() const {
   return m;
 }
 
+void Tensor3::flatten_rows_into(Matrix& dst) const {
+  if (dst.rows() != n_ * t_ || dst.cols() != f_) dst = Matrix(n_ * t_, f_);
+  std::copy(data_.begin(), data_.end(), dst.data());
+}
+
 Tensor3 Tensor3::from_flat_rows(const Matrix& m, std::size_t n, std::size_t t) {
   if (m.rows() != n * t) {
     throw ShapeError("from_flat_rows: row count mismatch");
   }
   Tensor3 out(n, t, m.cols());
   std::copy(m.data(), m.data() + m.size(), out.data());
+  return out;
+}
+
+Tensor3 Tensor3::from_flat_rows(ConstMatView m, std::size_t n, std::size_t t) {
+  if (m.rows != n * t) {
+    throw ShapeError("from_flat_rows: row count mismatch");
+  }
+  Tensor3 out(n, t, m.cols);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    const float* src = m.row(r);
+    std::copy(src, src + m.cols, out.data() + r * m.cols);
+  }
   return out;
 }
 

@@ -41,8 +41,13 @@ class Tensor3 {
 
   /// Copy out timestep t as an [batch x features] matrix.
   Matrix timestep(std::size_t t) const;
+  /// Copy timestep t into a pre-shaped [batch x features] matrix
+  /// (allocation-free when `dst` already has the right shape).
+  void copy_timestep_into(std::size_t t, Matrix& dst) const;
   /// Overwrite timestep t from an [batch x features] matrix.
   void set_timestep(std::size_t t, const Matrix& m);
+  /// Overwrite timestep t from a strided [batch x features] view.
+  void set_timestep(std::size_t t, ConstMatView m);
   /// Accumulate an [batch x features] matrix into timestep t.
   void add_timestep(std::size_t t, const Matrix& m);
 
@@ -52,8 +57,11 @@ class Tensor3 {
 
   /// Reinterpret as [(batch*time) x features] — same data, matrix view copy.
   Matrix flatten_rows() const;
+  /// flatten_rows into a pre-shaped matrix (allocation-free on reuse).
+  void flatten_rows_into(Matrix& dst) const;
   /// Inverse of flatten_rows for a known (n, t) split.
   static Tensor3 from_flat_rows(const Matrix& m, std::size_t n, std::size_t t);
+  static Tensor3 from_flat_rows(ConstMatView m, std::size_t n, std::size_t t);
 
   /// Select a contiguous batch range [begin, end) into a new tensor.
   Tensor3 batch_slice(std::size_t begin, std::size_t end) const;
@@ -80,7 +88,7 @@ class Tensor3 {
 
  private:
   std::size_t n_ = 0, t_ = 0, f_ = 0;
-  std::vector<float> data_;
+  FloatVec data_;
 };
 
 float max_abs_diff(const Tensor3& a, const Tensor3& b);

@@ -118,6 +118,21 @@ TEST(Baselines, SeasonalArBeatsPersistenceOnNoisySeasonal) {
   EXPECT_LT(ar_mae, persist_mae);
 }
 
+TEST(Baselines, SeasonalArR2RegressionPin) {
+  // Regression pin for the normal-equations path (least_squares ->
+  // cholesky -> solve_spd).  The R2 below was captured before those
+  // routines were rewritten for cache-friendly traversal; the rewrite
+  // keeps every element's accumulation order, so the fit must not drift.
+  const auto series = seasonal_series(600, 0.5f, 5);
+  const std::size_t split = 480;
+  SeasonalArBaseline ar(3, 2, 24);
+  ar.fit({series.begin(), series.begin() + split});
+  const auto pred = ar.predict(series, split);
+  const std::vector<float> actual(series.begin() + split, series.end());
+  EXPECT_NEAR(metrics::evaluate_regression(actual, pred).r2, 0.9547929673,
+              1e-4);
+}
+
 TEST(Baselines, SeasonalArValidation) {
   SeasonalArBaseline ar(2, 1, 24);
   EXPECT_THROW(ar.predict({1, 2, 3}, 1), Error);  // before fit

@@ -123,6 +123,19 @@ TEST(GradCheck, LstmReturnSequences) {
   expect_gradients_match(model, x, y, 1);
 }
 
+TEST(GradCheck, LstmWideFusedGateBlocks) {
+  // units = 40 makes the fused gate width 4H = 160, which crosses the GEMM
+  // kernels' 128-column block boundary.  This drives the LSTM's fused
+  // pre-activation / in-place gate-view path through multi-tile blocked
+  // matmuls rather than the single-tile fast case the small units above hit.
+  Rng rng(12);
+  Sequential model;
+  model.emplace<Lstm>(40, /*return_sequences=*/false, rng, 2);
+  const Tensor3 x = random_tensor(3, 4, 2, rng);
+  const Tensor3 y = random_tensor(3, 1, 40, rng, 0.5f);
+  expect_gradients_match(model, x, y, 97);
+}
+
 TEST(GradCheck, ForecasterArchitecture) {
   // The paper's forecaster shrunk: LSTM(last) -> Dense(relu) -> Dense(1).
   Rng rng(7);

@@ -6,14 +6,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "core/pipeline.hpp"
 #include "fl/driver.hpp"
 #include "forecast/model.hpp"
+#include "nn/activation.hpp"
 #include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
+#include "runtime/workspace.hpp"
+#include "tensor/init.hpp"
 #include "tensor/linalg.hpp"
 
 namespace evfl::runtime {
@@ -137,6 +144,407 @@ TEST(ContextMatmul, ShapeChecked) {
   const Matrix a(4, 3), b(5, 6);
   Matrix c(4, 6);
   EXPECT_THROW(tensor::matmul_acc(a, b, c, ctx), ShapeError);
+}
+
+// ---- Workspace arena --------------------------------------------------------
+
+TEST(Workspace, RewindReusesMemoryWithoutMoving) {
+  Workspace ws;
+  float* base = ws.borrow(100);
+  base[0] = 1.0f;
+  const Workspace::Mark m = ws.mark();
+  float* scratch = ws.borrow(200);
+  scratch[0] = 2.0f;
+  ws.rewind(m);
+  // The next borrow reuses the rewound region; earlier borrows are intact.
+  EXPECT_EQ(ws.borrow(50), scratch);
+  EXPECT_EQ(base[0], 1.0f);
+}
+
+TEST(Workspace, PointersSurviveBlockGrowth) {
+  Workspace ws;
+  float* early = ws.borrow_zeroed(64);
+  early[0] = 42.0f;
+  // Force several new blocks; existing blocks must never move or shrink.
+  for (int i = 0; i < 4; ++i) ws.borrow(1u << 18);
+  EXPECT_EQ(early[0], 42.0f);
+  EXPECT_GT(ws.capacity_floats(), 1u << 18);
+  ws.reset();
+  EXPECT_EQ(ws.borrow(1), early);  // reset rewinds to the first block
+}
+
+TEST(Workspace, BorrowsAreAlignedAndHighWaterTracksPeak) {
+  Workspace ws;
+  float* a = ws.borrow(1);
+  float* b = ws.borrow(1);
+  // Requests round up to 16-float (64-byte) lanes, so consecutive borrows
+  // never share a cache line.
+  EXPECT_EQ(b - a, 16);
+  const std::size_t peak = ws.high_water_floats();
+  EXPECT_GE(peak, 2u);
+  ws.reset();
+  ws.borrow(1);
+  EXPECT_EQ(ws.high_water_floats(), peak);  // high water never rewinds
+}
+
+TEST(Workspace, ScratchScopeRewindsOnUnwind) {
+  Workspace ws;
+  float* p1 = nullptr;
+  {
+    ScratchScope scope(ws);
+    p1 = scope.borrow_zeroed(128);
+    EXPECT_EQ(p1[127], 0.0f);
+  }
+  ScratchScope scope(ws);
+  EXPECT_EQ(scope.borrow(16), p1);  // the scope released its borrows
+}
+
+TEST(Workspace, ThreadLanesAreDistinct) {
+  Workspace* main_lane = &thread_workspace();
+  Workspace* worker_lane = nullptr;
+  std::thread t([&] { worker_lane = &thread_workspace(); });
+  t.join();
+  ASSERT_NE(worker_lane, nullptr);
+  EXPECT_NE(main_lane, worker_lane);
+  EXPECT_EQ(main_lane, &thread_workspace());  // stable per thread
+}
+
+// ---- blocked GEMM vs the seed's naive kernels -------------------------------
+
+// Verbatim copies of the pre-blocking kernels.  The blocked kernels in
+// tensor/matrix.cpp promise bit-identical results: per output element the
+// k accumulation runs in the same order with the same zero-skip, only the
+// (i, j) tile visit order changes.  These references keep that promise
+// checkable against any future kernel rewrite.
+void naive_matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void naive_matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.row(kk);
+    const float* brow = b.row(kk);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void naive_matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double acc = 0.0;
+      // NB: float*float multiply, then the product widens into the double
+      // accumulator — the seed semantics the vectorized kernel reproduces.
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+/// Exact zeros sprinkled in to exercise the kernels' zero-skip branch.
+Matrix random_sparse_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Matrix m = random_matrix(r, c, seed);
+  for (std::size_t i = 0; i < m.size(); i += 13) m.data()[i] = 0.0f;
+  return m;
+}
+
+TEST(BlockedMatmul, BitIdenticalToNaiveAcrossThreadCounts) {
+  // 93 rows / 150 cols straddle the 64-row and 128-column tile boundaries,
+  // so every kernel runs multi-tile with ragged edge tiles.
+  const Matrix a = random_sparse_matrix(93, 70, 21);   // [m, k]
+  const Matrix b = random_sparse_matrix(70, 150, 22);  // [k, n]
+  const Matrix at = random_sparse_matrix(70, 93, 23);  // [k, m] for tn
+  const Matrix bt = random_sparse_matrix(150, 70, 24); // [n, k] for nt
+
+  Matrix c_naive(93, 150), c_tn_naive(93, 150), c_nt_naive(93, 150);
+  naive_matmul_acc(a, b, c_naive);
+  naive_matmul_tn_acc(at, b, c_tn_naive);
+  naive_matmul_nt_acc(a, bt, c_nt_naive);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    RunContext ctx{&pool, nullptr};
+    Matrix c(93, 150);
+    tensor::matmul_acc(a, b, c, ctx);
+    EXPECT_EQ(tensor::max_abs_diff(c, c_naive), 0.0f) << threads << " threads";
+
+    c.set_zero();
+    tensor::matmul_tn_acc(at, b, c, ctx);
+    EXPECT_EQ(tensor::max_abs_diff(c, c_tn_naive), 0.0f)
+        << threads << " threads";
+
+    c.set_zero();
+    tensor::matmul_nt_acc(a, bt, c, ctx);
+    EXPECT_EQ(tensor::max_abs_diff(c, c_nt_naive), 0.0f)
+        << threads << " threads";
+  }
+
+  // The serial Matrix overloads hit the same blocked bodies.
+  EXPECT_EQ(tensor::max_abs_diff(tensor::matmul(a, b), c_naive), 0.0f);
+  EXPECT_EQ(tensor::max_abs_diff(tensor::matmul_tn(at, b), c_tn_naive), 0.0f);
+  EXPECT_EQ(tensor::max_abs_diff(tensor::matmul_nt(a, bt), c_nt_naive), 0.0f);
+}
+
+TEST(BlockedMatmul, StridedGateViewsMatchFullMatrixKernels) {
+  // Writing into a column block of a wider matrix through a strided view
+  // must equal computing into a dense matrix and copying the block in.
+  const std::size_t n = 9, k = 7, h = 40;  // 4h = 160 crosses the 128 tile
+  const Matrix a = random_matrix(n, k, 31);
+  const Matrix w = random_matrix(k, 4 * h, 32);
+  Matrix fused(n, 4 * h);
+  fused.set_zero();
+  for (std::size_t g = 0; g < 4; ++g) {
+    const tensor::ConstMatView wg{w.data() + g * h, k, h, 4 * h};
+    tensor::MatView out = fused.col_block(g * h, h);
+    tensor::matmul_acc(a.view(), wg, out);
+  }
+  Matrix dense(n, 4 * h);
+  naive_matmul_acc(a, w, dense);
+  EXPECT_EQ(tensor::max_abs_diff(fused, dense), 0.0f);
+}
+
+// ---- LSTM fused fast path vs the seed algorithm -----------------------------
+
+/// The seed LSTM, reimplemented on the naive kernels with per-gate Matrix
+/// temporaries — the algorithm the fused/workspace rewrite in nn/lstm.cpp
+/// must reproduce float-for-float (forward, BPTT, and parameter grads).
+class ReferenceLstm {
+ public:
+  ReferenceLstm(std::size_t units, Rng& rng, std::size_t input_features)
+      : units_(units) {
+    const std::size_t h = units;
+    wx_ = tensor::glorot_uniform(input_features, 4 * h, rng);
+    wh_ = Matrix(h, 4 * h);
+    for (std::size_t g = 0; g < 4; ++g) {
+      const Matrix block = tensor::orthogonal(h, h, rng);
+      for (std::size_t r = 0; r < h; ++r) {
+        for (std::size_t c = 0; c < h; ++c) wh_(r, g * h + c) = block(r, c);
+      }
+    }
+    b_ = Matrix(1, 4 * h);
+    for (std::size_t c = 0; c < h; ++c) b_(0, h + c) = 1.0f;
+    gwx_ = Matrix(input_features, 4 * h);
+    gwh_ = Matrix(h, 4 * h);
+    gb_ = Matrix(1, 4 * h);
+  }
+
+  Tensor3 forward(const Tensor3& input) {
+    const std::size_t n = input.batch(), t_len = input.time(), h = units_;
+    cached_n_ = n;
+    cached_in_ = input.features();
+    cache_.assign(t_len, Step{});
+    Matrix h_state(n, h), c_state(n, h);
+    Tensor3 out(n, 1, h);
+    for (std::size_t t = 0; t < t_len; ++t) {
+      Step& sc = cache_[t];
+      sc.x = input.timestep(t);
+      sc.h_prev = h_state;
+      sc.c_prev = c_state;
+      Matrix z(n, 4 * h);
+      z.add_row_broadcast(b_);
+      naive_matmul_acc(sc.x, wx_, z);
+      naive_matmul_acc(sc.h_prev, wh_, z);
+      sc.i = gate_block(z, 0);
+      sc.f = gate_block(z, 1);
+      sc.g = gate_block(z, 2);
+      sc.o = gate_block(z, 3);
+      nn::apply_activation(nn::Activation::kSigmoid, sc.i);
+      nn::apply_activation(nn::Activation::kSigmoid, sc.f);
+      nn::apply_activation(nn::Activation::kTanh, sc.g);
+      nn::apply_activation(nn::Activation::kSigmoid, sc.o);
+      for (std::size_t idx = 0; idx < n * h; ++idx) {
+        c_state.data()[idx] = sc.f.data()[idx] * sc.c_prev.data()[idx] +
+                              sc.i.data()[idx] * sc.g.data()[idx];
+      }
+      sc.c_tanh = c_state;
+      nn::apply_activation(nn::Activation::kTanh, sc.c_tanh);
+      for (std::size_t idx = 0; idx < n * h; ++idx) {
+        h_state.data()[idx] = sc.o.data()[idx] * sc.c_tanh.data()[idx];
+      }
+    }
+    out.set_timestep(0, h_state);
+    return out;
+  }
+
+  Tensor3 backward(const Tensor3& grad_output) {
+    const std::size_t n = cached_n_, t_len = cache_.size(), h = units_;
+    Tensor3 dx(n, t_len, cached_in_);
+    Matrix dh_next(n, h), dc_next(n, h);
+    for (std::size_t ti = t_len; ti-- > 0;) {
+      const Step& sc = cache_[ti];
+      Matrix dh = dh_next;
+      if (ti == t_len - 1) dh += grad_output.timestep(0);
+      Matrix dc(n, h);
+      for (std::size_t idx = 0; idx < n * h; ++idx) {
+        const float ct = sc.c_tanh.data()[idx];
+        dc.data()[idx] = dh.data()[idx] * sc.o.data()[idx] * (1.0f - ct * ct) +
+                         dc_next.data()[idx];
+      }
+      Matrix dz(n, 4 * h);
+      for (std::size_t r = 0; r < n; ++r) {
+        float* dzrow = dz.row(r);
+        for (std::size_t c = 0; c < h; ++c) {
+          const std::size_t idx = r * h + c;
+          const float i = sc.i.data()[idx], f = sc.f.data()[idx];
+          const float g = sc.g.data()[idx], o = sc.o.data()[idx];
+          const float dci = dc.data()[idx];
+          dzrow[c] = dci * g * i * (1.0f - i);
+          dzrow[h + c] = dci * sc.c_prev.data()[idx] * f * (1.0f - f);
+          dzrow[2 * h + c] = dci * i * (1.0f - g * g);
+          dzrow[3 * h + c] =
+              dh.data()[idx] * sc.c_tanh.data()[idx] * o * (1.0f - o);
+        }
+      }
+      naive_matmul_tn_acc(sc.x, dz, gwx_);
+      naive_matmul_tn_acc(sc.h_prev, dz, gwh_);
+      // Seed order: column sums land in a zeroed temporary first, then the
+      // whole row adds into gb_ (gb_ += dz.col_sums()).
+      Matrix col_sums(1, 4 * h);
+      for (std::size_t r = 0; r < n; ++r) {
+        const float* dzrow = dz.row(r);
+        for (std::size_t c = 0; c < 4 * h; ++c) col_sums(0, c) += dzrow[c];
+      }
+      gb_ += col_sums;
+      Matrix dxt(n, cached_in_);
+      naive_matmul_nt_acc(dz, wx_, dxt);
+      dx.set_timestep(ti, dxt);
+      dh_next = Matrix(n, h);
+      naive_matmul_nt_acc(dz, wh_, dh_next);
+      for (std::size_t idx = 0; idx < n * h; ++idx) {
+        dc_next.data()[idx] = dc.data()[idx] * sc.f.data()[idx];
+      }
+    }
+    return dx;
+  }
+
+  void zero_grads() {
+    gwx_.set_zero();
+    gwh_.set_zero();
+    gb_.set_zero();
+  }
+
+  std::vector<nn::ParamRef> params() {
+    return {{"lstm.wx", &wx_, &gwx_},
+            {"lstm.wh", &wh_, &gwh_},
+            {"lstm.b", &b_, &gb_}};
+  }
+
+  Matrix wx_, wh_, b_, gwx_, gwh_, gb_;
+
+ private:
+  struct Step {
+    Matrix x, h_prev, c_prev, i, f, g, o, c_tanh;
+  };
+
+  Matrix gate_block(const Matrix& z, std::size_t g) const {
+    const std::size_t h = units_;
+    Matrix out(z.rows(), h);
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      const float* src = z.row(r) + g * h;
+      float* dst = out.row(r);
+      for (std::size_t c = 0; c < h; ++c) dst[c] = src[c];
+    }
+    return out;
+  }
+
+  std::size_t units_;
+  std::size_t cached_n_ = 0, cached_in_ = 0;
+  std::vector<Step> cache_;
+};
+
+TEST(LstmBitIdentity, FusedPathMatchesSeedAlgorithmOverTrainingSteps) {
+  // batch 70 crosses the 64-row tile bound, 4h = 160 the 128-column bound.
+  const std::size_t units = 40, in = 3, n = 70, t = 5;
+  Rng rng_new(42), rng_ref(42);
+  nn::Lstm lstm(units, /*return_sequences=*/false, rng_new, in);
+  ReferenceLstm ref(units, rng_ref, in);
+
+  Rng data_rng(7);
+  Tensor3 x(n, t, in);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = data_rng.uniform(0, 1);
+  }
+  Tensor3 g(n, 1, units);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g.data()[i] = data_rng.uniform(-1, 1);
+  }
+
+  nn::Adam opt_new(1e-3f), opt_ref(1e-3f);
+  for (int step = 0; step < 3; ++step) {
+    const Tensor3 out_new = lstm.forward(x, /*training=*/true);
+    const Tensor3 out_ref = ref.forward(x);
+    EXPECT_EQ(tensor::max_abs_diff(out_new, out_ref), 0.0f)
+        << "forward diverged at step " << step;
+
+    lstm.zero_grads();
+    ref.zero_grads();
+    const Tensor3 dx_new = lstm.backward(g);
+    const Tensor3 dx_ref = ref.backward(g);
+    EXPECT_EQ(tensor::max_abs_diff(dx_new, dx_ref), 0.0f)
+        << "dx diverged at step " << step;
+
+    auto p_new = lstm.params();
+    auto p_ref = ref.params();
+    ASSERT_EQ(p_new.size(), p_ref.size());
+    for (std::size_t p = 0; p < p_new.size(); ++p) {
+      EXPECT_EQ(tensor::max_abs_diff(*p_new[p].grad, *p_ref[p].grad), 0.0f)
+          << p_new[p].name << " grad diverged at step " << step;
+    }
+    opt_new.step(p_new);
+    opt_ref.step(p_ref);
+    for (std::size_t p = 0; p < p_new.size(); ++p) {
+      EXPECT_EQ(tensor::max_abs_diff(*p_new[p].value, *p_ref[p].value), 0.0f)
+          << p_new[p].name << " weights diverged at step " << step;
+    }
+  }
+}
+
+TEST(LstmBitIdentity, TrainingUnderParallelContextMatchesSerial) {
+  // fit() keeps weight updates sequential and only parallelizes validation
+  // scoring; final weights must be bit-identical for threads {1, N}.
+  auto train = [](const RunContext* ctx) {
+    Rng rng(42);
+    nn::Sequential model;
+    model.emplace<nn::Lstm>(8, /*return_sequences=*/false, rng, 1);
+    model.emplace<nn::Dense>(4, nn::Activation::kRelu, rng, 8);
+    model.emplace<nn::Dense>(1, nn::Activation::kLinear, rng, 4);
+    nn::MseLoss loss;
+    nn::Adam opt(1e-3f);
+    nn::Trainer trainer(model, loss, opt, rng);
+    Rng d(7);
+    Tensor3 x(48, 12, 1), y(48, 1, 1);
+    for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = d.uniform(0, 1);
+    for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = d.uniform(0, 1);
+    nn::FitConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch_size = 16;
+    trainer.fit(x, y, cfg, &x, &y, ctx);
+    return model.get_weights();
+  };
+  const std::vector<float> serial = train(nullptr);
+  ThreadPool pool(4);
+  RunContext ctx{&pool, nullptr};
+  const std::vector<float> parallel = train(&ctx);
+  EXPECT_EQ(serial, parallel);
 }
 
 // ---- model clones & parallel inference -------------------------------------
