@@ -4,7 +4,8 @@
 // updates and times out crashed clients instead of hanging or diverging.
 //
 // Writes BENCH_faults.json with one cell per (crash_fraction,
-// corruption_rate) pair.
+// corruption_rate) pair, plus trace/metrics telemetry under
+// build/artifacts/ (override with --trace-out / --metrics-json).
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -12,11 +13,15 @@
 #include <sstream>
 #include <vector>
 
+#include "data/csv.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
 #include "fl/driver.hpp"
 #include "metrics/regression.hpp"
 #include "nn/dense.hpp"
+#include "obs/round_telemetry.hpp"
+#include "obs/trace.hpp"
+#include "runtime/run_context.hpp"
 
 using namespace evfl;
 
@@ -79,7 +84,9 @@ struct Cell {
   std::size_t accepted = 0;
 };
 
-Cell run_cell(double crash_fraction, double corruption_rate) {
+Cell run_cell(double crash_fraction, double corruption_rate,
+              const runtime::RunContext* ctx,
+              obs::RoundTelemetrySink* telemetry) {
   auto clients = make_clients();
 
   faults::FaultPlan plan;
@@ -100,7 +107,8 @@ Cell run_cell(double crash_fraction, double corruption_rate) {
   vc.max_update_norm = 10.0;
   fl::Server server({0.0f, 0.0f}, {}, vc);
   fl::InMemoryNetwork net;
-  fl::SyncDriver driver(server, clients, net, nullptr, &injector);
+  fl::SyncDriver driver(server, clients, net, ctx, &injector,
+                        fl::RoundPolicy{}, telemetry);
   const fl::FederatedRunResult result = driver.run(kRounds);
 
   Cell cell;
@@ -123,8 +131,29 @@ std::string fmt(double v, int precision = 4) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << std::unitbuf;
+
+  std::string trace_out = data::artifact_path("faults_trace.jsonl");
+  std::string metrics_json = data::artifact_path("faults_metrics.json");
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key == "--trace-out") {
+      trace_out = argv[i + 1];
+    } else if (key == "--metrics-json") {
+      metrics_json = argv[i + 1];
+    } else {
+      std::cerr << "unknown option: " << key
+                << " (expected --trace-out FILE or --metrics-json FILE)\n";
+      return 2;
+    }
+  }
+
+  obs::TraceWriter trace(trace_out);
+  obs::RoundTelemetrySink telemetry;
+  runtime::RunContext ctx;
+  ctx.trace = &trace;
+
   const std::vector<double> crash_fractions = {0.0, 1.0 / 6.0, 1.0 / 3.0};
   const std::vector<double> corruption_rates = {0.0, 0.25, 0.5};
 
@@ -140,7 +169,7 @@ int main() {
   double r2_clean = 0.0;
   for (const double cf : crash_fractions) {
     for (const double cr : corruption_rates) {
-      const Cell cell = run_cell(cf, cr);
+      const Cell cell = run_cell(cf, cr, &ctx, &telemetry);
       if (cf == 0.0 && cr == 0.0) r2_clean = cell.r2;
       cells.push_back(cell);
       std::cout << std::left << std::setw(12) << fmt(cf, 2) << std::setw(14)
@@ -174,5 +203,13 @@ int main() {
   }
   json << "  ]\n}\n";
   std::cout << "wrote BENCH_faults.json\n";
+
+  telemetry.write_json_file(metrics_json, {});
+  trace.flush();
+  std::cout << "telemetry: " << telemetry.size() << " rounds, p50/p95 (s) "
+            << fmt(telemetry.round_seconds_quantile(0.50), 5) << " / "
+            << fmt(telemetry.round_seconds_quantile(0.95), 5) << "\n"
+            << "trace:   " << trace_out << "\n"
+            << "metrics: " << metrics_json << "\n";
   return holds ? 0 : 1;
 }

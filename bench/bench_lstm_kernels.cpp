@@ -12,10 +12,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <new>
 #include <string>
 
+#include "data/csv.hpp"
 #include "metrics/timer.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "nn/dense.hpp"
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
@@ -95,8 +99,23 @@ StepStats measure(std::size_t warmup, std::size_t iters, Fn&& step) {
   return s;
 }
 
+/// Per-step latency distribution, sampled in a separate pass AFTER the
+/// throughput measurement so the timed region above stays untouched (the
+/// perf-smoke gate compares steps/s across builds).
+template <typename Fn>
+void sample_latency(obs::Histogram* hist, Fn&& step) {
+  if (hist == nullptr) return;
+  constexpr std::size_t kSamples = 50;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const metrics::WallTimer timer;
+    step();
+    hist->record(timer.seconds());
+  }
+}
+
 /// Forward+backward through a single Lstm layer (the kernel under test).
-StepStats bench_lstm_fwd_bwd(std::size_t warmup, std::size_t iters) {
+StepStats bench_lstm_fwd_bwd(std::size_t warmup, std::size_t iters,
+                             obs::Histogram* latency) {
   Rng rng(1);
   nn::Lstm lstm(kHidden, /*return_sequences=*/true, rng, 1);
   Tensor3 x(kBatch, kSeq, 1), grad(kBatch, kSeq, kHidden);
@@ -104,16 +123,20 @@ StepStats bench_lstm_fwd_bwd(std::size_t warmup, std::size_t iters) {
   for (std::size_t i = 0; i < grad.size(); ++i) {
     grad.data()[i] = rng.normal(0.0f, 0.01f);
   }
-  return measure(warmup, iters, [&] {
+  const auto step = [&] {
     const Tensor3 out = lstm.forward(x, /*training=*/true);
     const Tensor3 dx = lstm.backward(grad);
     if (out.size() + dx.size() == 0) std::abort();  // keep the work alive
-  });
+  };
+  const StepStats stats = measure(warmup, iters, step);
+  sample_latency(latency, step);
+  return stats;
 }
 
 /// A complete training step of the paper-shaped forecaster:
 /// forward, loss, backward, Adam update.
-StepStats bench_train_step(std::size_t warmup, std::size_t iters) {
+StepStats bench_train_step(std::size_t warmup, std::size_t iters,
+                           obs::Histogram* latency) {
   Rng rng(2);
   nn::Sequential model;
   model.emplace<nn::Lstm>(kHidden, /*return_sequences=*/false, rng, 1);
@@ -127,10 +150,13 @@ StepStats bench_train_step(std::size_t warmup, std::size_t iters) {
   for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(0, 1);
   for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = rng.uniform(0, 1);
 
-  return measure(warmup, iters, [&] {
+  const auto step = [&] {
     const float l = trainer.train_batch(x, y);
     if (!(l >= 0.0f)) std::abort();
-  });
+  };
+  const StepStats stats = measure(warmup, iters, step);
+  sample_latency(latency, step);
+  return stats;
 }
 
 void print_stats(const char* name, const StepStats& s) {
@@ -164,8 +190,35 @@ int main(int argc, char** argv) {
   const std::size_t warmup = check_allocs ? 3 : 10;
   const std::size_t iters = check_allocs ? 5 : 200;
 
-  const StepStats kernel = bench_lstm_fwd_bwd(warmup, iters);
-  const StepStats train = bench_train_step(warmup, iters);
+  // Telemetry is skipped entirely under --check-allocs: the TraceWriter and
+  // the latency-sampling pass both touch the heap, and that mode exists to
+  // prove the training steady state does not.
+  evfl::obs::Registry registry;
+  std::unique_ptr<evfl::obs::TraceWriter> trace;
+  evfl::obs::Histogram* kernel_hist = nullptr;
+  evfl::obs::Histogram* train_hist = nullptr;
+  std::string trace_path, metrics_path;
+  if (!check_allocs) {
+    trace_path = evfl::data::artifact_path("kernels_trace.jsonl");
+    metrics_path = evfl::data::artifact_path("kernels_metrics.json");
+    trace = std::make_unique<evfl::obs::TraceWriter>(trace_path);
+    kernel_hist = &registry.histogram("lstm_fwd_bwd_step_seconds");
+    train_hist = &registry.histogram("train_step_seconds");
+  }
+
+  const std::uint64_t t0 = trace ? trace->now_us() : 0;
+  const StepStats kernel = bench_lstm_fwd_bwd(warmup, iters, kernel_hist);
+  if (trace) {
+    trace->complete("bench.lstm_fwd_bwd", "bench", t0, trace->now_us() - t0);
+  }
+  const std::uint64_t t1 = trace ? trace->now_us() : 0;
+  const StepStats train = bench_train_step(warmup, iters, train_hist);
+  if (trace) {
+    trace->complete("bench.train_step", "bench", t1, trace->now_us() - t1);
+    trace->counter("lstm_fwd_bwd.steps_per_sec", kernel.steps_per_sec);
+    trace->counter("train_step.steps_per_sec", train.steps_per_sec);
+    trace->flush();
+  }
   std::printf("=== LSTM kernel bench (batch %zu, seq %zu, hidden %zu) ===\n",
               kBatch, kSeq, kHidden);
   print_stats("lstm_fwd_bwd", kernel);
@@ -186,5 +239,21 @@ int main(int argc, char** argv) {
 
   write_json(kernel, train);
   std::printf("wrote BENCH_kernels.json\n");
+
+  {
+    std::ofstream metrics(metrics_path);
+    registry.write_json(metrics);
+    metrics << "\n";
+  }
+  std::printf("latency p50/p95/p99 (ms): lstm_fwd_bwd %.3f/%.3f/%.3f, "
+              "train_step %.3f/%.3f/%.3f\n",
+              kernel_hist->quantile(0.50) * 1e3,
+              kernel_hist->quantile(0.95) * 1e3,
+              kernel_hist->quantile(0.99) * 1e3,
+              train_hist->quantile(0.50) * 1e3,
+              train_hist->quantile(0.95) * 1e3,
+              train_hist->quantile(0.99) * 1e3);
+  std::printf("trace: %s\nmetrics: %s\n", trace_path.c_str(),
+              metrics_path.c_str());
   return 0;
 }

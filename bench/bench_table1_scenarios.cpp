@@ -8,6 +8,7 @@
 
 #include "core/report.hpp"
 #include "core/scenario_runner.hpp"
+#include "data/csv.hpp"
 
 using namespace evfl;
 using namespace evfl::core;
@@ -25,6 +26,14 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::cerr << "argument error: " << e.what() << "\n";
     return 2;
+  }
+  // Telemetry defaults to build/artifacts/ so CI can pick it up; pass
+  // --trace-out / --metrics-json to redirect.
+  if (cfg.trace_out.empty()) {
+    cfg.trace_out = data::artifact_path("table1_trace.jsonl");
+  }
+  if (cfg.metrics_json.empty()) {
+    cfg.metrics_json = data::artifact_path("table1_metrics.json");
   }
 
   std::cout << "=== Table I: complete performance comparison (Client 1, zone 102) ===\n"
@@ -106,5 +115,18 @@ int main(int argc, char** argv) {
             << "messages: " << fed_filtered.network.messages_sent
             << ", bytes: " << fed_filtered.network.bytes_sent
             << " (weights only; raw data never leaves a client)\n";
+
+  const std::string metrics_path = runner.write_metrics_json();
+  std::cout << "\n--- telemetry ---\n"
+            << "rounds recorded: " << runner.round_telemetry().size()
+            << ", round wall p50/p95/p99 (s): "
+            << fmt(runner.round_telemetry().round_seconds_quantile(0.50), 4)
+            << " / "
+            << fmt(runner.round_telemetry().round_seconds_quantile(0.95), 4)
+            << " / "
+            << fmt(runner.round_telemetry().round_seconds_quantile(0.99), 4)
+            << "\n"
+            << "trace:   " << cfg.trace_out << "\n"
+            << "metrics: " << metrics_path << "\n";
   return 0;
 }

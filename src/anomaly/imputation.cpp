@@ -54,9 +54,24 @@ void impute_seasonal(std::vector<float>& values, const Segment& seg,
       }
     }
     if (!found) {
-      // No clean seasonal reference: fall back to the linear repair for
-      // this single point.
-      interpolate_segments(values, {Segment{i, i}});
+      // No clean seasonal reference: fall back to a linear repair anchored
+      // on the nearest *trustworthy* neighbours.  Anchoring on values[i±1]
+      // directly would rebuild the point from samples that are themselves
+      // flagged anomalous whenever the miss happens inside a multi-point
+      // attack segment.
+      const auto l = i > 0 ? left_anchor(flags, i - 1) : std::nullopt;
+      const auto r = right_anchor(flags, i + 1);
+      if (l && r) {
+        const float t = static_cast<float>(i - *l) /
+                        static_cast<float>(*r - *l);
+        values[i] = values[*l] + t * (values[*r] - values[*l]);
+      } else if (l) {
+        values[i] = values[*l];
+      } else if (r) {
+        values[i] = values[*r];
+      }
+      // No trustworthy anchor on either side: leave the sample untouched
+      // rather than manufacture a value from corrupted data.
     }
   }
 }
@@ -99,8 +114,11 @@ void impute_spline(std::vector<float>& values, const Segment& seg,
     const float t = (static_cast<float>(i) - x1) / h;
     const float t2 = t * t;
     const float t3 = t2 * t;
-    values[i] = (2 * t3 - 3 * t2 + 1) * p1 + (t3 - 2 * t2 + t) * m1 +
-                (-2 * t3 + 3 * t2) * p2 + (t3 - t2) * m2;
+    const float v = (2 * t3 - 3 * t2 + 1) * p1 + (t3 - 2 * t2 + t) * m1 +
+                    (-2 * t3 + 3 * t2) * p2 + (t3 - t2) * m2;
+    // Cubic Hermite can overshoot the anchor range on steep tangents; the
+    // repaired quantity is a non-negative traffic volume, so clamp at zero.
+    values[i] = std::max(0.0f, v);
   }
 }
 

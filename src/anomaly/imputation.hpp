@@ -8,10 +8,14 @@
 //   kLinear         — the paper's method: straight line between the nearest
 //                     trustworthy neighbours.
 //   kSeasonalNaive  — replace each anomalous point with the value one
-//                     season (24 h) earlier, falling back to linear when the
+//                     season (24 h) earlier, falling back to a linear repair
+//                     between the nearest trustworthy neighbours when every
 //                     seasonal reference is itself anomalous.
 //   kSpline         — Catmull-Rom cubic through the four nearest trustworthy
 //                     anchor points; smoother than linear on long segments.
+//                     Repaired values are clamped at zero: the series is a
+//                     non-negative traffic volume and steep tangents can
+//                     otherwise overshoot below it.
 //   kModelReconstruction — use a model-provided reconstruction (e.g. the
 //                     LSTM autoencoder's own output) for the repaired points.
 #pragma once

@@ -6,56 +6,95 @@
 
 namespace evfl::core {
 
+namespace {
+
+/// Strict non-negative integer parse: the whole token must be numeric.
+/// std::stoul alone silently accepts trailing garbage ("--threads 8x" ->
+/// 8) and wraps negatives; every failure mode becomes an evfl::Error here
+/// so callers never leak std::invalid_argument to the user.
+std::uint64_t parse_unsigned(const std::string& key, const std::string& value) {
+  std::uint64_t parsed = 0;
+  std::size_t consumed = 0;
+  try {
+    parsed = std::stoull(value, &consumed);
+  } catch (const std::exception&) {
+    throw Error("bad value for " + key + ": '" + value +
+                "' (expected a non-negative integer)");
+  }
+  if (consumed != value.size() || value.find('-') != std::string::npos) {
+    throw Error("bad value for " + key + ": '" + value +
+                "' (expected a non-negative integer)");
+  }
+  return parsed;
+}
+
+/// Strict floating-point parse with full-token consumption ("0.9.1" and
+/// "1.5abc" are errors, not prefix parses).
+double parse_double(const std::string& key, const std::string& value) {
+  double parsed = 0.0;
+  std::size_t consumed = 0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    throw Error("bad value for " + key + ": '" + value +
+                "' (expected a number)");
+  }
+  if (consumed != value.size()) {
+    throw Error("bad value for " + key + ": '" + value +
+                "' (expected a number)");
+  }
+  return parsed;
+}
+
+}  // namespace
+
 void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv) {
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
     const std::string value = argv[i + 1];
-    try {
-      if (key == "--seed") {
-        cfg.seed = std::stoull(value);
-        cfg.generator.seed = cfg.seed + 1;
-      } else if (key == "--rounds") {
-        cfg.federated_rounds = std::stoul(value);
-      } else if (key == "--epochs") {
-        cfg.epochs_per_round = std::stoul(value);
-      } else if (key == "--hours") {
-        cfg.generator.hours = std::stoul(value);
-      } else if (key == "--lstm-units") {
-        cfg.forecaster.lstm_units = std::stoul(value);
-      } else if (key == "--seq-len") {
-        cfg.forecaster.sequence_length = std::stoul(value);
-        cfg.filter.autoencoder.window = cfg.forecaster.sequence_length;
-      } else if (key == "--bursts") {
-        cfg.ddos.bursts = std::stoul(value);
-      } else if (key == "--threshold-pct") {
-        cfg.filter.threshold.kind = anomaly::ThresholdKind::kPercentile;
-        cfg.filter.threshold.param = std::stod(value);
-      } else if (key == "--gap-tolerance") {
-        cfg.filter.gap_tolerance = std::stoul(value);
-      } else if (key == "--train-fraction") {
-        cfg.train_fraction = std::stod(value);
-      } else if (key == "--threaded") {
-        cfg.threaded = std::stoi(value) != 0;
-      } else if (key == "--ae-epochs") {
-        cfg.filter.autoencoder.max_epochs = std::stoul(value);
-      } else if (key == "--damping") {
-        cfg.ddos.damping = std::stof(value);
-      } else if (key == "--threads") {
-        cfg.threads = std::stoul(value);
-        // stoul wraps "-1" to SIZE_MAX; reject nonsense before it sizes a
-        // worker pool.
-        if (value.find('-') != std::string::npos || cfg.threads > 1024) {
-          throw Error("bad value for --threads: '" + value + "'");
-        }
-      } else if (key == "--cache-dir") {
-        cfg.cache_dir = value;
-      } else {
-        throw Error("unknown option: " + key);
+    if (key == "--seed") {
+      cfg.seed = parse_unsigned(key, value);
+      cfg.generator.seed = cfg.seed + 1;
+    } else if (key == "--rounds") {
+      cfg.federated_rounds = parse_unsigned(key, value);
+    } else if (key == "--epochs") {
+      cfg.epochs_per_round = parse_unsigned(key, value);
+    } else if (key == "--hours") {
+      cfg.generator.hours = parse_unsigned(key, value);
+    } else if (key == "--lstm-units") {
+      cfg.forecaster.lstm_units = parse_unsigned(key, value);
+    } else if (key == "--seq-len") {
+      cfg.forecaster.sequence_length = parse_unsigned(key, value);
+      cfg.filter.autoencoder.window = cfg.forecaster.sequence_length;
+    } else if (key == "--bursts") {
+      cfg.ddos.bursts = parse_unsigned(key, value);
+    } else if (key == "--threshold-pct") {
+      cfg.filter.threshold.kind = anomaly::ThresholdKind::kPercentile;
+      cfg.filter.threshold.param = parse_double(key, value);
+    } else if (key == "--gap-tolerance") {
+      cfg.filter.gap_tolerance = parse_unsigned(key, value);
+    } else if (key == "--train-fraction") {
+      cfg.train_fraction = parse_double(key, value);
+    } else if (key == "--threaded") {
+      cfg.threaded = parse_unsigned(key, value) != 0;
+    } else if (key == "--ae-epochs") {
+      cfg.filter.autoencoder.max_epochs = parse_unsigned(key, value);
+    } else if (key == "--damping") {
+      cfg.ddos.damping = static_cast<float>(parse_double(key, value));
+    } else if (key == "--threads") {
+      cfg.threads = parse_unsigned(key, value);
+      // Cap before it sizes a worker pool.
+      if (cfg.threads > 1024) {
+        throw Error("bad value for --threads: '" + value + "' (max 1024)");
       }
-    } catch (const Error&) {
-      throw;
-    } catch (const std::exception&) {
-      throw Error("bad value for " + key + ": '" + value + "'");
+    } else if (key == "--cache-dir") {
+      cfg.cache_dir = value;
+    } else if (key == "--trace-out") {
+      cfg.trace_out = value;
+    } else if (key == "--metrics-json") {
+      cfg.metrics_json = value;
+    } else {
+      throw Error("unknown option: " + key);
     }
   }
   if (argc >= 2 && (argc - 1) % 2 != 0) {

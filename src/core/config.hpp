@@ -45,6 +45,14 @@ struct ExperimentConfig {
   /// keyed by a config fingerprint.  Lets the per-table bench binaries
   /// share one expensive autoencoder-fitting pass.
   std::string cache_dir;
+
+  /// When non-empty, the run writes Chrome-trace_event-compatible JSONL
+  /// spans (rounds, per-client training, pipeline stages) to this file.
+  std::string trace_out;
+  /// When non-empty, the run writes its metrics JSON (per-round telemetry
+  /// records, round-latency histograms with p50/p95/p99, runtime counters)
+  /// to this file.
+  std::string metrics_json;
 };
 
 /// Apply "--key value" overrides.  Known keys:
@@ -52,7 +60,10 @@ struct ExperimentConfig {
 ///   --seq-len N  --bursts N  --threshold-pct X  --gap-tolerance N
 ///   --train-fraction X  --threaded 0|1  --ae-epochs N  --damping X
 ///   --threads N (0 = hardware_concurrency)
-/// Unknown keys throw evfl::Error (typos must not silently run the default).
+///   --cache-dir PATH  --trace-out FILE  --metrics-json FILE
+/// Unknown keys throw evfl::Error (typos must not silently run the
+/// default), and numeric values must consume the whole token: "8x" or
+/// "1.5abc" is an error, never a silent prefix parse.
 void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv);
 
 /// One-line render of the headline parameters (for bench banners).

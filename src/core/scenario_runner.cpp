@@ -10,12 +10,36 @@ ScenarioRunner::ScenarioRunner(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.threads != 1) {
     pool_ = std::make_unique<runtime::ThreadPool>(cfg_.threads);
   }
+  if (!cfg_.trace_out.empty()) {
+    trace_ = std::make_unique<obs::TraceWriter>(cfg_.trace_out);
+  }
   ctx_.pool = pool_.get();
   ctx_.metrics = &metrics_;
+  ctx_.trace = trace_.get();
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  try {
+    write_metrics_json();
+  } catch (...) {
+    // Destructor must not throw; a failed telemetry flush is not worth
+    // terminating an otherwise finished run.
+  }
+}
+
+std::string ScenarioRunner::write_metrics_json() {
+  if (cfg_.metrics_json.empty()) return {};
+  const auto snapshot = metrics_.snapshot();  // unordered -> sorted for JSON
+  rounds_.write_json_file(cfg_.metrics_json,
+                          {snapshot.begin(), snapshot.end()});
+  return cfg_.metrics_json;
 }
 
 const std::vector<ClientData>& ScenarioRunner::clients() {
-  if (!clients_) clients_ = prepare_clients(cfg_, &ctx_);
+  if (!clients_) {
+    obs::TraceSpan span = ctx_.span("pipeline.prepare_clients", "pipeline");
+    clients_ = prepare_clients(cfg_, &ctx_);
+  }
   return *clients_;
 }
 
@@ -80,13 +104,22 @@ ScenarioResult ScenarioRunner::run_federated(DataScenario scenario) {
   fl::InMemoryNetwork net;
 
   const metrics::WallTimer timer;
+  obs::TraceSpan scenario_span = ctx_.span("scenario.federated", "scenario");
+  scenario_span.annotate("rounds",
+                         static_cast<std::uint64_t>(cfg_.federated_rounds));
+  scenario_span.annotate("clients",
+                         static_cast<std::uint64_t>(fl_clients.size()));
   std::unique_ptr<fl::Driver> driver;
   if (cfg_.threaded) {
-    driver = std::make_unique<fl::ThreadedDriver>(server, fl_clients, net);
+    driver = std::make_unique<fl::ThreadedDriver>(server, fl_clients, net,
+                                                  nullptr, &ctx_, &rounds_);
   } else {
-    driver = std::make_unique<fl::SyncDriver>(server, fl_clients, net, &ctx_);
+    driver = std::make_unique<fl::SyncDriver>(server, fl_clients, net, &ctx_,
+                                              nullptr, fl::RoundPolicy{},
+                                              &rounds_);
   }
   const fl::FederatedRunResult run = driver->run(cfg_.federated_rounds);
+  scenario_span.end();
 
   ScenarioResult result;
   result.scenario = scenario;
@@ -128,8 +161,12 @@ ScenarioResult ScenarioRunner::run_centralized(DataScenario scenario) {
 
   tensor::Rng rng(cfg_.seed ^ 0xCE17u);
   const metrics::WallTimer timer;
+  obs::TraceSpan scenario_span = ctx_.span("scenario.centralized", "scenario");
+  scenario_span.annotate("epochs",
+                         static_cast<std::uint64_t>(central_cfg.epochs));
   forecast::CentralizedResult central =
       forecast::train_centralized(train_sets, central_cfg, rng);
+  scenario_span.end();
 
   ScenarioResult result;
   result.scenario = scenario;

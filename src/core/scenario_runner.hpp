@@ -19,6 +19,8 @@
 #include "core/pipeline.hpp"
 #include "fl/driver.hpp"
 #include "metrics/regression.hpp"
+#include "obs/round_telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/run_context.hpp"
 
 namespace evfl::core {
@@ -58,7 +60,13 @@ class ScenarioRunner {
   /// concurrency) that every stage below — pipeline prep, windowing,
   /// evaluation, the federated driver — partitions work onto.  All parallel
   /// paths are bit-identical to serial execution.
+  ///
+  /// When cfg.trace_out is set, a TraceWriter is opened there and every
+  /// stage records spans; when cfg.metrics_json is set, the destructor (or
+  /// an explicit write_metrics_json() call) writes the accumulated round
+  /// telemetry + runtime counters there.
   explicit ScenarioRunner(ExperimentConfig cfg);
+  ~ScenarioRunner();
 
   const ExperimentConfig& config() const { return cfg_; }
 
@@ -66,6 +74,15 @@ class ScenarioRunner {
   const runtime::RunContext& context() const { return ctx_; }
   /// Counters/timers accumulated by the runtime-aware stages.
   const runtime::Metrics& runtime_metrics() const { return metrics_; }
+
+  /// Per-round telemetry accumulated by every federated run this runner
+  /// drove (all scenarios append to the same sink).
+  const obs::RoundTelemetrySink& round_telemetry() const { return rounds_; }
+
+  /// Write the metrics JSON to cfg.metrics_json now; returns the path, or
+  /// an empty string when the knob is unset.  Also called by the
+  /// destructor, so benches that exit normally always leave the file.
+  std::string write_metrics_json();
 
   /// Pipeline output (generated lazily, cached — all scenarios share it).
   const std::vector<ClientData>& clients();
@@ -91,6 +108,8 @@ class ScenarioRunner {
   ExperimentConfig cfg_;
   std::unique_ptr<runtime::ThreadPool> pool_;  // null when cfg.threads == 1
   runtime::Metrics metrics_;
+  std::unique_ptr<obs::TraceWriter> trace_;    // null when cfg.trace_out empty
+  obs::RoundTelemetrySink rounds_;
   runtime::RunContext ctx_;
   std::optional<std::vector<ClientData>> clients_;
 };

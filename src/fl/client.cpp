@@ -87,7 +87,11 @@ void Client::serve(InMemoryNetwork& net, std::size_t rounds,
       return;
     }
 
+    obs::TraceSpan train_span(opts.trace, "fl.client_train", "fl");
+    train_span.annotate("client", static_cast<std::uint64_t>(id_));
+    train_span.annotate("round", static_cast<std::uint64_t>(global.round));
     WeightUpdate update = train_round(global);
+    train_span.end();
 
     if (opts.injector != nullptr) {
       const double delay_ms =

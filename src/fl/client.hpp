@@ -15,6 +15,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
 #include "nn/trainer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/backoff.hpp"
 
 namespace evfl::fl {
@@ -43,6 +44,9 @@ struct ServeOptions {
   /// Optional scripted faults this client is subject to (crash, straggler
   /// delay, update corruption, stale replay).  Non-owning.
   const faults::FaultInjector* injector = nullptr;
+  /// Optional trace sink: each local training pass is recorded as one
+  /// "fl.client_train" span.  Non-owning; must outlive the serve loop.
+  obs::TraceWriter* trace = nullptr;
 };
 
 class Client {

@@ -69,6 +69,34 @@ RoundMetrics close_round(Server& server, std::uint32_t round,
   return m;
 }
 
+/// One telemetry record from the closed round's counters, the validator's
+/// audit, and the transport byte counts the driver measured.
+obs::RoundTelemetry round_telemetry(const RoundMetrics& rm,
+                                    const RoundAudit& audit,
+                                    std::vector<double> client_seconds,
+                                    std::uint64_t bytes_down,
+                                    std::uint64_t bytes_up) {
+  obs::RoundTelemetry rt;
+  rt.round = rm.round;
+  rt.wall_seconds = rm.wall_seconds;
+  rt.max_client_seconds = rm.max_client_seconds;
+  rt.client_train_seconds = std::move(client_seconds);
+  rt.bytes_down = bytes_down;
+  rt.bytes_up = bytes_up;
+  rt.updates_accepted = rm.updates_received;
+  rt.rejected_updates = rm.rejected_updates;
+  rt.late_updates = rm.late_updates;
+  rt.dropped_messages = rm.dropped_messages;
+  rt.timed_out_clients = rm.timed_out_clients;
+  rt.rejected_nonfinite = audit.rejected_nonfinite;
+  rt.rejected_stale = audit.rejected_stale;
+  rt.rejected_duplicate = audit.rejected_duplicate;
+  rt.rejected_dimension = audit.rejected_dimension;
+  rt.clipped = audit.clipped;
+  rt.quorum_met = audit.quorum_met;
+  return rt;
+}
+
 }  // namespace
 
 std::size_t FederatedRunResult::total_rejected_updates() const {
@@ -93,13 +121,14 @@ SyncDriver::SyncDriver(Server& server,
                        std::vector<std::unique_ptr<Client>>& clients,
                        InMemoryNetwork& net, const runtime::RunContext* ctx,
                        const faults::FaultInjector* injector,
-                       RoundPolicy policy)
+                       RoundPolicy policy, obs::RoundTelemetrySink* telemetry)
     : server_(&server),
       clients_(&clients),
       net_(&net),
       ctx_(ctx),
       injector_(injector),
-      policy_(policy) {
+      policy_(policy),
+      telemetry_(telemetry) {
   EVFL_REQUIRE(!clients.empty(), "SyncDriver needs clients");
   if (injector_ != nullptr) net_->set_fault_injector(injector_);
 }
@@ -108,6 +137,7 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
   const auto t0 = Clock::now();
   FederatedRunResult result;
   const std::size_t n = clients_->size();
+  obs::TraceWriter* trace = ctx_ != nullptr ? ctx_->trace : nullptr;
 
   std::unordered_set<int> known_ids;
   for (const auto& client : *clients_) known_ids.insert(client->id());
@@ -118,14 +148,21 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
   for (std::size_t r = 0; r < rounds; ++r) {
     const auto round_t0 = Clock::now();
     const GlobalModel global = server_->broadcast();
+    obs::TraceSpan round_span(trace, "fl.round", "fl");
+    round_span.annotate("round", static_cast<std::uint64_t>(global.round));
+    round_span.annotate("clients", static_cast<std::uint64_t>(n));
 
     std::atomic<std::size_t> dropped{0};
     std::atomic<std::size_t> reached{0};
+    std::atomic<std::uint64_t> bytes_down{0};
     std::vector<double> client_seconds(n, 0.0);
     auto run_client = [&](std::size_t c) {
       Client& client = *(*clients_)[c];
       // Broadcast leg: global weights cross the wire to this client.
-      if (!net_->send(Message{kServerNode, client.id(), serialize(global)})) {
+      std::vector<std::uint8_t> broadcast_bytes = serialize(global);
+      const std::uint64_t broadcast_size = broadcast_bytes.size();
+      if (!net_->send(
+              Message{kServerNode, client.id(), std::move(broadcast_bytes)})) {
         ++dropped;  // simulated network dropped the broadcast
         return;
       }
@@ -135,6 +172,7 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
         return;
       }
       ++reached;  // broadcast delivered: this client can now time out
+      bytes_down.fetch_add(broadcast_size, std::memory_order_relaxed);
       const GlobalModel received = deserialize_global(down->bytes);
 
       // Crash-before-update: broadcast consumed, nothing contributed.
@@ -143,7 +181,12 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
         return;
       }
 
+      obs::TraceSpan train_span(trace, "fl.client_train", "fl");
+      train_span.annotate("client", static_cast<std::uint64_t>(client.id()));
+      train_span.annotate("round",
+                          static_cast<std::uint64_t>(received.round));
       WeightUpdate update = client.train_round(received);
+      train_span.end();
       double elapsed = client.last_train_seconds();
       if (injector_ != nullptr) {
         // Straggler delay is simulated time in the sync schedule — it
@@ -189,7 +232,9 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     // and get counted there.
     std::vector<WeightUpdate> raw;
     raw.reserve(n);
+    std::uint64_t bytes_up = 0;
     while (std::optional<Message> up = net_->try_receive(kServerNode)) {
+      bytes_up += up->bytes.size();
       WeightUpdate u = deserialize_update(up->bytes);
       if (known_ids.find(u.client_id) == known_ids.end()) {
         ++dropped;  // update from an unknown sender: skip it
@@ -211,6 +256,16 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
       ctx_->count("fl.timed_out_clients",
                   static_cast<double>(rm.timed_out_clients));
     }
+    round_span.annotate("accepted",
+                        static_cast<std::uint64_t>(rm.updates_received));
+    round_span.annotate("rejected",
+                        static_cast<std::uint64_t>(rm.rejected_updates));
+    round_span.end();
+    if (telemetry_ != nullptr) {
+      telemetry_->record(round_telemetry(rm, server_->last_audit(),
+                                         std::move(client_seconds),
+                                         bytes_down.load(), bytes_up));
+    }
     result.simulated_parallel_seconds += rm.max_client_seconds;
     result.rounds.push_back(rm);
   }
@@ -224,8 +279,15 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
 ThreadedDriver::ThreadedDriver(Server& server,
                                std::vector<std::unique_ptr<Client>>& clients,
                                InMemoryNetwork& net,
-                               const faults::FaultInjector* injector)
-    : server_(&server), clients_(&clients), net_(&net), injector_(injector) {
+                               const faults::FaultInjector* injector,
+                               const runtime::RunContext* ctx,
+                               obs::RoundTelemetrySink* telemetry)
+    : server_(&server),
+      clients_(&clients),
+      net_(&net),
+      injector_(injector),
+      ctx_(ctx),
+      telemetry_(telemetry) {
   EVFL_REQUIRE(!clients.empty(), "ThreadedDriver needs clients");
   if (injector_ != nullptr) net_->set_fault_injector(injector_);
 }
@@ -246,9 +308,11 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
   const auto t0 = Clock::now();
   FederatedRunResult result;
   const std::size_t n = clients_->size();
+  obs::TraceWriter* trace = ctx_ != nullptr ? ctx_->trace : nullptr;
 
   ServeOptions serve_opts;
   serve_opts.injector = injector_;
+  serve_opts.trace = trace;
   // A server that holds a round open until its deadline is healthy: clients
   // must out-wait the deadline (plus slack for aggregation) before deciding
   // the server is gone, or every long round ends the fleet.
@@ -266,11 +330,17 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
   for (std::size_t r = 0; r < rounds; ++r) {
     const auto round_t0 = Clock::now();
     const GlobalModel global = server_->broadcast();
+    obs::TraceSpan round_span(trace, "fl.round", "fl");
+    round_span.annotate("round", static_cast<std::uint64_t>(global.round));
+    round_span.annotate("clients", static_cast<std::uint64_t>(n));
+    const std::vector<std::uint8_t> broadcast_bytes = serialize(global);
     std::size_t broadcasts_delivered = 0;
     std::size_t round_drops = 0;
+    std::uint64_t bytes_down = 0;
     for (auto& client : *clients_) {
-      if (net_->send(Message{kServerNode, client->id(), serialize(global)})) {
+      if (net_->send(Message{kServerNode, client->id(), broadcast_bytes})) {
         ++broadcasts_delivered;
+        bytes_down += broadcast_bytes.size();
       } else {
         ++round_drops;
       }
@@ -281,12 +351,14 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
     // arrivals are kept for the validator to count and reject.
     std::vector<WeightUpdate> raw;
     std::unordered_set<int> fresh_senders;
+    std::uint64_t bytes_up = 0;
     while (fresh_senders.size() < broadcasts_delivered) {
       const double elapsed_ms = seconds_since(round_t0) * 1000.0;
       const double remaining = policy.round_deadline_ms - elapsed_ms;
       if (remaining <= 0.0) break;
       std::optional<Message> msg = net_->receive(kServerNode, remaining);
       if (!msg) break;
+      bytes_up += msg->bytes.size();
       WeightUpdate u = deserialize_update(msg->bytes);
       if (u.round == global.round) fresh_senders.insert(u.client_id);
       raw.push_back(std::move(u));
@@ -295,13 +367,28 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
     RoundMetrics rm =
         close_round(*server_, global.round, std::move(raw),
                     broadcasts_delivered, seconds_since(round_t0));
+    // Per-client train seconds sampled at round close: a client that did
+    // not train this round (crashed / missed broadcast) still reports its
+    // previous round's value, so this is a best-effort snapshot in the
+    // threaded schedule.
+    std::vector<double> client_seconds(n, 0.0);
     double max_client_seconds = 0.0;
-    for (auto& client : *clients_) {
-      max_client_seconds =
-          std::max(max_client_seconds, client->last_train_seconds());
+    for (std::size_t c = 0; c < n; ++c) {
+      client_seconds[c] = (*clients_)[c]->last_train_seconds();
+      max_client_seconds = std::max(max_client_seconds, client_seconds[c]);
     }
     rm.max_client_seconds = max_client_seconds;
     rm.dropped_messages = round_drops;
+    round_span.annotate("accepted",
+                        static_cast<std::uint64_t>(rm.updates_received));
+    round_span.annotate("rejected",
+                        static_cast<std::uint64_t>(rm.rejected_updates));
+    round_span.end();
+    if (telemetry_ != nullptr) {
+      telemetry_->record(round_telemetry(rm, server_->last_audit(),
+                                         std::move(client_seconds), bytes_down,
+                                         bytes_up));
+    }
     result.simulated_parallel_seconds += max_client_seconds;
     result.rounds.push_back(rm);
   }

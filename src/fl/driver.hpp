@@ -27,6 +27,7 @@
 #include "fl/client.hpp"
 #include "fl/network.hpp"
 #include "fl/server.hpp"
+#include "obs/round_telemetry.hpp"
 #include "runtime/run_context.hpp"
 
 namespace evfl::fl {
@@ -90,13 +91,17 @@ class Driver {
 class SyncDriver : public Driver {
  public:
   /// `ctx` (optional, non-owning) supplies the thread pool for pool-backed
-  /// rounds; nullptr or a serial context trains clients one at a time.
+  /// rounds; nullptr or a serial context trains clients one at a time.  Its
+  /// trace writer, when set, receives per-round and per-client-train spans.
   /// `injector` (optional, non-owning) scripts faults; it is also attached
   /// to the network so message-level faults (duplicates) apply.
+  /// `telemetry` (optional, non-owning) receives one RoundTelemetry record
+  /// per federated round.
   SyncDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
              InMemoryNetwork& net, const runtime::RunContext* ctx = nullptr,
              const faults::FaultInjector* injector = nullptr,
-             RoundPolicy policy = {});
+             RoundPolicy policy = {},
+             obs::RoundTelemetrySink* telemetry = nullptr);
 
   FederatedRunResult run(std::size_t rounds) override;
 
@@ -107,13 +112,18 @@ class SyncDriver : public Driver {
   const runtime::RunContext* ctx_;
   const faults::FaultInjector* injector_;
   RoundPolicy policy_;
+  obs::RoundTelemetrySink* telemetry_;
 };
 
 class ThreadedDriver : public Driver {
  public:
+  /// `ctx` is used only for its trace writer (worker threads schedule
+  /// themselves); `telemetry` receives one RoundTelemetry per round.
   ThreadedDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
                  InMemoryNetwork& net,
-                 const faults::FaultInjector* injector = nullptr);
+                 const faults::FaultInjector* injector = nullptr,
+                 const runtime::RunContext* ctx = nullptr,
+                 obs::RoundTelemetrySink* telemetry = nullptr);
 
   FederatedRunResult run(std::size_t rounds) override;
 
@@ -129,6 +139,8 @@ class ThreadedDriver : public Driver {
   std::vector<std::unique_ptr<Client>>* clients_;
   InMemoryNetwork* net_;
   const faults::FaultInjector* injector_;
+  const runtime::RunContext* ctx_;
+  obs::RoundTelemetrySink* telemetry_;
 };
 
 }  // namespace evfl::fl

@@ -1,0 +1,106 @@
+#include "obs/round_telemetry.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace evfl::obs {
+
+RoundTelemetrySink::RoundTelemetrySink()
+    : round_wall_seconds_(1e-6, 1e4), client_train_seconds_(1e-6, 1e4) {}
+
+void RoundTelemetrySink::record(RoundTelemetry rt) {
+  round_wall_seconds_.record(rt.wall_seconds);
+  for (const double s : rt.client_train_seconds) {
+    if (s > 0.0) client_train_seconds_.record(s);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  rounds_.push_back(std::move(rt));
+}
+
+std::size_t RoundTelemetrySink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rounds_.size();
+}
+
+std::vector<RoundTelemetry> RoundTelemetrySink::rounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rounds_;
+}
+
+double RoundTelemetrySink::round_seconds_quantile(double q) const {
+  return round_wall_seconds_.quantile(q);
+}
+
+void RoundTelemetrySink::write_json(
+    std::ostream& os, const std::map<std::string, double>& extra_counters) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\n  \"rounds\": [\n";
+  for (std::size_t i = 0; i < rounds_.size(); ++i) {
+    const RoundTelemetry& r = rounds_[i];
+    os << "    {\"round\": " << r.round
+       << ", \"wall_seconds\": " << r.wall_seconds
+       << ", \"max_client_seconds\": " << r.max_client_seconds
+       << ", \"client_train_seconds\": [";
+    for (std::size_t c = 0; c < r.client_train_seconds.size(); ++c) {
+      os << (c > 0 ? ", " : "") << r.client_train_seconds[c];
+    }
+    os << "], \"bytes_down\": " << r.bytes_down
+       << ", \"bytes_up\": " << r.bytes_up
+       << ", \"updates_accepted\": " << r.updates_accepted
+       << ", \"rejected_updates\": " << r.rejected_updates
+       << ", \"late_updates\": " << r.late_updates
+       << ", \"dropped_messages\": " << r.dropped_messages
+       << ", \"timed_out_clients\": " << r.timed_out_clients
+       << ", \"rejected_nonfinite\": " << r.rejected_nonfinite
+       << ", \"rejected_stale\": " << r.rejected_stale
+       << ", \"rejected_duplicate\": " << r.rejected_duplicate
+       << ", \"rejected_dimension\": " << r.rejected_dimension
+       << ", \"clipped\": " << r.clipped
+       << ", \"quorum_met\": " << (r.quorum_met ? "true" : "false") << "}"
+       << (i + 1 < rounds_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"histograms\": {\n    \"round_wall_seconds\": ";
+  round_wall_seconds_.write_json(os);
+  os << ",\n    \"client_train_seconds\": ";
+  client_train_seconds_.write_json(os);
+  os << "\n  },\n  \"totals\": {";
+
+  std::uint64_t bytes_up = 0, bytes_down = 0;
+  std::size_t accepted = 0, rejected = 0, late = 0, dropped = 0, timed_out = 0;
+  double wall = 0.0;
+  for (const RoundTelemetry& r : rounds_) {
+    bytes_up += r.bytes_up;
+    bytes_down += r.bytes_down;
+    accepted += r.updates_accepted;
+    rejected += r.rejected_updates;
+    late += r.late_updates;
+    dropped += r.dropped_messages;
+    timed_out += r.timed_out_clients;
+    wall += r.wall_seconds;
+  }
+  os << "\"rounds\": " << rounds_.size() << ", \"wall_seconds\": " << wall
+     << ", \"bytes_up\": " << bytes_up << ", \"bytes_down\": " << bytes_down
+     << ", \"updates_accepted\": " << accepted
+     << ", \"rejected_updates\": " << rejected << ", \"late_updates\": " << late
+     << ", \"dropped_messages\": " << dropped
+     << ", \"timed_out_clients\": " << timed_out << "},\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : extra_counters) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": " << value;
+  }
+  os << "}\n}\n";
+}
+
+void RoundTelemetrySink::write_json_file(
+    const std::string& path,
+    const std::map<std::string, double>& extra_counters) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("RoundTelemetrySink: cannot open '" + path + "'");
+  write_json(out, extra_counters);
+}
+
+}  // namespace evfl::obs

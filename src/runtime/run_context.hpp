@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "metrics/timer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/workspace.hpp"
 #include "tensor/rng.hpp"
@@ -67,6 +68,9 @@ struct RunContext {
   // lane; set only for single-threaded callers (tests, benches) that want
   // an isolated arena they can inspect.
   Workspace* workspace = nullptr;
+  // Optional trace sink: spans created through span() (and by the stages
+  // that consult `trace` directly) record into it.  nullptr -> no tracing.
+  obs::TraceWriter* trace = nullptr;
 
   std::size_t concurrency() const { return pool ? pool->concurrency() : 1; }
   bool parallel() const { return concurrency() > 1; }
@@ -91,6 +95,12 @@ struct RunContext {
 
   void count(const std::string& name, double amount = 1.0) const {
     if (metrics != nullptr) metrics->add(name, amount);
+  }
+
+  /// RAII trace span recording into the attached writer; inert when no
+  /// writer is attached (or tracing is compiled out).
+  obs::TraceSpan span(const char* name, const char* cat = "evfl") const {
+    return obs::TraceSpan(trace, name, cat);
   }
 };
 

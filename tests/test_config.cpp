@@ -1,0 +1,92 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace evfl::core {
+namespace {
+
+/// Build an argv and run apply_cli_overrides over it.
+void apply(ExperimentConfig& cfg, std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static char prog[] = "prog";
+  argv.push_back(prog);
+  for (std::string& a : args) argv.push_back(a.data());
+  apply_cli_overrides(cfg, static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliOverrides, AppliesKnownKeys) {
+  ExperimentConfig cfg;
+  apply(cfg, {"--rounds", "7", "--epochs", "3", "--threads", "8",
+              "--train-fraction", "0.9", "--threaded", "1"});
+  EXPECT_EQ(cfg.federated_rounds, 7u);
+  EXPECT_EQ(cfg.epochs_per_round, 3u);
+  EXPECT_EQ(cfg.threads, 8u);
+  EXPECT_DOUBLE_EQ(cfg.train_fraction, 0.9);
+  EXPECT_TRUE(cfg.threaded);
+}
+
+TEST(CliOverrides, SetsTelemetryPaths) {
+  ExperimentConfig cfg;
+  apply(cfg, {"--trace-out", "t.jsonl", "--metrics-json", "m.json"});
+  EXPECT_EQ(cfg.trace_out, "t.jsonl");
+  EXPECT_EQ(cfg.metrics_json, "m.json");
+}
+
+TEST(CliOverrides, RejectsTrailingGarbageOnIntegers) {
+  // Regression: std::stoul accepted "8x" as 8 — a typo'd unit suffix ran
+  // the experiment with a silently different configuration.
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--threads", "8x"}), Error);
+  EXPECT_THROW(apply(cfg, {"--rounds", "5rounds"}), Error);
+  EXPECT_THROW(apply(cfg, {"--seed", "42 "}), Error);
+  // The failed parse must not have half-applied anything.
+  EXPECT_EQ(cfg.threads, ExperimentConfig{}.threads);
+}
+
+TEST(CliOverrides, RejectsTrailingGarbageOnDoubles) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--train-fraction", "0.9.1"}), Error);
+  EXPECT_THROW(apply(cfg, {"--threshold-pct", "98%"}), Error);
+  EXPECT_THROW(apply(cfg, {"--damping", "1.5abc"}), Error);
+}
+
+TEST(CliOverrides, RejectsNonNumericAndNegative) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--rounds", "abc"}), Error);
+  EXPECT_THROW(apply(cfg, {"--rounds", ""}), Error);
+  // stoull wraps negatives into huge values instead of failing; the parser
+  // must reject them outright.
+  EXPECT_THROW(apply(cfg, {"--rounds", "-3"}), Error);
+}
+
+TEST(CliOverrides, ThreadsCapEnforced) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--threads", "2000"}), Error);
+  apply(cfg, {"--threads", "1024"});
+  EXPECT_EQ(cfg.threads, 1024u);
+}
+
+TEST(CliOverrides, UnknownKeyThrows) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--no-such-flag", "1"}), Error);
+}
+
+TEST(CliOverrides, DanglingKeyThrows) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--rounds"}), Error);
+}
+
+TEST(CliOverrides, SeedAlsoReseedsGenerator) {
+  ExperimentConfig cfg;
+  apply(cfg, {"--seed", "100"});
+  EXPECT_EQ(cfg.seed, 100u);
+  EXPECT_EQ(cfg.generator.seed, 101u);
+}
+
+}  // namespace
+}  // namespace evfl::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
 #include "nn/dense.hpp"
 
 namespace evfl::fl {
@@ -137,6 +139,74 @@ TEST(Drivers, RequireClients) {
   InMemoryNetwork net;
   EXPECT_THROW(SyncDriver(server, none, net), Error);
   EXPECT_THROW(ThreadedDriver(server, none, net), Error);
+}
+
+TEST(SyncDriver, RecordsRoundTelemetry) {
+  auto clients = make_clients(32, 11);
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  obs::RoundTelemetrySink sink;
+  SyncDriver driver(server, clients, net, nullptr, nullptr, RoundPolicy{},
+                    &sink);
+  driver.run(3);
+
+  ASSERT_EQ(sink.size(), 3u);
+  const std::vector<obs::RoundTelemetry> rounds = sink.rounds();
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(rounds[r].round, r);
+    EXPECT_EQ(rounds[r].updates_accepted, 3u);
+    ASSERT_EQ(rounds[r].client_train_seconds.size(), 3u);
+    for (double s : rounds[r].client_train_seconds) EXPECT_GT(s, 0.0);
+    EXPECT_GT(rounds[r].wall_seconds, 0.0);
+    EXPECT_GT(rounds[r].max_client_seconds, 0.0);
+    EXPECT_GT(rounds[r].bytes_down, 0u);
+    EXPECT_GT(rounds[r].bytes_up, 0u);
+    EXPECT_TRUE(rounds[r].quorum_met);
+    EXPECT_EQ(rounds[r].rejected_updates, 0u);
+  }
+  EXPECT_GT(sink.round_seconds_quantile(0.5), 0.0);
+}
+
+TEST(ThreadedDriver, RecordsRoundTelemetry) {
+  auto clients = make_clients(32, 12);
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  obs::RoundTelemetrySink sink;
+  ThreadedDriver driver(server, clients, net, nullptr, nullptr, &sink);
+  driver.run(2);
+
+  ASSERT_EQ(sink.size(), 2u);
+  const std::vector<obs::RoundTelemetry> rounds = sink.rounds();
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(rounds[r].round, r);
+    EXPECT_EQ(rounds[r].updates_accepted, 3u);
+    EXPECT_EQ(rounds[r].client_train_seconds.size(), 3u);
+    EXPECT_GT(rounds[r].wall_seconds, 0.0);
+    EXPECT_GT(rounds[r].bytes_down, 0u);
+    EXPECT_GT(rounds[r].bytes_up, 0u);
+  }
+}
+
+TEST(SyncDriver, TelemetryCountsValidatorRejections) {
+  // Client 0's update is NaN-corrupted every round: the validator rejects
+  // it, and the telemetry record must carry the rejection breakdown.
+  auto clients = make_clients(16, 13);
+  Server server({0.0f, 0.0f});
+  InMemoryNetwork net;
+  faults::FaultPlan plan;
+  plan.corrupt(0, faults::CorruptionMode::kNaN, 0, faults::kAllRounds, 1.0);
+  const faults::FaultInjector injector(plan, 17);
+  obs::RoundTelemetrySink sink;
+  SyncDriver driver(server, clients, net, nullptr, &injector, RoundPolicy{},
+                    &sink);
+  driver.run(2);
+
+  ASSERT_EQ(sink.size(), 2u);
+  for (const obs::RoundTelemetry& rt : sink.rounds()) {
+    EXPECT_EQ(rt.updates_accepted, 2u);
+    EXPECT_EQ(rt.rejected_nonfinite, 1u);
+    EXPECT_EQ(rt.rejected_updates, 1u);
+  }
 }
 
 TEST(SyncDriver, DeterministicAcrossRuns) {

@@ -44,6 +44,31 @@ TEST(MergeSegments, ZeroToleranceOnlyMergesAdjacent) {
   EXPECT_EQ(segs[1].begin, 3u);
 }
 
+TEST(MergeSegments, GapExactlyAtToleranceMerges) {
+  // One clean point between the runs == tolerance 1: inclusive boundary.
+  const auto segs = merge_segments({1, 0, 1}, 1);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].begin, 0u);
+  EXPECT_EQ(segs[0].end, 2u);
+}
+
+TEST(MergeSegments, GapOnePastToleranceSplits) {
+  // Two clean points between the runs == tolerance 1 + 1: must split.
+  const auto segs = merge_segments({1, 0, 0, 1}, 1);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].begin, 0u);
+  EXPECT_EQ(segs[0].end, 0u);
+  EXPECT_EQ(segs[1].begin, 3u);
+  EXPECT_EQ(segs[1].end, 3u);
+}
+
+TEST(MergeSegments, HugeToleranceSpansEverything) {
+  const auto segs = merge_segments({1, 0, 0, 0, 0, 0, 1}, 100);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].begin, 0u);
+  EXPECT_EQ(segs[0].end, 6u);
+}
+
 TEST(MergeSegments, EdgesHandled) {
   const auto segs = merge_segments({1, 0, 0, 0, 0, 1}, 1);
   ASSERT_EQ(segs.size(), 2u);

@@ -61,6 +61,41 @@ TEST(Imputation, SeasonalNaiveFallsBackToLinearAtSeriesStart) {
   EXPECT_FLOAT_EQ(v[1], 3.0f);  // linear fallback
 }
 
+TEST(Imputation, SeasonalFallbackSkipsAnomalousNeighbours) {
+  // Season 10 on a length-8 series: no point has a seasonal reference, so
+  // every repair takes the linear fallback.  The whole segment {2..5} is
+  // flagged; the fallback must anchor on the nearest *trustworthy* points
+  // (indices 1 and 6), not on the immediately adjacent flagged samples —
+  // the old behaviour rebuilt index 2 from the corrupted values[3] = 99.
+  std::vector<float> v = {10, 12, 99, 99, 99, 99, 20, 22};
+  const auto flags = flags_at(8, {2, 3, 4, 5});
+  impute_segments(v, {{2, 5}}, flags, {ImputationMethod::kSeasonalNaive, 10});
+  EXPECT_FLOAT_EQ(v[2], 13.6f);  // 12 + 1/5 * (20 - 12)
+  EXPECT_FLOAT_EQ(v[3], 15.2f);
+  EXPECT_FLOAT_EQ(v[4], 16.8f);
+  EXPECT_FLOAT_EQ(v[5], 18.4f);
+}
+
+TEST(Imputation, SeasonalFallbackHoldsAtSeriesEnd) {
+  // Trailing flagged run with season longer than the series: only a left
+  // trustworthy anchor exists, so the repair holds it — the old behaviour
+  // interpolated index 1 against the corrupted values[2].
+  std::vector<float> v = {5, 99, 99};
+  const auto flags = flags_at(3, {1, 2});
+  impute_segments(v, {{1, 2}}, flags, {ImputationMethod::kSeasonalNaive, 10});
+  EXPECT_FLOAT_EQ(v[1], 5.0f);
+  EXPECT_FLOAT_EQ(v[2], 5.0f);
+}
+
+TEST(Imputation, SeasonalFallbackLeavesFullyAnomalousSeriesAlone) {
+  // Nothing trustworthy anywhere: no value can be manufactured.
+  std::vector<float> v = {99, 98};
+  const auto flags = flags_at(2, {0, 1});
+  impute_segments(v, {{0, 1}}, flags, {ImputationMethod::kSeasonalNaive, 10});
+  EXPECT_FLOAT_EQ(v[0], 99.0f);
+  EXPECT_FLOAT_EQ(v[1], 98.0f);
+}
+
 TEST(Imputation, CatmullRomEndpointsAndMidpoint) {
   EXPECT_FLOAT_EQ(catmull_rom(0, 1, 2, 3, 0.0f), 1.0f);
   EXPECT_FLOAT_EQ(catmull_rom(0, 1, 2, 3, 1.0f), 2.0f);
@@ -100,6 +135,20 @@ TEST(Imputation, SplineAtEdgeFallsBackToHold) {
   impute_segments(v, {{0, 1}}, flags, {ImputationMethod::kSpline, 24});
   EXPECT_FLOAT_EQ(v[0], 5.0f);
   EXPECT_FLOAT_EQ(v[1], 5.0f);
+}
+
+TEST(Imputation, SplineNeverRepairsBelowZero) {
+  // A spike at the left outer anchor (values[0] = 50) makes the inner
+  // tangent steeply negative: the unclamped Hermite repaired index 2 to
+  // about -4.6 even though every anchor is non-negative.  Traffic volume
+  // cannot be negative, so the repair must clamp at zero.
+  std::vector<float> v = {50.0f, 1.0f, 99.0f, 99.0f, 0.5f, 0.4f};
+  const auto flags = flags_at(6, {2, 3});
+  impute_segments(v, {{2, 3}}, flags, {ImputationMethod::kSpline, 24});
+  EXPECT_GE(v[2], 0.0f);
+  EXPECT_GE(v[3], 0.0f);
+  // The clamp actually engaged (the raw polynomial is negative here).
+  EXPECT_FLOAT_EQ(v[2], 0.0f);
 }
 
 TEST(Imputation, ModelReconstructionCopiesRepairSignal) {

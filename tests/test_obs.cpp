@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "obs/round_telemetry.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace evfl::obs {
+namespace {
+
+// ---- Counter / Gauge --------------------------------------------------------
+
+TEST(Counter, AccumulatesAcrossThreads) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  std::thread a([&] { for (int i = 0; i < 1000; ++i) c.add(); });
+  std::thread b([&] { for (int i = 0; i < 1000; ++i) c.add(2.0); });
+  a.join();
+  b.join();
+  EXPECT_DOUBLE_EQ(c.value(), 3000.0);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, SingleSampleReportsItselfAtEveryQuantile) {
+  Histogram h;
+  h.record(0.125);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.125);
+}
+
+TEST(Histogram, AllEqualSamplesCollapseQuantiles) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 2.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, QuantilesOrderAndBracketTheData) {
+  Histogram h;
+  // 1 ms .. 1 s span, uniformly log-spaced-ish samples.
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  // Log-spaced buckets give ~7% resolution; allow 10%.
+  EXPECT_NEAR(p50, 0.5, 0.05);
+  EXPECT_NEAR(p95, 0.95, 0.10);
+}
+
+TEST(Histogram, OutOfDomainValuesKeepExactMinMax) {
+  Histogram h(1e-3, 1.0, 16);
+  h.record(1e-9);   // below the lowest bucket
+  h.record(100.0);  // above the highest
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_GE(h.quantile(0.5), h.min());
+  EXPECT_LE(h.quantile(0.5), h.max());
+}
+
+TEST(Histogram, WriteJsonHasSummaryFields) {
+  Histogram h;
+  h.record(0.1);
+  h.record(0.2);
+  std::ostringstream os;
+  h.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(Registry, ReturnsStableInstruments) {
+  Registry reg;
+  Counter& c = reg.counter("requests");
+  c.add(3.0);
+  EXPECT_DOUBLE_EQ(reg.counter("requests").value(), 3.0);
+  EXPECT_EQ(&reg.counter("requests"), &c);
+
+  reg.gauge("load").set(0.7);
+  reg.histogram("latency").record(0.01);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"load\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+}
+
+// ---- TraceWriter / TraceSpan ------------------------------------------------
+
+/// Minimal structural JSON check: one object per line, balanced braces,
+/// quotes paired.  (No JSON library in the repo; the real consumers are
+/// chrome://tracing and jq.)
+void expect_parseable_jsonl(const std::string& path, std::size_t min_lines) {
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    int depth = 0;
+    std::size_t quotes = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char ch = line[i];
+      if (ch == '"' && (i == 0 || line[i - 1] != '\\')) {
+        ++quotes;
+        in_string = !in_string;
+      } else if (!in_string && ch == '{') {
+        ++depth;
+      } else if (!in_string && ch == '}') {
+        --depth;
+        EXPECT_GE(depth, 0) << line;
+      }
+    }
+    EXPECT_EQ(depth, 0) << line;
+    EXPECT_EQ(quotes % 2, 0u) << line;
+  }
+  EXPECT_GE(lines, min_lines);
+}
+
+#if EVFL_TRACING
+
+TEST(TraceWriter, WritesOneParseableEventPerLine) {
+  const std::string path = "test_trace_events.jsonl";
+  {
+    TraceWriter w(path);
+    w.complete("alpha", "test", 10, 20, "\"round\": 1");
+    w.instant("beta", "test");
+    w.counter("gamma", 3.5);
+    {
+      TraceSpan span(&w, "scoped", "test");
+      span.annotate("round", static_cast<std::uint64_t>(2));
+      span.annotate("loss", 0.25);
+    }
+    EXPECT_EQ(w.events_written(), 4u);
+    w.flush();
+  }
+  expect_parseable_jsonl(path, 4);
+
+  // Spot-check the trace_event schema fields.
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(all.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(all.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(all.find("\"name\": \"scoped\""), std::string::npos);
+  EXPECT_NE(all.find("\"round\": 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, EscapesSpecialCharacters) {
+  const std::string path = "test_trace_escape.jsonl";
+  {
+    TraceWriter w(path);
+    w.instant("quote\"back\\slash\n", "test");
+    w.flush();
+  }
+  expect_parseable_jsonl(path, 1);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(TraceWriter("/nonexistent_dir_xyz/trace.jsonl"), Error);
+}
+
+TEST(TraceSpan, NullWriterIsInert) {
+  TraceSpan span(nullptr, "nothing");
+  span.annotate("k", 1.0);
+  span.end();  // must not crash
+  TraceSpan defaulted;
+  defaulted.end();
+}
+
+TEST(TraceSpan, MoveTransfersOwnership) {
+  const std::string path = "test_trace_move.jsonl";
+  {
+    TraceWriter w(path);
+    TraceSpan a(&w, "moved", "test");
+    TraceSpan b = std::move(a);
+    a.end();  // moved-from: no event
+    EXPECT_EQ(w.events_written(), 0u);
+    b.end();  // the one real emission
+    EXPECT_EQ(w.events_written(), 1u);
+    b.end();  // idempotent
+    EXPECT_EQ(w.events_written(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+#else  // !EVFL_TRACING
+
+TEST(TraceWriter, CompiledOutStubIsFullyInert) {
+  TraceWriter w("ignored-path.jsonl");  // must not create a file
+  w.complete("a", "b", 0, 1);
+  w.instant("a", "b");
+  w.counter("a", 1.0);
+  EXPECT_EQ(w.events_written(), 0u);
+  TraceSpan span(&w, "noop");
+  span.annotate("k", 1.0);
+  span.end();
+  EXPECT_FALSE(std::ifstream("ignored-path.jsonl").is_open());
+}
+
+#endif  // EVFL_TRACING
+
+// ---- RoundTelemetrySink -----------------------------------------------------
+
+RoundTelemetry sample_round(std::uint32_t r) {
+  RoundTelemetry rt;
+  rt.round = r;
+  rt.wall_seconds = 0.1 * (r + 1);
+  rt.max_client_seconds = 0.05;
+  rt.client_train_seconds = {0.04, 0.05};
+  rt.bytes_down = 100;
+  rt.bytes_up = 200;
+  rt.updates_accepted = 2;
+  return rt;
+}
+
+TEST(RoundTelemetrySink, AccumulatesOrderedRecords) {
+  RoundTelemetrySink sink;
+  EXPECT_EQ(sink.size(), 0u);
+  for (std::uint32_t r = 0; r < 3; ++r) sink.record(sample_round(r));
+  EXPECT_EQ(sink.size(), 3u);
+  const std::vector<RoundTelemetry> rounds = sink.rounds();
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_EQ(rounds[2].round, 2u);
+  EXPECT_DOUBLE_EQ(rounds[2].wall_seconds, 0.3);
+  const double p50 = sink.round_seconds_quantile(0.5);
+  EXPECT_GE(p50, 0.1);
+  EXPECT_LE(p50, 0.3);
+}
+
+TEST(RoundTelemetrySink, JsonDocumentCarriesQuantilesAndTotals) {
+  RoundTelemetrySink sink;
+  for (std::uint32_t r = 0; r < 4; ++r) sink.record(sample_round(r));
+  std::ostringstream os;
+  sink.write_json(os, {{"custom.counter", 7.0}});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"rounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"round_wall_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"client_train_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"custom.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+}
+
+TEST(RoundTelemetrySink, WriteJsonFileThrowsOnBadPath) {
+  RoundTelemetrySink sink;
+  EXPECT_THROW(sink.write_json_file("/nonexistent_dir_xyz/m.json"), Error);
+}
+
+}  // namespace
+}  // namespace evfl::obs

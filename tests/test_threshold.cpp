@@ -72,6 +72,32 @@ TEST(Threshold, MadRuleRobustToOutlier) {
   EXPECT_GT(m2 - m1, 100.0f);
 }
 
+TEST(Threshold, SingleElementScoresUnderEveryRule) {
+  // One training score: whatever the rule, the spread is zero and the
+  // threshold is the score itself.
+  const std::vector<float> one = {5.0f};
+  EXPECT_FLOAT_EQ(
+      compute_threshold(one, {ThresholdKind::kPercentile, 98.0}), 5.0f);
+  EXPECT_FLOAT_EQ(compute_threshold(one, {ThresholdKind::kMeanStd, 3.0}),
+                  5.0f);
+  EXPECT_FLOAT_EQ(compute_threshold(one, {ThresholdKind::kMad, 3.0}), 5.0f);
+}
+
+TEST(Threshold, AllEqualScoresMadIsZero) {
+  // Degenerate distribution: every deviation from the median is zero, so
+  // mad == 0 and the threshold collapses to the median — it must not go
+  // below it (which would flag the entire constant series) or NaN out.
+  const std::vector<float> flat = {3.0f, 3.0f, 3.0f, 3.0f};
+  const float t = compute_threshold(flat, {ThresholdKind::kMad, 3.0});
+  EXPECT_FLOAT_EQ(t, 3.0f);
+}
+
+TEST(Threshold, AllEqualScoresMeanStdIsZeroSpread) {
+  const std::vector<float> flat = {3.0f, 3.0f, 3.0f};
+  EXPECT_FLOAT_EQ(compute_threshold(flat, {ThresholdKind::kMeanStd, 2.0}),
+                  3.0f);
+}
+
 TEST(Threshold, EmptyScoresThrow) {
   ThresholdRule rule;
   EXPECT_THROW(compute_threshold({}, rule), Error);
