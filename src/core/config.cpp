@@ -87,6 +87,21 @@ void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv) {
       if (cfg.threads > 1024) {
         throw Error("bad value for --threads: '" + value + "' (max 1024)");
       }
+    } else if (key == "--codec") {
+      cfg.codec.kind = fl::parse_codec_kind(value);
+    } else if (key == "--topk-frac") {
+      cfg.codec.topk_frac = parse_double(key, value);
+      if (!(cfg.codec.topk_frac > 0.0) || cfg.codec.topk_frac > 1.0) {
+        throw Error("bad value for --topk-frac: '" + value +
+                    "' (expected a fraction in (0, 1])");
+      }
+    } else if (key == "--quant-bits") {
+      const std::uint64_t bits = parse_unsigned(key, value);
+      if (bits != 4 && bits != 8) {
+        throw Error("bad value for --quant-bits: '" + value +
+                    "' (expected 4 or 8)");
+      }
+      cfg.codec.quant_bits = static_cast<int>(bits);
     } else if (key == "--cache-dir") {
       cfg.cache_dir = value;
     } else if (key == "--trace-out") {
@@ -114,7 +129,8 @@ std::string describe(const ExperimentConfig& cfg) {
      << " bursts=" << cfg.ddos.bursts
      << " threshold=" << anomaly::to_string(cfg.filter.threshold.kind) << "("
      << cfg.filter.threshold.param << ")"
-     << " seed=" << cfg.seed << " threads=" << cfg.threads;
+     << " seed=" << cfg.seed << " threads=" << cfg.threads
+     << " codec=" << fl::to_string(cfg.codec.kind);
   return os.str();
 }
 

@@ -10,6 +10,7 @@
 #include "anomaly/filter.hpp"
 #include "attack/ddos_injector.hpp"
 #include "datagen/shenzhen.hpp"
+#include "fl/codec.hpp"
 #include "fl/fedavg.hpp"
 #include "forecast/model.hpp"
 
@@ -21,6 +22,9 @@ struct ExperimentConfig {
   anomaly::FilterConfig filter;            // AE 50->25->25->50, 98th pct
   forecast::ForecasterConfig forecaster;   // LSTM 50, Dense 10 relu, Dense 1
   fl::FedAvgConfig fedavg;
+  /// Wire codec for the federated comms path (default kDense: lossless v1
+  /// bytes, bit-identical results to the uncompressed path).
+  fl::CodecConfig codec;
 
   std::size_t federated_rounds = 5;        // FEDERATED_ROUNDS
   std::size_t epochs_per_round = 10;       // EPOCHS_PER_ROUND
@@ -61,6 +65,7 @@ struct ExperimentConfig {
 ///   --train-fraction X  --threaded 0|1  --ae-epochs N  --damping X
 ///   --threads N (0 = hardware_concurrency)
 ///   --cache-dir PATH  --trace-out FILE  --metrics-json FILE
+///   --codec dense|delta|topk|topk_q  --topk-frac X  --quant-bits 4|8
 /// Unknown keys throw evfl::Error (typos must not silently run the
 /// default), and numeric values must consume the whole token: "8x" or
 /// "1.5abc" is an error, never a silent prefix parse.

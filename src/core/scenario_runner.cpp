@@ -89,6 +89,7 @@ ScenarioResult ScenarioRunner::run_federated(DataScenario scenario) {
   client_cfg.epochs_per_round = cfg_.epochs_per_round;
   client_cfg.batch_size = cfg_.forecaster.batch_size;
   client_cfg.learning_rate = cfg_.forecaster.learning_rate;
+  client_cfg.codec = cfg_.codec;
 
   std::vector<std::unique_ptr<fl::Client>> fl_clients;
   for (std::size_t c = 0; c < prepared.size(); ++c) {
@@ -100,7 +101,8 @@ ScenarioResult ScenarioRunner::run_federated(DataScenario scenario) {
   // The server seeds the global model with its own initialization.
   tensor::Rng server_rng = root.split();
   nn::Sequential init_model = forecast::make_forecaster(model_cfg, server_rng);
-  fl::Server server(init_model.get_weights(), cfg_.fedavg);
+  fl::Server server(init_model.get_weights(), cfg_.fedavg,
+                    fl::ValidatorConfig{}, cfg_.codec);
   fl::InMemoryNetwork net;
 
   const metrics::WallTimer timer;

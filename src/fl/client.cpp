@@ -39,7 +39,8 @@ Client::Client(int id, tensor::Tensor3 x_train, tensor::Tensor3 y_train,
       y_(std::move(y_train)),
       rng_(std::move(rng)),
       model_(factory(rng_)),
-      optimizer_(cfg.learning_rate) {
+      optimizer_(cfg.learning_rate),
+      encoder_(cfg.codec) {
   EVFL_REQUIRE(x_.batch() == y_.batch(), "client data x/y mismatch");
   EVFL_REQUIRE(x_.batch() > 0, "client has no training data");
   EVFL_REQUIRE(model_.weight_count() > 0,
@@ -66,6 +67,12 @@ WeightUpdate Client::train_round(const GlobalModel& global) {
   return update;
 }
 
+const std::vector<std::uint8_t>& Client::encode_update(
+    const WeightUpdate& update, const std::vector<float>& reference) {
+  encoder_.encode(update, reference, wire_buf_);
+  return wire_buf_;
+}
+
 void Client::serve(InMemoryNetwork& net, std::size_t rounds,
                    ServeOptions opts) {
   // Keeping a serialized copy of every round's update costs a payload-sized
@@ -77,7 +84,8 @@ void Client::serve(InMemoryNetwork& net, std::size_t rounds,
   for (std::size_t r = 0; r < rounds; ++r) {
     std::optional<Message> msg = receive_with_backoff(net, id_, opts);
     if (!msg) return;  // retry budget exhausted: server went away
-    const GlobalModel global = deserialize_global(msg->bytes);
+    deserialize_global_into(msg->bytes, global_scratch_);
+    const GlobalModel& global = global_scratch_;
     if (global.round == kShutdownRound) return;  // server finished its rounds
 
     // Crash-before-update: the client received the broadcast but dies
@@ -109,7 +117,9 @@ void Client::serve(InMemoryNetwork& net, std::size_t rounds,
       }
     }
 
-    std::vector<std::uint8_t> bytes = serialize(update);
+    // Encode against the broadcast as *this client decoded it* — under a
+    // lossy downlink that is the server's delta reference too.
+    std::vector<std::uint8_t> bytes = encode_update(update, global.weights);
     if (retain_previous) previous_update_bytes = bytes;
     net.send(Message{id_, kServerNode, std::move(bytes)});
   }

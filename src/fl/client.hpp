@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "faults/fault_injector.hpp"
+#include "fl/codec.hpp"
 #include "fl/network.hpp"
 #include "fl/serialize.hpp"
 #include "fl/weights.hpp"
@@ -28,6 +29,8 @@ struct ClientConfig {
   std::size_t epochs_per_round = 10;   // paper: EPOCHS_PER_ROUND = 10
   std::size_t batch_size = 32;
   float learning_rate = 1e-3f;
+  /// Wire codec for this client's uploads (kDense = lossless v1 bytes).
+  CodecConfig codec{};
 };
 
 /// Knobs for the threaded service loop.
@@ -59,6 +62,16 @@ class Client {
 
   /// Adopt the broadcast global weights, run local epochs, return the update.
   WeightUpdate train_round(const GlobalModel& global);
+
+  /// Encode `update` for the wire under the configured codec, against the
+  /// broadcast weights this client decoded (`reference`).  Returns an
+  /// internal buffer reused across rounds — steady-state encoding does not
+  /// allocate.  Carries the error-feedback residual for lossy codecs.
+  const std::vector<std::uint8_t>& encode_update(
+      const WeightUpdate& update, const std::vector<float>& reference);
+
+  /// Error-feedback encoder state (diagnostics/tests).
+  const UpdateEncoder& encoder() const { return encoder_; }
 
   /// Threaded-mode service loop: for each of `rounds`, wait for a
   /// GlobalModel broadcast on `net` (budget-bounded retry-with-backoff),
@@ -93,6 +106,9 @@ class Client {
   nn::Sequential model_;
   nn::MseLoss loss_;
   nn::Adam optimizer_;
+  UpdateEncoder encoder_;
+  std::vector<std::uint8_t> wire_buf_;  // encode_update scratch
+  GlobalModel global_scratch_;          // serve-loop broadcast decode buffer
   std::atomic<double> last_train_seconds_{0.0};
 };
 

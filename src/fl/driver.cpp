@@ -75,7 +75,9 @@ obs::RoundTelemetry round_telemetry(const RoundMetrics& rm,
                                     const RoundAudit& audit,
                                     std::vector<double> client_seconds,
                                     std::uint64_t bytes_down,
-                                    std::uint64_t bytes_up) {
+                                    std::uint64_t bytes_up,
+                                    std::uint64_t logical_down,
+                                    std::uint64_t logical_up) {
   obs::RoundTelemetry rt;
   rt.round = rm.round;
   rt.wall_seconds = rm.wall_seconds;
@@ -83,6 +85,8 @@ obs::RoundTelemetry round_telemetry(const RoundMetrics& rm,
   rt.client_train_seconds = std::move(client_seconds);
   rt.bytes_down = bytes_down;
   rt.bytes_up = bytes_up;
+  rt.logical_bytes_down = logical_down;
+  rt.logical_bytes_up = logical_up;
   rt.updates_accepted = rm.updates_received;
   rt.rejected_updates = rm.rejected_updates;
   rt.late_updates = rm.late_updates;
@@ -147,9 +151,16 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
 
   for (std::size_t r = 0; r < rounds; ++r) {
     const auto round_t0 = Clock::now();
-    const GlobalModel global = server_->broadcast();
+    const std::uint32_t round = server_->round();
+    // One wire encoding per round (codec-aware); every client receives a
+    // copy of the same bytes, exactly like a real broadcast.
+    const std::vector<std::uint8_t>& broadcast_wire = server_->broadcast_wire();
+    // Dense-equivalent size of one message this round — the "logical" cost
+    // an uncompressed v1 exchange would have paid.
+    const std::uint64_t logical_msg_bytes =
+        kWireHeaderBytesV1 + server_->weights().size() * sizeof(float);
     obs::TraceSpan round_span(trace, "fl.round", "fl");
-    round_span.annotate("round", static_cast<std::uint64_t>(global.round));
+    round_span.annotate("round", static_cast<std::uint64_t>(round));
     round_span.annotate("clients", static_cast<std::uint64_t>(n));
 
     std::atomic<std::size_t> dropped{0};
@@ -159,10 +170,8 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     auto run_client = [&](std::size_t c) {
       Client& client = *(*clients_)[c];
       // Broadcast leg: global weights cross the wire to this client.
-      std::vector<std::uint8_t> broadcast_bytes = serialize(global);
-      const std::uint64_t broadcast_size = broadcast_bytes.size();
-      if (!net_->send(
-              Message{kServerNode, client.id(), std::move(broadcast_bytes)})) {
+      const std::uint64_t broadcast_size = broadcast_wire.size();
+      if (!net_->send(Message{kServerNode, client.id(), broadcast_wire})) {
         ++dropped;  // simulated network dropped the broadcast
         return;
       }
@@ -208,8 +217,11 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
         }
       }
 
-      // Upload leg: the update crosses the wire back to the server.
-      std::vector<std::uint8_t> bytes = serialize(update);
+      // Upload leg: the update crosses the wire back to the server, encoded
+      // against the broadcast this client decoded (the delta basis for
+      // lossy codecs; byte-identical v1 for kDense).
+      std::vector<std::uint8_t> bytes =
+          client.encode_update(update, received.weights);
       if (injector_ != nullptr && injector_->may_replay_stale(client.id())) {
         last_sent[c] = bytes;  // retained only if a replay rule can want it
       }
@@ -233,8 +245,10 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     std::vector<WeightUpdate> raw;
     raw.reserve(n);
     std::uint64_t bytes_up = 0;
+    std::uint64_t logical_up = 0;
     while (std::optional<Message> up = net_->try_receive(kServerNode)) {
       bytes_up += up->bytes.size();
+      logical_up += logical_msg_bytes;
       WeightUpdate u = deserialize_update(up->bytes);
       if (known_ids.find(u.client_id) == known_ids.end()) {
         ++dropped;  // update from an unknown sender: skip it
@@ -244,7 +258,7 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     }
 
     RoundMetrics rm =
-        close_round(*server_, global.round, std::move(raw), reached.load(),
+        close_round(*server_, round, std::move(raw), reached.load(),
                     seconds_since(round_t0));
     rm.max_client_seconds =
         *std::max_element(client_seconds.begin(), client_seconds.end());
@@ -262,9 +276,11 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
                         static_cast<std::uint64_t>(rm.rejected_updates));
     round_span.end();
     if (telemetry_ != nullptr) {
-      telemetry_->record(round_telemetry(rm, server_->last_audit(),
-                                         std::move(client_seconds),
-                                         bytes_down.load(), bytes_up));
+      telemetry_->record(round_telemetry(
+          rm, server_->last_audit(), std::move(client_seconds),
+          bytes_down.load(), bytes_up,
+          static_cast<std::uint64_t>(reached.load()) * logical_msg_bytes,
+          logical_up));
     }
     result.simulated_parallel_seconds += rm.max_client_seconds;
     result.rounds.push_back(rm);
@@ -329,11 +345,13 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
 
   for (std::size_t r = 0; r < rounds; ++r) {
     const auto round_t0 = Clock::now();
-    const GlobalModel global = server_->broadcast();
+    const std::uint32_t round = server_->round();
+    const std::vector<std::uint8_t>& broadcast_bytes = server_->broadcast_wire();
+    const std::uint64_t logical_msg_bytes =
+        kWireHeaderBytesV1 + server_->weights().size() * sizeof(float);
     obs::TraceSpan round_span(trace, "fl.round", "fl");
-    round_span.annotate("round", static_cast<std::uint64_t>(global.round));
+    round_span.annotate("round", static_cast<std::uint64_t>(round));
     round_span.annotate("clients", static_cast<std::uint64_t>(n));
-    const std::vector<std::uint8_t> broadcast_bytes = serialize(global);
     std::size_t broadcasts_delivered = 0;
     std::size_t round_drops = 0;
     std::uint64_t bytes_down = 0;
@@ -352,6 +370,7 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
     std::vector<WeightUpdate> raw;
     std::unordered_set<int> fresh_senders;
     std::uint64_t bytes_up = 0;
+    std::uint64_t logical_up = 0;
     while (fresh_senders.size() < broadcasts_delivered) {
       const double elapsed_ms = seconds_since(round_t0) * 1000.0;
       const double remaining = policy.round_deadline_ms - elapsed_ms;
@@ -359,13 +378,14 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
       std::optional<Message> msg = net_->receive(kServerNode, remaining);
       if (!msg) break;
       bytes_up += msg->bytes.size();
+      logical_up += logical_msg_bytes;
       WeightUpdate u = deserialize_update(msg->bytes);
-      if (u.round == global.round) fresh_senders.insert(u.client_id);
+      if (u.round == round) fresh_senders.insert(u.client_id);
       raw.push_back(std::move(u));
     }
 
     RoundMetrics rm =
-        close_round(*server_, global.round, std::move(raw),
+        close_round(*server_, round, std::move(raw),
                     broadcasts_delivered, seconds_since(round_t0));
     // Per-client train seconds sampled at round close: a client that did
     // not train this round (crashed / missed broadcast) still reports its
@@ -385,9 +405,11 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
                         static_cast<std::uint64_t>(rm.rejected_updates));
     round_span.end();
     if (telemetry_ != nullptr) {
-      telemetry_->record(round_telemetry(rm, server_->last_audit(),
-                                         std::move(client_seconds), bytes_down,
-                                         bytes_up));
+      telemetry_->record(round_telemetry(
+          rm, server_->last_audit(), std::move(client_seconds), bytes_down,
+          bytes_up,
+          static_cast<std::uint64_t>(broadcasts_delivered) * logical_msg_bytes,
+          logical_up));
     }
     result.simulated_parallel_seconds += max_client_seconds;
     result.rounds.push_back(rm);

@@ -49,16 +49,31 @@ bool InMemoryNetwork::send(Message msg) {
   auto& q = queues_[msg.to];
   for (int i = 0; i < extra_copies; ++i) {
     ++stats_.messages_duplicated;
+    // A duplicate crosses the wire like any other copy: it costs its bytes
+    // and the size-proportional transfer time again.  Per-message latency
+    // is not re-charged — it models connection overhead the retransmitting
+    // transport does not repeat.
+    stats_.bytes_sent += msg.bytes.size();
+    stats_.virtual_latency_ms +=
+        cfg_.latency_ms_per_kib *
+        (static_cast<double>(msg.bytes.size()) / 1024.0);
     q.push_back(Message{msg.from, msg.to, msg.bytes});
   }
   q.push_back(std::move(msg));
+  if (q.size() > stats_.peak_mailbox_depth) {
+    stats_.peak_mailbox_depth = q.size();
+  }
   cv_.notify_all();
   return true;
 }
 
 void InMemoryNetwork::send_control(Message msg) {
   std::unique_lock<std::mutex> lock(mutex_);
-  queues_[msg.to].push_back(std::move(msg));
+  auto& q = queues_[msg.to];
+  q.push_back(std::move(msg));
+  if (q.size() > stats_.peak_mailbox_depth) {
+    stats_.peak_mailbox_depth = q.size();
+  }
   cv_.notify_all();
 }
 

@@ -46,8 +46,13 @@ struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;  // injected duplicate deliveries
+  /// Wire bytes that crossed the network, duplicate deliveries included —
+  /// a retransmitted update costs its payload again.
   std::uint64_t bytes_sent = 0;
   double virtual_latency_ms = 0.0;  // accumulated simulated transfer time
+  /// Deepest any node's mailbox ever got (queued, not yet received) —
+  /// backpressure gauge for the threaded schedule.
+  std::uint64_t peak_mailbox_depth = 0;
 };
 
 class InMemoryNetwork {

@@ -4,90 +4,54 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "fl/codec.hpp"
+#include "fl/wire_detail.hpp"
 
 namespace evfl::fl {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+using wire_detail::Reader;
+using wire_detail::Writer;
+
+// ---- CRC-32, slice-by-8 ----------------------------------------------------
+// table[0] is the classic byte-at-a-time table; table[k][b] extends it so
+// that eight input bytes fold into the running CRC with eight independent
+// lookups per 64-bit load instead of eight dependent byte rounds.
+
+struct CrcTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+CrcTables make_crc_tables() {
+  CrcTables tables;
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables.t[k - 1][i];
+      tables.t[k][i] = (prev >> 8) ^ tables.t[0][prev & 0xFFu];
+    }
+  }
+  return tables;
 }
 
-class Writer {
- public:
-  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
-
-  template <typename T>
-  void put(T v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::uint8_t buf[sizeof(T)];
-    std::memcpy(buf, &v, sizeof(T));
-    out_.insert(out_.end(), buf, buf + sizeof(T));
-  }
-
-  void put_floats(const std::vector<float>& values) {
-    if (values.empty()) return;  // data() may be null for an empty vector
-    const auto* p = reinterpret_cast<const std::uint8_t*>(values.data());
-    out_.insert(out_.end(), p, p + values.size() * sizeof(float));
-  }
-
- private:
-  std::vector<std::uint8_t>& out_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
-
-  template <typename T>
-  T get() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > in_.size()) {
-      throw FormatError("wire: truncated message");
-    }
-    T v;
-    std::memcpy(&v, in_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return v;
-  }
-
-  std::vector<float> get_floats(std::size_t count) {
-    // Validate against remaining bytes BEFORE computing count*4: a corrupted
-    // count field must produce FormatError, not a giant allocation or an
-    // overflow-deflated size check.
-    if (count > (in_.size() - pos_) / sizeof(float)) {
-      throw FormatError("wire: truncated weight payload");
-    }
-    const std::size_t bytes = count * sizeof(float);
-    std::vector<float> out(count);
-    // Empty payloads are legal; memcpy's pointers must not be null.
-    if (bytes != 0) std::memcpy(out.data(), in_.data() + pos_, bytes);
-    pos_ += bytes;
-    return out;
-  }
-
-  std::size_t pos() const { return pos_; }
-
- private:
-  const std::vector<std::uint8_t>& in_;
-  std::size_t pos_ = 0;
-};
-
 struct Header {
+  std::uint16_t version = kWireVersion;
   std::uint16_t kind = 0;
   std::uint32_t round = 0;
   std::int32_t client = -1;
   std::uint64_t samples = 0;
   float loss = 0.0f;
-  std::uint64_t count = 0;
+  CodecKind codec = CodecKind::kDense;
+  int quant_bits = 0;
+  std::uint64_t dim = 0;   // logical weight count after decoding
+  std::uint64_t nnz = 0;   // entries on the wire
   std::uint32_t crc = 0;
 };
 
@@ -95,6 +59,8 @@ void write_message(std::vector<std::uint8_t>& out, MessageKind kind,
                    std::uint32_t round, std::int32_t client,
                    std::uint64_t samples, float loss,
                    const std::vector<float>& weights) {
+  out.clear();
+  out.reserve(kWireHeaderBytesV1 + weights.size() * sizeof(float));
   Writer w(out);
   w.put(kWireMagic);
   w.put(kWireVersion);
@@ -106,61 +72,223 @@ void write_message(std::vector<std::uint8_t>& out, MessageKind kind,
   w.put(static_cast<std::uint64_t>(weights.size()));
   w.put(crc32(reinterpret_cast<const std::uint8_t*>(weights.data()),
               weights.size() * sizeof(float)));
-  w.put_floats(weights);
+  w.put_floats(weights.data(), weights.size());
 }
 
 Header read_header(Reader& r) {
   const auto magic = r.get<std::uint32_t>();
   if (magic != kWireMagic) throw FormatError("wire: bad magic");
-  const auto version = r.get<std::uint16_t>();
-  if (version != kWireVersion) {
-    throw FormatError("wire: unsupported version " + std::to_string(version));
-  }
   Header h;
+  h.version = r.get<std::uint16_t>();
+  if (h.version != kWireVersion && h.version != kWireVersion2) {
+    throw FormatError("wire: unsupported version " +
+                      std::to_string(h.version));
+  }
   h.kind = r.get<std::uint16_t>();
   h.round = r.get<std::uint32_t>();
   h.client = r.get<std::int32_t>();
   h.samples = r.get<std::uint64_t>();
   h.loss = r.get<float>();
-  h.count = r.get<std::uint64_t>();
+  if (h.version == kWireVersion) {
+    h.dim = r.get<std::uint64_t>();
+    h.nnz = h.dim;
+    h.codec = CodecKind::kDense;
+    h.quant_bits = 0;
+  } else {
+    const auto codec = r.get<std::uint8_t>();
+    if (codec > static_cast<std::uint8_t>(CodecKind::kQuantDense)) {
+      throw FormatError("wire: unknown codec " + std::to_string(codec));
+    }
+    h.codec = static_cast<CodecKind>(codec);
+    h.quant_bits = r.get<std::uint8_t>();
+    const auto reserved = r.get<std::uint16_t>();
+    if (reserved != 0) throw FormatError("wire: nonzero reserved field");
+    h.dim = r.get<std::uint64_t>();
+    h.nnz = r.get<std::uint64_t>();
+    if (h.dim > kMaxWireDim) throw FormatError("wire: dimension too large");
+    if (h.nnz > h.dim) throw FormatError("wire: nnz exceeds dimension");
+    const bool quantized = h.codec == CodecKind::kTopKQuant ||
+                           h.codec == CodecKind::kQuantDense;
+    if (quantized && h.quant_bits != 4 && h.quant_bits != 8) {
+      throw FormatError("wire: unsupported quant bits " +
+                        std::to_string(h.quant_bits));
+    }
+    if (!quantized && h.quant_bits != 0) {
+      throw FormatError("wire: quant bits on an unquantized codec");
+    }
+    if ((h.codec == CodecKind::kDense || h.codec == CodecKind::kDelta ||
+         h.codec == CodecKind::kQuantDense) &&
+        h.nnz != h.dim) {
+      throw FormatError("wire: dense codec with nnz != dim");
+    }
+  }
   h.crc = r.get<std::uint32_t>();
   return h;
 }
 
-std::vector<float> read_payload(Reader& r, const Header& h) {
-  std::vector<float> weights = r.get_floats(h.count);
-  const std::uint32_t actual =
-      crc32(reinterpret_cast<const std::uint8_t*>(weights.data()),
-            weights.size() * sizeof(float));
-  if (actual != h.crc) throw FormatError("wire: payload CRC mismatch");
-  return weights;
+/// Payload byte span for a validated header.
+std::size_t payload_bytes(const Header& h) {
+  const std::size_t nnz = static_cast<std::size_t>(h.nnz);
+  const std::size_t blocks = (nnz + kQuantBlock - 1) / kQuantBlock;
+  switch (h.codec) {
+    case CodecKind::kDense:
+    case CodecKind::kDelta:
+      return nnz * sizeof(float);
+    case CodecKind::kTopK:
+      return nnz * (sizeof(std::uint32_t) + sizeof(float));
+    case CodecKind::kTopKQuant:
+      return nnz * sizeof(std::uint32_t) + blocks * sizeof(float) +
+             wire_detail::packed_bytes(nnz, h.quant_bits);
+    case CodecKind::kQuantDense:
+      return blocks * sizeof(float) +
+             wire_detail::packed_bytes(nnz, h.quant_bits);
+  }
+  throw FormatError("wire: unknown codec");  // unreachable after read_header
 }
+
+/// Sign-extend a packed `bits`-wide two's-complement value.
+int unpack_signed(std::uint32_t raw, int bits) {
+  const std::uint32_t sign = 1u << (bits - 1);
+  return static_cast<int>((raw ^ sign)) - static_cast<int>(sign);
+}
+
+/// Read `h.nnz` strictly-increasing indices < h.dim.
+void read_indices(Reader& r, const Header& h,
+                  std::vector<std::uint32_t>& out) {
+  out.resize(static_cast<std::size_t>(h.nnz));
+  std::int64_t prev = -1;
+  for (std::uint32_t& idx : out) {
+    idx = r.get<std::uint32_t>();
+    if (idx >= h.dim) throw FormatError("wire: sparse index out of range");
+    if (static_cast<std::int64_t>(idx) <= prev) {
+      throw FormatError("wire: sparse indices not strictly increasing");
+    }
+    prev = idx;
+  }
+}
+
+/// Decode the (validated, CRC-checked) payload into a dense float vector.
+/// Returns true when the result is a delta against the broadcast reference.
+bool read_payload(Reader& r, const Header& h, std::vector<float>& weights,
+                  std::vector<std::uint32_t>& index_scratch) {
+  const std::size_t bytes = payload_bytes(h);
+  r.require(bytes, "truncated payload");
+  const std::uint32_t actual = crc32(r.cursor(), bytes);
+  if (actual != h.crc) throw FormatError("wire: payload CRC mismatch");
+
+  const std::size_t dim = static_cast<std::size_t>(h.dim);
+  const std::size_t nnz = static_cast<std::size_t>(h.nnz);
+  switch (h.codec) {
+    case CodecKind::kDense:
+    case CodecKind::kDelta:
+      r.get_floats_into(nnz, weights);
+      return h.codec == CodecKind::kDelta;
+    case CodecKind::kTopK: {
+      read_indices(r, h, index_scratch);
+      weights.assign(dim, 0.0f);
+      for (std::size_t j = 0; j < nnz; ++j) {
+        weights[index_scratch[j]] = r.get<float>();
+      }
+      return true;
+    }
+    case CodecKind::kTopKQuant: {
+      read_indices(r, h, index_scratch);
+      // Two cursors over one span: block scales sit between the indices and
+      // the packed values, so the value loop reads its block's scale by
+      // offset instead of staging a scale array.
+      const std::size_t blocks = (nnz + kQuantBlock - 1) / kQuantBlock;
+      const std::uint8_t* scales = r.cursor();
+      r.skip(blocks * sizeof(float));
+      const std::uint8_t* packed = r.cursor();
+      r.skip(wire_detail::packed_bytes(nnz, h.quant_bits));
+      weights.assign(dim, 0.0f);
+      for (std::size_t j = 0; j < nnz; ++j) {
+        float scale;
+        std::memcpy(&scale, scales + (j / kQuantBlock) * sizeof(float),
+                    sizeof(float));
+        std::uint32_t raw;
+        if (h.quant_bits == 8) {
+          raw = packed[j];
+        } else {
+          raw = (packed[j / 2] >> ((j % 2) * 4)) & 0xFu;
+        }
+        weights[index_scratch[j]] =
+            static_cast<float>(unpack_signed(raw, h.quant_bits)) * scale;
+      }
+      return true;
+    }
+    case CodecKind::kQuantDense: {
+      const std::size_t blocks = (dim + kQuantBlock - 1) / kQuantBlock;
+      const std::uint8_t* scales = r.cursor();
+      r.skip(blocks * sizeof(float));
+      const std::uint8_t* packed = r.cursor();
+      r.skip(wire_detail::packed_bytes(dim, h.quant_bits));
+      weights.resize(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        float scale;
+        std::memcpy(&scale, scales + (j / kQuantBlock) * sizeof(float),
+                    sizeof(float));
+        std::uint32_t raw;
+        if (h.quant_bits == 8) {
+          raw = packed[j];
+        } else {
+          raw = (packed[j / 2] >> ((j % 2) * 4)) & 0xFu;
+        }
+        weights[j] =
+            static_cast<float>(unpack_signed(raw, h.quant_bits)) * scale;
+      }
+      return false;  // absolute weights, just coarser
+    }
+  }
+  throw FormatError("wire: unknown codec");  // unreachable after read_header
+}
+
+thread_local std::vector<std::uint32_t> t_index_scratch;
 
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  static const CrcTables tables = make_crc_tables();
+  const auto& t = tables.t;
   std::uint32_t c = 0xFFFFFFFFu;
+  while (size >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, data, 4);
+    std::memcpy(&hi, data + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    data += 8;
+    size -= 8;
+  }
   for (std::size_t i = 0; i < size; ++i) {
-    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }
 
-std::vector<std::uint8_t> serialize(const WeightUpdate& update) {
-  std::vector<std::uint8_t> out;
-  out.reserve(40 + update.weights.size() * sizeof(float));
+void serialize_into(const WeightUpdate& update,
+                    std::vector<std::uint8_t>& out) {
   write_message(out, MessageKind::kWeightUpdate, update.round,
                 update.client_id, update.sample_count, update.train_loss,
                 update.weights);
+}
+
+void serialize_into(const GlobalModel& model, std::vector<std::uint8_t>& out) {
+  write_message(out, MessageKind::kGlobalModel, model.round, -1, 0, 0.0f,
+                model.weights);
+}
+
+std::vector<std::uint8_t> serialize(const WeightUpdate& update) {
+  std::vector<std::uint8_t> out;
+  serialize_into(update, out);
   return out;
 }
 
 std::vector<std::uint8_t> serialize(const GlobalModel& model) {
   std::vector<std::uint8_t> out;
-  out.reserve(40 + model.weights.size() * sizeof(float));
-  write_message(out, MessageKind::kGlobalModel, model.round, -1, 0, 0.0f,
-                model.weights);
+  serialize_into(model, out);
   return out;
 }
 
@@ -192,30 +320,51 @@ std::optional<WirePeek> peek_header(const std::vector<std::uint8_t>& bytes) {
   }
 }
 
-WeightUpdate deserialize_update(const std::vector<std::uint8_t>& bytes) {
+void deserialize_update_into(const std::vector<std::uint8_t>& bytes,
+                             WeightUpdate& out) {
   Reader r(bytes);
   const Header h = read_header(r);
   if (h.kind != static_cast<std::uint16_t>(MessageKind::kWeightUpdate)) {
     throw FormatError("wire: expected WeightUpdate");
   }
-  WeightUpdate u;
-  u.client_id = h.client;
-  u.round = h.round;
-  u.sample_count = h.samples;
-  u.train_loss = h.loss;
-  u.weights = read_payload(r, h);
-  return u;
+  if (h.codec == CodecKind::kQuantDense) {
+    // Broadcast-leg encoding; no update path produces it, so arriving on an
+    // update it can only be a forgery or corruption.
+    throw FormatError("wire: kQuantDense is not a valid update codec");
+  }
+  out.client_id = h.client;
+  out.round = h.round;
+  out.sample_count = h.samples;
+  out.train_loss = h.loss;
+  out.is_delta = read_payload(r, h, out.weights, t_index_scratch);
 }
 
-GlobalModel deserialize_global(const std::vector<std::uint8_t>& bytes) {
+void deserialize_global_into(const std::vector<std::uint8_t>& bytes,
+                             GlobalModel& out) {
   Reader r(bytes);
   const Header h = read_header(r);
   if (h.kind != static_cast<std::uint16_t>(MessageKind::kGlobalModel)) {
     throw FormatError("wire: expected GlobalModel");
   }
+  if (h.codec != CodecKind::kDense && h.codec != CodecKind::kQuantDense) {
+    // A delta-coded broadcast has no reference semantics: a client that
+    // missed rounds (or just joined) could never reconstruct it.
+    throw FormatError("wire: global model cannot be delta-coded");
+  }
+  out.round = h.round;
+  const bool is_delta = read_payload(r, h, out.weights, t_index_scratch);
+  EVFL_ASSERT(!is_delta, "global decode produced a delta");
+}
+
+WeightUpdate deserialize_update(const std::vector<std::uint8_t>& bytes) {
+  WeightUpdate u;
+  deserialize_update_into(bytes, u);
+  return u;
+}
+
+GlobalModel deserialize_global(const std::vector<std::uint8_t>& bytes) {
   GlobalModel g;
-  g.round = h.round;
-  g.weights = read_payload(r, h);
+  deserialize_global_into(bytes, g);
   return g;
 }
 

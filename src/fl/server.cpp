@@ -1,14 +1,16 @@
 #include "fl/server.hpp"
 
 #include "common/error.hpp"
+#include "fl/serialize.hpp"
 
 namespace evfl::fl {
 
 Server::Server(std::vector<float> initial_weights, FedAvgConfig cfg,
-               ValidatorConfig validator_cfg)
+               ValidatorConfig validator_cfg, CodecConfig codec)
     : weights_(std::move(initial_weights)),
       cfg_(cfg),
-      validator_(validator_cfg) {
+      validator_(validator_cfg),
+      codec_(codec) {
   EVFL_REQUIRE(!weights_.empty(), "server needs non-empty initial weights");
 }
 
@@ -16,12 +18,38 @@ GlobalModel Server::broadcast() const {
   return GlobalModel{round_, weights_};
 }
 
+const std::vector<std::uint8_t>& Server::broadcast_wire() {
+  encode_global(round_, weights_, codec_, wire_buf_);
+  has_lossy_reference_ = broadcast_is_lossy(codec_);
+  if (has_lossy_reference_) {
+    deserialize_global_into(wire_buf_, decoded_broadcast_);
+  }
+  return wire_buf_;
+}
+
 double Server::finish_round(std::vector<WeightUpdate> updates) {
-  const std::vector<WeightUpdate> accepted = validator_.filter(
+  std::vector<WeightUpdate> accepted = validator_.filter(
       std::move(updates), round_, weights_, last_audit_);
+  // The delta basis is what the clients decoded, not what the server holds:
+  // under a lossy broadcast those differ, and re-materializing against the
+  // decoded copy makes the downlink quantization error cancel exactly.
+  const std::vector<float>& reference =
+      has_lossy_reference_ ? decoded_broadcast_.weights : weights_;
   ++round_;
+  has_lossy_reference_ = false;
   if (accepted.empty() || !last_audit_.quorum_met) return 0.0;
 
+  // fed_avg is affine (its weights sum to 1), so materializing each delta
+  // first gives exactly reference + fed_avg(deltas).
+  for (WeightUpdate& u : accepted) {
+    if (!u.is_delta) continue;
+    EVFL_ASSERT(u.weights.size() == reference.size(),
+                "validated delta has wrong dimension");
+    for (std::size_t i = 0; i < u.weights.size(); ++i) {
+      u.weights[i] += reference[i];
+    }
+    u.is_delta = false;
+  }
   std::vector<float> next = fed_avg(accepted, cfg_);
   const double delta = l2_distance(weights_, next);
   weights_ = std::move(next);

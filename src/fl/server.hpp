@@ -10,8 +10,10 @@
 // round costs progress, never correctness.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "fl/codec.hpp"
 #include "fl/fedavg.hpp"
 #include "fl/validator.hpp"
 #include "fl/weights.hpp"
@@ -21,18 +23,33 @@ namespace evfl::fl {
 class Server {
  public:
   explicit Server(std::vector<float> initial_weights, FedAvgConfig cfg = {},
-                  ValidatorConfig validator_cfg = {});
+                  ValidatorConfig validator_cfg = {}, CodecConfig codec = {});
 
   std::uint32_t round() const { return round_; }
   const std::vector<float>& weights() const { return weights_; }
+  const CodecConfig& codec() const { return codec_; }
 
   /// The broadcast for the current round.
   GlobalModel broadcast() const;
+
+  /// The broadcast for the current round as wire bytes under the configured
+  /// codec (internal buffer, reused across rounds — valid until the next
+  /// call).  When the codec makes the broadcast lossy, the server also
+  /// decodes its own message and keeps the result as the round's delta
+  /// reference: clients compute deltas against what they *received*, so the
+  /// server must re-materialize against the same basis — that way downlink
+  /// quantization error cancels exactly instead of compounding per round.
+  const std::vector<std::uint8_t>& broadcast_wire();
 
   /// Validate and aggregate one round's updates and advance the round
   /// counter.  Returns the L2 movement of the global weights (convergence
   /// diagnostic).  An empty, all-rejected, or under-quorum update set
   /// leaves weights unchanged.
+  ///
+  /// Delta-coded updates (WeightUpdate::is_delta, from wire-v2 codecs) are
+  /// validated as deltas, then materialized against the round's broadcast
+  /// reference before FedAvg — mathematically identical to averaging in
+  /// delta space and re-materializing, since FedAvg weights sum to 1.
   double finish_round(std::vector<WeightUpdate> updates);
 
   /// Validation outcome of the most recent finish_round.
@@ -42,8 +59,12 @@ class Server {
   std::vector<float> weights_;
   FedAvgConfig cfg_;
   UpdateValidator validator_;
+  CodecConfig codec_;
   RoundAudit last_audit_;
   std::uint32_t round_ = 0;
+  std::vector<std::uint8_t> wire_buf_;   // broadcast_wire scratch
+  GlobalModel decoded_broadcast_;        // lossy-broadcast reference
+  bool has_lossy_reference_ = false;
 };
 
 }  // namespace evfl::fl

@@ -51,22 +51,31 @@ std::vector<WeightUpdate> UpdateValidator::filter(
     }
     if (cfg_.max_update_norm > 0.0) {
       // Clip the *movement* ||u - global||, not the raw weight norm: a
-      // legitimate large model is fine, a huge per-round jump is not.
+      // legitimate large model is fine, a huge per-round jump is not.  A
+      // delta-coded update (wire v2) already *is* the movement, so its norm
+      // is taken directly and clipping rescales it in place.
       double sq = 0.0;
       for (std::size_t i = 0; i < u.weights.size(); ++i) {
-        const double d = static_cast<double>(u.weights[i]) -
-                         static_cast<double>(global_weights[i]);
+        const double d =
+            u.is_delta ? static_cast<double>(u.weights[i])
+                       : static_cast<double>(u.weights[i]) -
+                             static_cast<double>(global_weights[i]);
         sq += d * d;
       }
       const double norm = std::sqrt(sq);
       if (norm > cfg_.max_update_norm) {
         const double scale = cfg_.max_update_norm / norm;
         for (std::size_t i = 0; i < u.weights.size(); ++i) {
-          const double d = static_cast<double>(u.weights[i]) -
-                           static_cast<double>(global_weights[i]);
-          u.weights[i] =
-              static_cast<float>(static_cast<double>(global_weights[i]) +
-                                 d * scale);
+          if (u.is_delta) {
+            u.weights[i] = static_cast<float>(
+                static_cast<double>(u.weights[i]) * scale);
+          } else {
+            const double d = static_cast<double>(u.weights[i]) -
+                             static_cast<double>(global_weights[i]);
+            u.weights[i] =
+                static_cast<float>(static_cast<double>(global_weights[i]) +
+                                   d * scale);
+          }
         }
         ++audit.clipped;
       }

@@ -48,6 +48,9 @@ void RoundTelemetrySink::write_json(
     }
     os << "], \"bytes_down\": " << r.bytes_down
        << ", \"bytes_up\": " << r.bytes_up
+       << ", \"logical_bytes_down\": " << r.logical_bytes_down
+       << ", \"logical_bytes_up\": " << r.logical_bytes_up
+       << ", \"compression_ratio\": " << r.compression_ratio()
        << ", \"updates_accepted\": " << r.updates_accepted
        << ", \"rejected_updates\": " << r.rejected_updates
        << ", \"late_updates\": " << r.late_updates
@@ -68,11 +71,14 @@ void RoundTelemetrySink::write_json(
   os << "\n  },\n  \"totals\": {";
 
   std::uint64_t bytes_up = 0, bytes_down = 0;
+  std::uint64_t logical_up = 0, logical_down = 0;
   std::size_t accepted = 0, rejected = 0, late = 0, dropped = 0, timed_out = 0;
   double wall = 0.0;
   for (const RoundTelemetry& r : rounds_) {
     bytes_up += r.bytes_up;
     bytes_down += r.bytes_down;
+    logical_up += r.logical_bytes_up;
+    logical_down += r.logical_bytes_down;
     accepted += r.updates_accepted;
     rejected += r.rejected_updates;
     late += r.late_updates;
@@ -80,8 +86,18 @@ void RoundTelemetrySink::write_json(
     timed_out += r.timed_out_clients;
     wall += r.wall_seconds;
   }
+  const std::uint64_t wire_total = bytes_up + bytes_down;
+  const std::uint64_t logical_total = logical_up + logical_down;
+  const double compression_ratio =
+      (wire_total == 0 || logical_total == 0)
+          ? 1.0
+          : static_cast<double>(logical_total) /
+                static_cast<double>(wire_total);
   os << "\"rounds\": " << rounds_.size() << ", \"wall_seconds\": " << wall
      << ", \"bytes_up\": " << bytes_up << ", \"bytes_down\": " << bytes_down
+     << ", \"logical_bytes_up\": " << logical_up
+     << ", \"logical_bytes_down\": " << logical_down
+     << ", \"compression_ratio\": " << compression_ratio
      << ", \"updates_accepted\": " << accepted
      << ", \"rejected_updates\": " << rejected << ", \"late_updates\": " << late
      << ", \"dropped_messages\": " << dropped

@@ -32,10 +32,25 @@ struct RoundTelemetry {
   /// Local-training seconds per client slot (driver client order).
   std::vector<double> client_train_seconds;
 
-  /// Serialized broadcast bytes that reached clients this round.
+  /// Serialized broadcast bytes that reached clients this round (wire size
+  /// — what the configured codec actually put on the network).
   std::uint64_t bytes_down = 0;
-  /// Serialized update bytes the server drained this round.
+  /// Serialized update bytes the server drained this round (wire size).
   std::uint64_t bytes_up = 0;
+  /// Dense-equivalent bytes for the same messages (v1 header + fp32
+  /// payload): what an uncompressed exchange would have cost.  The ratio
+  /// logical/wire is the round's compression factor.
+  std::uint64_t logical_bytes_down = 0;
+  std::uint64_t logical_bytes_up = 0;
+
+  /// logical / wire bytes over both legs; 1.0 when nothing crossed the
+  /// network or no logical accounting was provided.
+  double compression_ratio() const {
+    const std::uint64_t wire = bytes_down + bytes_up;
+    const std::uint64_t logical = logical_bytes_down + logical_bytes_up;
+    if (wire == 0 || logical == 0) return 1.0;
+    return static_cast<double>(logical) / static_cast<double>(wire);
+  }
 
   // Round-protocol counters (mirrors fl::RoundMetrics).
   std::size_t updates_accepted = 0;

@@ -37,6 +37,25 @@ TEST(CliOverrides, SetsTelemetryPaths) {
   EXPECT_EQ(cfg.metrics_json, "m.json");
 }
 
+TEST(CliOverrides, AppliesCodecKnobs) {
+  ExperimentConfig cfg;
+  EXPECT_EQ(cfg.codec.kind, fl::CodecKind::kDense);  // lossless default
+  apply(cfg, {"--codec", "topk_q", "--topk-frac", "0.02", "--quant-bits",
+              "4"});
+  EXPECT_EQ(cfg.codec.kind, fl::CodecKind::kTopKQuant);
+  EXPECT_DOUBLE_EQ(cfg.codec.topk_frac, 0.02);
+  EXPECT_EQ(cfg.codec.quant_bits, 4);
+}
+
+TEST(CliOverrides, RejectsBadCodecKnobs) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--codec", "gzip"}), Error);
+  EXPECT_THROW(apply(cfg, {"--topk-frac", "0"}), Error);
+  EXPECT_THROW(apply(cfg, {"--topk-frac", "1.5"}), Error);
+  EXPECT_THROW(apply(cfg, {"--quant-bits", "16"}), Error);
+  EXPECT_THROW(apply(cfg, {"--quant-bits", "0"}), Error);
+}
+
 TEST(CliOverrides, RejectsTrailingGarbageOnIntegers) {
   // Regression: std::stoul accepted "8x" as 8 — a typo'd unit suffix ran
   // the experiment with a silently different configuration.

@@ -6,6 +6,10 @@
 #include <chrono>
 #include <thread>
 
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "fl/serialize.hpp"
+
 namespace evfl::fl {
 namespace {
 
@@ -101,6 +105,59 @@ TEST(Network, DropProbabilityDropsRoughlyThatFraction) {
   EXPECT_EQ(st.messages_dropped, n - delivered);
   EXPECT_NEAR(static_cast<double>(st.messages_dropped) / n, 0.3, 0.05);
   EXPECT_EQ(net.pending(1), delivered);
+}
+
+TEST(Network, PeakMailboxDepthIsAHighWaterMark) {
+  InMemoryNetwork net;
+  EXPECT_EQ(net.stats().peak_mailbox_depth, 0u);
+  net.send(msg(0, 1));
+  net.send(msg(0, 2));
+  net.send(msg(0, 1));
+  EXPECT_EQ(net.stats().peak_mailbox_depth, 2u);  // node 1 held two at once
+  net.try_receive(1);
+  net.try_receive(1);
+  net.send(msg(0, 1));  // back to depth 1: the peak must not move
+  EXPECT_EQ(net.stats().peak_mailbox_depth, 2u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().peak_mailbox_depth, 0u);
+}
+
+TEST(Network, DuplicateDeliveriesChargeWireBytesAndSizeLatency) {
+  // An injected duplicate crosses the wire like any other copy: it must
+  // cost its bytes and its size-proportional transfer time.  Per-message
+  // latency models connection setup, which a retransmission re-uses — it
+  // is charged once per send() call.
+  NetworkConfig cfg;
+  cfg.latency_ms_per_message = 5.0;
+  cfg.latency_ms_per_kib = 1.0;
+  InMemoryNetwork net(cfg);
+  faults::FaultPlan plan;
+  plan.duplicate(/*client=*/1, /*extra_copies=*/2);
+  faults::FaultInjector injector(plan);
+  net.set_fault_injector(&injector);
+
+  GlobalModel g;
+  g.round = 0;
+  g.weights = {1.0f, 2.0f};
+  const auto bcast = serialize(g);  // establishes the current round
+  net.send(Message{kServerNode, 1, bcast});
+
+  WeightUpdate u;
+  u.client_id = 1;
+  u.round = 0;
+  u.weights = {3.0f, 4.0f};
+  const auto up = serialize(u);
+  net.send(Message{1, kServerNode, up});
+
+  const NetworkStats st = net.stats();
+  EXPECT_EQ(st.messages_sent, 2u);
+  EXPECT_EQ(st.messages_duplicated, 2u);
+  EXPECT_EQ(net.pending(kServerNode), 3u);  // original + 2 copies queued
+  EXPECT_EQ(st.peak_mailbox_depth, 3u);
+  EXPECT_EQ(st.bytes_sent, bcast.size() + 3u * up.size());
+  const double kib =
+      (static_cast<double>(bcast.size()) + 3.0 * up.size()) / 1024.0;
+  EXPECT_NEAR(st.virtual_latency_ms, 2 * 5.0 + kib * 1.0, 1e-9);
 }
 
 TEST(Network, TryReceiveOnEmptyQueueIsNullopt) {

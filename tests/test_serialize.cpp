@@ -29,6 +29,51 @@ TEST(Crc32, EmptyIsZero) {
   EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
 }
 
+TEST(Crc32, StandardCheckValues) {
+  const auto crc_of = [](const char* s) {
+    return crc32(reinterpret_cast<const std::uint8_t*>(s),
+                 std::char_traits<char>::length(s));
+  };
+  EXPECT_EQ(crc_of("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc_of("abc"), 0x352441C2u);
+  EXPECT_EQ(crc_of("message digest"), 0x20159D7Fu);
+  EXPECT_EQ(crc_of("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+/// Pre-slicing byte-at-a-time CRC-32 (reflected, poly 0xEDB88320) — the
+/// implementation this module shipped before the slice-by-8 rewrite, kept
+/// as the oracle the fast path is pinned against.
+std::uint32_t crc32_bytewise(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c ^= data[i];
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+TEST(Crc32, SliceBy8MatchesBytewiseOracleAcrossSizesAndOffsets) {
+  std::mt19937 rng(99);
+  std::vector<std::uint8_t> buf(4096 + 8);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  // Sweep lengths around the 8-byte chunk boundary plus unaligned starts:
+  // slicing bugs live exactly at chunk edges and odd alignments.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{7},
+        std::size_t{8}, std::size_t{9}, std::size_t{15}, std::size_t{16},
+        std::size_t{17}, std::size_t{63}, std::size_t{64}, std::size_t{255},
+        std::size_t{1021}, std::size_t{4096}}) {
+    for (std::size_t offset = 0; offset < 8; ++offset) {
+      EXPECT_EQ(crc32(buf.data() + offset, len),
+                crc32_bytewise(buf.data() + offset, len))
+          << "len=" << len << " offset=" << offset;
+    }
+  }
+}
+
 TEST(Serialize, UpdateRoundTrip) {
   const WeightUpdate u = sample_update();
   const auto bytes = serialize(u);
