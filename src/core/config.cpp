@@ -102,6 +102,26 @@ void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv) {
                     "' (expected 4 or 8)");
       }
       cfg.codec.quant_bits = static_cast<int>(bits);
+    } else if (key == "--clients") {
+      const std::uint64_t clients = parse_unsigned(key, value);
+      if (clients > 1'000'000) {
+        throw Error("bad value for --clients: '" + value + "' (max 1000000)");
+      }
+      cfg.fleet_clients = clients;
+    } else if (key == "--edges") {
+      const std::uint64_t edges = parse_unsigned(key, value);
+      if (edges < 1 || edges > 4096) {
+        throw Error("bad value for --edges: '" + value +
+                    "' (expected 1..4096)");
+      }
+      cfg.fleet_edges = edges;
+    } else if (key == "--sample-frac") {
+      const double frac = parse_double(key, value);
+      if (!(frac > 0.0) || frac > 1.0) {
+        throw Error("bad value for --sample-frac: '" + value +
+                    "' (expected a fraction in (0, 1])");
+      }
+      cfg.sample_frac = frac;
     } else if (key == "--cache-dir") {
       cfg.cache_dir = value;
     } else if (key == "--trace-out") {
@@ -131,6 +151,10 @@ std::string describe(const ExperimentConfig& cfg) {
      << cfg.filter.threshold.param << ")"
      << " seed=" << cfg.seed << " threads=" << cfg.threads
      << " codec=" << fl::to_string(cfg.codec.kind);
+  if (cfg.fleet_clients > 0) {
+    os << " clients=" << cfg.fleet_clients << " edges=" << cfg.fleet_edges
+       << " sample-frac=" << cfg.sample_frac;
+  }
   return os.str();
 }
 

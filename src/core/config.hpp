@@ -32,6 +32,15 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   bool threaded = false;                   // ThreadedDriver instead of Sync
 
+  /// Fleet-scale topology: 0 keeps the paper's flat 3-zone federation;
+  /// N > 0 runs a generated population of N clients behind `fleet_edges`
+  /// edge aggregators (see fl/fleet.hpp).
+  std::size_t fleet_clients = 0;
+  std::size_t fleet_edges = 8;
+  /// Per-round client sampling fraction in (0, 1]; 1.0 = every client
+  /// participates every round.
+  double sample_frac = 1.0;
+
   /// Worker-thread budget for the runtime execution context: 1 = serial
   /// (the default — bit-reproducible and what the tests assume), 0 = size
   /// to hardware_concurrency(), N = exactly N threads.  Parallel paths are
@@ -66,6 +75,7 @@ struct ExperimentConfig {
 ///   --threads N (0 = hardware_concurrency)
 ///   --cache-dir PATH  --trace-out FILE  --metrics-json FILE
 ///   --codec dense|delta|topk|topk_q  --topk-frac X  --quant-bits 4|8
+///   --clients N  --edges N  --sample-frac X
 /// Unknown keys throw evfl::Error (typos must not silently run the
 /// default), and numeric values must consume the whole token: "8x" or
 /// "1.5abc" is an error, never a silent prefix parse.

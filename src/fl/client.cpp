@@ -84,7 +84,7 @@ void Client::serve(InMemoryNetwork& net, std::size_t rounds,
   for (std::size_t r = 0; r < rounds; ++r) {
     std::optional<Message> msg = receive_with_backoff(net, id_, opts);
     if (!msg) return;  // retry budget exhausted: server went away
-    deserialize_global_into(msg->bytes, global_scratch_);
+    deserialize_global_into(msg->payload(), global_scratch_);
     const GlobalModel& global = global_scratch_;
     if (global.round == kShutdownRound) return;  // server finished its rounds
 

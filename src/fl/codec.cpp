@@ -101,6 +101,7 @@ std::string to_string(CodecKind kind) {
     case CodecKind::kTopK: return "topk";
     case CodecKind::kTopKQuant: return "topk_q";
     case CodecKind::kQuantDense: return "quant_dense";
+    case CodecKind::kAggSum: return "agg_sum";
   }
   return "unknown";
 }

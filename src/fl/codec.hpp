@@ -48,6 +48,8 @@ enum class CodecKind : std::uint8_t {
   kTopK = 2,       // sparse top-k fp32 delta
   kTopKQuant = 3,  // sparse top-k block-quantized delta
   kQuantDense = 4, // dense block-quantized absolute weights (broadcast only)
+  kAggSum = 5,     // exact fixed-point partial sums forwarded by an edge
+                   // aggregator (wire-only; never a CLI-selectable codec)
 };
 
 /// Values per quantization block; one fp32 scale is stored per block.

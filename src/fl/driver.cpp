@@ -15,6 +15,75 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double sampling_hash01(std::uint64_t seed, std::uint32_t round,
+                       int client_id) {
+  const std::uint64_t id_bits =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(client_id));
+  const std::uint64_t h = splitmix64(
+      splitmix64(seed ^ (static_cast<std::uint64_t>(round) << 32)) ^ id_bits);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::size_t> select_sampled(const SamplingPolicy& policy,
+                                        std::uint32_t round,
+                                        const std::vector<int>& ids) {
+  std::vector<std::size_t> out;
+  switch (policy.mode) {
+    case SamplingMode::kAll: {
+      out.resize(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) out[i] = i;
+      return out;
+    }
+    case SamplingMode::kBernoulli: {
+      EVFL_REQUIRE(policy.fraction > 0.0 && policy.fraction <= 1.0,
+                   "sampling fraction must be in (0, 1]");
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (sampling_hash01(policy.seed, round, ids[i]) < policy.fraction) {
+          out.push_back(i);
+        }
+      }
+      return out;
+    }
+    case SamplingMode::kFixedSize: {
+      EVFL_REQUIRE(policy.count >= 1, "sampling count must be >= 1");
+      if (policy.count >= ids.size()) {
+        out.resize(ids.size());
+        for (std::size_t i = 0; i < ids.size(); ++i) out[i] = i;
+        return out;
+      }
+      // Rank every client by its hash (ties by id) and keep the smallest
+      // `count` — a deterministic uniform cohort independent of ordering.
+      std::vector<std::size_t> ranked(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) ranked[i] = i;
+      std::vector<double> keys(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        keys[i] = sampling_hash01(policy.seed, round, ids[i]);
+      }
+      std::nth_element(ranked.begin(), ranked.begin() + policy.count,
+                       ranked.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return keys[a] != keys[b] ? keys[a] < keys[b]
+                                                   : ids[a] < ids[b];
+                       });
+      out.assign(ranked.begin(), ranked.begin() + policy.count);
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+  }
+  return out;  // unreachable
+}
+
+namespace {
+
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
@@ -92,6 +161,8 @@ obs::RoundTelemetry round_telemetry(const RoundMetrics& rm,
   rt.late_updates = rm.late_updates;
   rt.dropped_messages = rm.dropped_messages;
   rt.timed_out_clients = rm.timed_out_clients;
+  rt.population = rm.population;
+  rt.sampled_clients = rm.sampled_clients;
   rt.rejected_nonfinite = audit.rejected_nonfinite;
   rt.rejected_stale = audit.rejected_stale;
   rt.rejected_duplicate = audit.rejected_duplicate;
@@ -144,7 +215,12 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
   obs::TraceWriter* trace = ctx_ != nullptr ? ctx_->trace : nullptr;
 
   std::unordered_set<int> known_ids;
-  for (const auto& client : *clients_) known_ids.insert(client->id());
+  std::vector<int> ids;
+  ids.reserve(n);
+  for (const auto& client : *clients_) {
+    known_ids.insert(client->id());
+    ids.push_back(client->id());
+  }
 
   // Previous serialized update per client slot, for stale-replay injection.
   std::vector<std::vector<std::uint8_t>> last_sent(n);
@@ -152,6 +228,10 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
   for (std::size_t r = 0; r < rounds; ++r) {
     const auto round_t0 = Clock::now();
     const std::uint32_t round = server_->round();
+    // Unsampled clients never see the broadcast this round: no message, no
+    // training, no timeout accounting.
+    const std::vector<std::size_t> sampled =
+        select_sampled(policy_.sampling, round, ids);
     // One wire encoding per round (codec-aware); every client receives a
     // copy of the same bytes, exactly like a real broadcast.
     const std::vector<std::uint8_t>& broadcast_wire = server_->broadcast_wire();
@@ -162,6 +242,7 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     obs::TraceSpan round_span(trace, "fl.round", "fl");
     round_span.annotate("round", static_cast<std::uint64_t>(round));
     round_span.annotate("clients", static_cast<std::uint64_t>(n));
+    round_span.annotate("sampled", static_cast<std::uint64_t>(sampled.size()));
 
     std::atomic<std::size_t> dropped{0};
     std::atomic<std::size_t> reached{0};
@@ -230,13 +311,16 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
       }
     };
 
-    if (ctx_ != nullptr && ctx_->parallel() && n > 1) {
+    if (ctx_ != nullptr && ctx_->parallel() && sampled.size() > 1) {
       ctx_->count("fl.pool_backed_rounds");
-      ctx_->parallel_for(n, 1, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t c = begin; c < end; ++c) run_client(c);
-      });
+      ctx_->parallel_for(sampled.size(), 1,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t k = begin; k < end; ++k) {
+                             run_client(sampled[k]);
+                           }
+                         });
     } else {
-      for (std::size_t c = 0; c < n; ++c) run_client(c);
+      for (const std::size_t c : sampled) run_client(c);
     }
 
     // Drain the server mailbox; the validator (not the driver) judges what
@@ -260,9 +344,21 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     RoundMetrics rm =
         close_round(*server_, round, std::move(raw), reached.load(),
                     seconds_since(round_t0));
+    // Only sampled clients trained: report their times, not a vector padded
+    // with zeros for clients that were never asked.
+    std::vector<double> sampled_seconds;
+    sampled_seconds.reserve(sampled.size());
+    for (const std::size_t c : sampled) {
+      sampled_seconds.push_back(client_seconds[c]);
+    }
     rm.max_client_seconds =
-        *std::max_element(client_seconds.begin(), client_seconds.end());
+        sampled_seconds.empty()
+            ? 0.0
+            : *std::max_element(sampled_seconds.begin(),
+                                sampled_seconds.end());
     rm.dropped_messages = dropped.load();
+    rm.population = n;
+    rm.sampled_clients = sampled.size();
     if (ctx_ != nullptr) {
       ctx_->count("fl.rejected_updates",
                   static_cast<double>(rm.rejected_updates));
@@ -277,7 +373,7 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
     round_span.end();
     if (telemetry_ != nullptr) {
       telemetry_->record(round_telemetry(
-          rm, server_->last_audit(), std::move(client_seconds),
+          rm, server_->last_audit(), std::move(sampled_seconds),
           bytes_down.load(), bytes_up,
           static_cast<std::uint64_t>(reached.load()) * logical_msg_bytes,
           logical_up));
@@ -343,6 +439,10 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
     });
   }
 
+  std::vector<int> ids;
+  ids.reserve(n);
+  for (const auto& client : *clients_) ids.push_back(client->id());
+
   for (std::size_t r = 0; r < rounds; ++r) {
     const auto round_t0 = Clock::now();
     const std::uint32_t round = server_->round();
@@ -352,17 +452,21 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
     obs::TraceSpan round_span(trace, "fl.round", "fl");
     round_span.annotate("round", static_cast<std::uint64_t>(round));
     round_span.annotate("clients", static_cast<std::uint64_t>(n));
-    std::size_t broadcasts_delivered = 0;
-    std::size_t round_drops = 0;
-    std::uint64_t bytes_down = 0;
-    for (auto& client : *clients_) {
-      if (net_->send(Message{kServerNode, client->id(), broadcast_bytes})) {
-        ++broadcasts_delivered;
-        bytes_down += broadcast_bytes.size();
-      } else {
-        ++round_drops;
-      }
-    }
+    const std::vector<std::size_t> sampled =
+        select_sampled(policy.sampling, round, ids);
+    round_span.annotate("sampled", static_cast<std::uint64_t>(sampled.size()));
+    // One shared broadcast buffer for the whole cohort: every sampled
+    // client's mailbox references the same refcounted payload, so the
+    // round's downlink memory is O(1) in cohort size.
+    std::vector<int> cohort;
+    cohort.reserve(sampled.size());
+    for (const std::size_t c : sampled) cohort.push_back(ids[c]);
+    const std::size_t broadcasts_delivered =
+        net_->broadcast(kServerNode, cohort, broadcast_bytes);
+    const std::size_t round_drops = cohort.size() - broadcasts_delivered;
+    const std::uint64_t bytes_down =
+        static_cast<std::uint64_t>(broadcasts_delivered) *
+        broadcast_bytes.size();
 
     // Collect until the hard deadline, or earlier once every delivered
     // broadcast has produced a current-round update.  Stale and duplicate
@@ -377,9 +481,9 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
       if (remaining <= 0.0) break;
       std::optional<Message> msg = net_->receive(kServerNode, remaining);
       if (!msg) break;
-      bytes_up += msg->bytes.size();
+      bytes_up += msg->payload().size();
       logical_up += logical_msg_bytes;
-      WeightUpdate u = deserialize_update(msg->bytes);
+      WeightUpdate u = deserialize_update(msg->payload());
       if (u.round == round) fresh_senders.insert(u.client_id);
       raw.push_back(std::move(u));
     }
@@ -387,18 +491,22 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
     RoundMetrics rm =
         close_round(*server_, round, std::move(raw),
                     broadcasts_delivered, seconds_since(round_t0));
-    // Per-client train seconds sampled at round close: a client that did
-    // not train this round (crashed / missed broadcast) still reports its
-    // previous round's value, so this is a best-effort snapshot in the
-    // threaded schedule.
-    std::vector<double> client_seconds(n, 0.0);
+    // Per-client train seconds sampled at round close (sampled cohort only
+    // — the others did not train): a client that did not finish this round
+    // (crashed / missed broadcast) still reports its previous round's
+    // value, so this is a best-effort snapshot in the threaded schedule.
+    std::vector<double> client_seconds;
+    client_seconds.reserve(sampled.size());
     double max_client_seconds = 0.0;
-    for (std::size_t c = 0; c < n; ++c) {
-      client_seconds[c] = (*clients_)[c]->last_train_seconds();
-      max_client_seconds = std::max(max_client_seconds, client_seconds[c]);
+    for (const std::size_t c : sampled) {
+      const double s = (*clients_)[c]->last_train_seconds();
+      client_seconds.push_back(s);
+      max_client_seconds = std::max(max_client_seconds, s);
     }
     rm.max_client_seconds = max_client_seconds;
     rm.dropped_messages = round_drops;
+    rm.population = n;
+    rm.sampled_clients = sampled.size();
     round_span.annotate("accepted",
                         static_cast<std::uint64_t>(rm.updates_received));
     round_span.annotate("rejected",

@@ -32,11 +32,42 @@
 
 namespace evfl::fl {
 
+/// How the driver picks which clients participate each round.  Selection is
+/// a pure hash of (seed, round, client_id) — independent of topology,
+/// thread schedule, and driver choice, so the same policy samples the same
+/// clients whether the fleet is flat, tree-sharded, sync, or threaded.
+enum class SamplingMode {
+  kAll,        // every client, every round (the historical behavior)
+  kBernoulli,  // each client independently with probability `fraction`
+  kFixedSize,  // exactly min(count, population) clients per round
+};
+
+struct SamplingPolicy {
+  SamplingMode mode = SamplingMode::kAll;
+  double fraction = 1.0;    // kBernoulli participation probability, (0, 1]
+  std::size_t count = 0;    // kFixedSize cohort size, >= 1
+  std::uint64_t seed = 17;
+};
+
+/// Uniform hash of (seed, round, client_id) into [0, 1) — the sampling
+/// coin.  Splitmix-based, no state.
+double sampling_hash01(std::uint64_t seed, std::uint32_t round, int client_id);
+
+/// Indices into `ids` of the clients sampled for `round` under `policy`,
+/// in ascending index order.  kFixedSize ranks clients by hash (ties by id)
+/// and takes the smallest `count`.
+std::vector<std::size_t> select_sampled(const SamplingPolicy& policy,
+                                        std::uint32_t round,
+                                        const std::vector<int>& ids);
+
 /// Per-round protocol knobs shared by both drivers.
 struct RoundPolicy {
   /// Hard per-round collection deadline: the server never waits longer than
   /// this for updates; stragglers past it are partially aggregated away.
   double round_deadline_ms = 120'000.0;
+  /// Which clients participate each round.  Unsampled clients never receive
+  /// the broadcast, so they can neither contribute nor time out.
+  SamplingPolicy sampling;
 };
 
 struct RoundMetrics {
@@ -61,8 +92,14 @@ struct RoundMetrics {
   /// Clients that received this round's broadcast yet contributed no
   /// current-round update before the round closed (crashed, straggling, or
   /// their upload was lost).  Clients whose broadcast the network dropped
-  /// are counted in dropped_messages, not here.
+  /// are counted in dropped_messages, not here — and unsampled clients are
+  /// counted nowhere: a client that was never asked cannot time out.
   std::size_t timed_out_clients = 0;
+  /// Total clients the driver manages (the fleet size).
+  std::size_t population = 0;
+  /// Clients selected to participate this round (== population when
+  /// sampling is kAll).
+  std::size_t sampled_clients = 0;
 };
 
 struct FederatedRunResult {

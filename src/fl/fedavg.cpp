@@ -1,8 +1,85 @@
 #include "fl/fedavg.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "common/error.hpp"
 
 namespace evfl::fl {
+namespace {
+
+// 2^64 as a double — exact (power of two), so the multiply below only
+// rescales the exponent and the truncating cast supplies the one rounding
+// step.  Faster than std::ldexp in the hot per-element loop.
+constexpr double kFixedScale = 18446744073709551616.0;
+
+// ±2^114: wire-term clamp bound.
+constexpr ExactTerm kWireTermCap = static_cast<ExactTerm>(1) << 114;
+
+}  // namespace
+
+ExactTerm clamp_wire_term(ExactTerm t) {
+  if (t > kWireTermCap) return kWireTermCap;
+  if (t < -kWireTermCap) return -kWireTermCap;
+  return t;
+}
+
+ExactTerm to_fixed(double term) {
+  // NaN would be UB on the integer cast; map it to zero deterministically.
+  // The validator rejects non-finite updates before they reach aggregation,
+  // so this only matters when validation is explicitly disabled.
+  if (std::isnan(term)) return 0;
+  if (term > kExactTermCap) term = kExactTermCap;
+  if (term < -kExactTermCap) term = -kExactTermCap;
+  return static_cast<ExactTerm>(term * kFixedScale);  // truncates toward zero
+}
+
+void FedAccumulator::reset(std::size_t dim) {
+  acc_.assign(dim, 0);
+  total_weight_ = 0;
+  contributors_ = 0;
+}
+
+void FedAccumulator::add_update(const std::vector<float>& weights,
+                                std::uint64_t w) {
+  EVFL_REQUIRE(weights.size() == acc_.size(),
+               "FedAccumulator: dimension mismatch");
+  EVFL_REQUIRE(w > 0, "FedAccumulator: zero update weight");
+  const double wd = static_cast<double>(w);
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    acc_[i] += to_fixed(wd * static_cast<double>(weights[i]));
+  }
+  EVFL_REQUIRE(total_weight_ + w >= total_weight_,
+               "FedAccumulator: total weight overflow");
+  total_weight_ += w;
+  contributors_ += 1;
+}
+
+void FedAccumulator::add_terms(const std::vector<ExactTerm>& terms,
+                               std::uint64_t added_weight,
+                               std::uint64_t contributors) {
+  EVFL_REQUIRE(terms.size() == acc_.size(),
+               "FedAccumulator: aggregate dimension mismatch");
+  EVFL_REQUIRE(added_weight > 0, "FedAccumulator: zero aggregate weight");
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    acc_[i] += clamp_wire_term(terms[i]);
+  }
+  EVFL_REQUIRE(total_weight_ + added_weight >= total_weight_,
+               "FedAccumulator: total weight overflow");
+  total_weight_ += added_weight;
+  contributors_ += contributors;
+}
+
+void FedAccumulator::mean(std::vector<float>& out) const {
+  EVFL_REQUIRE(total_weight_ > 0, "FedAccumulator: mean of empty accumulator");
+  out.resize(acc_.size());
+  const double tw = static_cast<double>(total_weight_);
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    // (double)__int128 rounds to nearest on GCC/Clang — deterministic.
+    const double sum = std::ldexp(static_cast<double>(acc_[i]), -64);
+    out[i] = static_cast<float>(sum / tw);
+  }
+}
 
 std::vector<float> fed_avg(const std::vector<WeightUpdate>& updates,
                            const FedAvgConfig& cfg) {
@@ -10,33 +87,39 @@ std::vector<float> fed_avg(const std::vector<WeightUpdate>& updates,
   const std::size_t dim = updates.front().weights.size();
   EVFL_REQUIRE(dim > 0, "fed_avg: empty weight vectors");
 
-  double total_weight = 0.0;
+  FedAccumulator acc;
+  acc.reset(dim);
   for (const WeightUpdate& u : updates) {
     if (u.weights.size() != dim) {
       throw Error("fed_avg: weight dimension mismatch (client " +
                   std::to_string(u.client_id) + ")");
     }
-    const double w =
-        cfg.weighted_by_samples ? static_cast<double>(u.sample_count) : 1.0;
-    EVFL_REQUIRE(!cfg.weighted_by_samples || u.sample_count > 0,
-                 "fed_avg: sample-weighted update with zero samples");
-    total_weight += w;
-  }
-  EVFL_ASSERT(total_weight > 0.0, "fed_avg: zero total weight");
-
-  // Accumulate in double: three clients is forgiving, but ablations sweep
-  // to many more and float accumulation would drift.
-  std::vector<double> acc(dim, 0.0);
-  for (const WeightUpdate& u : updates) {
-    const double w =
-        (cfg.weighted_by_samples ? static_cast<double>(u.sample_count) : 1.0) /
-        total_weight;
-    for (std::size_t i = 0; i < dim; ++i) {
-      acc[i] += w * static_cast<double>(u.weights[i]);
+    if (!u.agg_terms.empty()) {
+      // Forwarded partial aggregate: fold the exact shard sums.  Cumulative
+      // sample count makes two-level weighting equal flat weighting.
+      EVFL_REQUIRE(u.agg_terms.size() == dim,
+                   "fed_avg: aggregate term dimension mismatch");
+      const std::uint64_t w =
+          cfg.weighted_by_samples ? u.sample_count : u.agg_contributors;
+      EVFL_REQUIRE(w > 0, cfg.weighted_by_samples
+                              ? "fed_avg: aggregate update with zero samples"
+                              : "fed_avg: aggregate update with zero "
+                                "contributors");
+      acc.add_terms(u.agg_terms, w, u.agg_contributors);
+    } else {
+      EVFL_REQUIRE(!cfg.weighted_by_samples || u.sample_count > 0,
+                   "fed_avg: sample-weighted update with zero samples");
+      // A clipped aggregate arrives here with its exact terms dropped but
+      // agg_contributors intact — it still stands in for that many leaves
+      // under unweighted averaging.
+      const std::uint64_t unweighted =
+          u.agg_contributors > 0 ? u.agg_contributors : 1;
+      acc.add_update(u.weights,
+                     cfg.weighted_by_samples ? u.sample_count : unweighted);
     }
   }
-  std::vector<float> out(dim);
-  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+  std::vector<float> out;
+  acc.mean(out);
   return out;
 }
 

@@ -1,6 +1,14 @@
 // Federated Averaging (McMahan et al.) — the paper's aggregation mechanism.
+//
+// Accumulation is exact: every weighted leaf term is truncated into signed
+// 128-bit fixed point (scale 2^64) and summed with integer addition.  Integer
+// addition is associative, so any grouping of leaves into partial sums — an
+// edge aggregator forwarding its shard's sum upstream — produces bit-identical
+// results to summing all leaves flat.  That grouping-invariance is the
+// correctness claim behind hierarchical (tree) FedAvg in this repo.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "fl/weights.hpp"
@@ -14,8 +22,60 @@ struct FedAvgConfig {
   bool weighted_by_samples = true;
 };
 
+/// Magnitude cap applied to each weighted term before fixed-point conversion.
+/// 2^40 — far above any sane weight*samples product; keeps the per-term fixed
+/// representation within 2^104 so sums over millions of leaves cannot
+/// overflow __int128.
+inline constexpr double kExactTermCap = 1099511627776.0;
+
+/// Cap on terms decoded from the wire (a shard's partial sum, which may
+/// legitimately exceed the per-leaf cap by the shard size).  ±2^114 leaves
+/// headroom for up to 8192 forwarded aggregates below the __int128 limit.
+ExactTerm clamp_wire_term(ExactTerm t);
+
+/// Convert one weighted leaf term to Q?.64 fixed point.  Deterministic for
+/// every input: NaN maps to 0, ±inf and out-of-range values saturate at
+/// ±kExactTermCap, conversion truncates toward zero.  Per-term determinism +
+/// integer associativity is all grouping-invariance needs.
+ExactTerm to_fixed(double term);
+
+/// Streaming exact FedAvg accumulator.  Feed leaf updates (or forwarded
+/// shard sums) in any order/grouping; `mean()` is a pure function of the
+/// multiset of leaves.
+class FedAccumulator {
+ public:
+  /// Start a fresh accumulation over `dim`-element weight vectors.
+  void reset(std::size_t dim);
+
+  /// Fold one leaf update with FedAvg weight `w` (sample count, or 1).
+  void add_update(const std::vector<float>& weights, std::uint64_t w);
+
+  /// Fold a forwarded partial sum: `terms` are a downstream accumulator's
+  /// raw fixed-point sums, `added_weight` its total weight, `contributors`
+  /// the number of leaves it covers.  Terms are clamped to the wire cap.
+  void add_terms(const std::vector<ExactTerm>& terms,
+                 std::uint64_t added_weight, std::uint64_t contributors);
+
+  /// Write the weighted mean into `out` (resized to dim).  Requires a
+  /// nonzero total weight.
+  void mean(std::vector<float>& out) const;
+
+  std::size_t dim() const { return acc_.size(); }
+  std::uint64_t total_weight() const { return total_weight_; }
+  std::uint64_t contributors() const { return contributors_; }
+  const std::vector<ExactTerm>& terms() const { return acc_; }
+
+ private:
+  std::vector<ExactTerm> acc_;
+  std::uint64_t total_weight_ = 0;
+  std::uint64_t contributors_ = 0;
+};
+
 /// Aggregate client updates into the next global weight vector.
 /// All updates must agree on weight dimensionality; throws otherwise.
+/// Updates carrying `agg_terms` (forwarded partial aggregates) are folded
+/// exactly; their FedAvg weight is the cumulative `sample_count` (weighted
+/// mode) or `agg_contributors` (unweighted mode).
 std::vector<float> fed_avg(const std::vector<WeightUpdate>& updates,
                            const FedAvgConfig& cfg = {});
 

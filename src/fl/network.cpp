@@ -67,6 +67,47 @@ bool InMemoryNetwork::send(Message msg) {
   return true;
 }
 
+std::size_t InMemoryNetwork::broadcast(int from, const std::vector<int>& to,
+                                       std::vector<std::uint8_t> bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto shared =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  // Keep the duplicate-injection round gate in sync, same as send() would.
+  if (injector_ != nullptr) {
+    if (const std::optional<WirePeek> peek = peek_header(*shared)) {
+      if (peek->kind == MessageKind::kGlobalModel) {
+        current_round_ = peek->round;
+      }
+    }
+  }
+  const std::size_t size = shared->size();
+  std::size_t delivered = 0;
+  for (const int dest : to) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += size;
+    stats_.virtual_latency_ms +=
+        cfg_.latency_ms_per_message +
+        cfg_.latency_ms_per_kib * (static_cast<double>(size) / 1024.0);
+    if (cfg_.drop_probability > 0.0 &&
+        drop_rng_.bernoulli(cfg_.drop_probability)) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    Message msg;
+    msg.from = from;
+    msg.to = dest;
+    msg.shared = shared;
+    auto& q = queues_[dest];
+    q.push_back(std::move(msg));
+    if (q.size() > stats_.peak_mailbox_depth) {
+      stats_.peak_mailbox_depth = q.size();
+    }
+    ++delivered;
+  }
+  cv_.notify_all();
+  return delivered;
+}
+
 void InMemoryNetwork::send_control(Message msg) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto& q = queues_[msg.to];

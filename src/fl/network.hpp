@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -33,6 +34,16 @@ struct Message {
   int from = 0;
   int to = 0;
   std::vector<std::uint8_t> bytes;
+  /// Set instead of `bytes` for broadcast deliveries: every recipient of
+  /// one broadcast() call shares this single refcounted buffer, so fanning
+  /// a model out to 10k clients costs one payload, not 10k copies.
+  std::shared_ptr<const std::vector<std::uint8_t>> shared = nullptr;
+
+  /// The payload, wherever it lives.  Readers must use this instead of
+  /// touching `bytes` directly.
+  const std::vector<std::uint8_t>& payload() const {
+    return shared ? *shared : bytes;
+  }
 };
 
 struct NetworkConfig {
@@ -66,6 +77,14 @@ class InMemoryNetwork {
   /// Enqueue a message for `msg.to`.  Returns false if the (simulated)
   /// network dropped it.
   bool send(Message msg);
+
+  /// Enqueue one payload for many destinations, sharing a single buffer
+  /// (see Message::shared).  Each delivery draws its own drop decision and
+  /// is charged like an individual send in the traffic stats — the shared
+  /// buffer is a simulator memory optimization, not a modeled multicast.
+  /// Returns the number of deliveries that were not dropped.
+  std::size_t broadcast(int from, const std::vector<int>& to,
+                        std::vector<std::uint8_t> bytes);
 
   /// Enqueue a control-plane message: never dropped, never duplicated, not
   /// counted in the traffic stats.  For simulation control (e.g. the

@@ -3,8 +3,11 @@
 #include <array>
 #include <cstring>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "fl/codec.hpp"
+#include "fl/fedavg.hpp"
 #include "fl/wire_detail.hpp"
 
 namespace evfl::fl {
@@ -96,7 +99,7 @@ Header read_header(Reader& r) {
     h.quant_bits = 0;
   } else {
     const auto codec = r.get<std::uint8_t>();
-    if (codec > static_cast<std::uint8_t>(CodecKind::kQuantDense)) {
+    if (codec > static_cast<std::uint8_t>(CodecKind::kAggSum)) {
       throw FormatError("wire: unknown codec " + std::to_string(codec));
     }
     h.codec = static_cast<CodecKind>(codec);
@@ -117,7 +120,8 @@ Header read_header(Reader& r) {
       throw FormatError("wire: quant bits on an unquantized codec");
     }
     if ((h.codec == CodecKind::kDense || h.codec == CodecKind::kDelta ||
-         h.codec == CodecKind::kQuantDense) &&
+         h.codec == CodecKind::kQuantDense ||
+         h.codec == CodecKind::kAggSum) &&
         h.nnz != h.dim) {
       throw FormatError("wire: dense codec with nnz != dim");
     }
@@ -142,6 +146,9 @@ std::size_t payload_bytes(const Header& h) {
     case CodecKind::kQuantDense:
       return blocks * sizeof(float) +
              wire_detail::packed_bytes(nnz, h.quant_bits);
+    case CodecKind::kAggSum:
+      // contributors + total_weight, then one i128 (two u64 words) per term.
+      return 2 * sizeof(std::uint64_t) + nnz * 16;
   }
   throw FormatError("wire: unknown codec");  // unreachable after read_header
 }
@@ -239,8 +246,45 @@ bool read_payload(Reader& r, const Header& h, std::vector<float>& weights,
       }
       return false;  // absolute weights, just coarser
     }
+    case CodecKind::kAggSum:
+      // Decoded by read_agg_payload from the update path; a global message
+      // carrying it is rejected before reaching here.
+      throw FormatError("wire: aggregate payload outside an update");
   }
   throw FormatError("wire: unknown codec");  // unreachable after read_header
+}
+
+/// Decode a kAggSum payload: CRC, then contributors / total_weight / terms.
+/// Fills both the exact fields and a float mean view in `out.weights` so
+/// every validator rule that inspects the decoded vector still applies.
+void read_agg_payload(Reader& r, const Header& h, WeightUpdate& out) {
+  const std::size_t bytes = payload_bytes(h);
+  r.require(bytes, "truncated payload");
+  const std::uint32_t actual = crc32(r.cursor(), bytes);
+  if (actual != h.crc) throw FormatError("wire: payload CRC mismatch");
+
+  out.agg_contributors = r.get<std::uint64_t>();
+  const auto total_weight = r.get<std::uint64_t>();
+  if (total_weight == 0) {
+    throw FormatError("wire: aggregate with zero total weight");
+  }
+  const std::size_t dim = static_cast<std::size_t>(h.dim);
+  out.agg_terms.resize(dim);
+  out.weights.resize(dim);
+  const double tw = static_cast<double>(total_weight);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const auto lo = r.get<std::uint64_t>();
+    const auto hi = r.get<std::uint64_t>();
+    ExactTerm t = static_cast<ExactTerm>(
+        (static_cast<unsigned __int128>(hi) << 64) |
+        static_cast<unsigned __int128>(lo));
+    // Clamp decoded terms: a hostile peer could otherwise craft sums whose
+    // addition overflows the parent's accumulator (signed overflow is UB).
+    t = clamp_wire_term(t);
+    out.agg_terms[i] = t;
+    out.weights[i] =
+        static_cast<float>(std::ldexp(static_cast<double>(t), -64) / tw);
+  }
 }
 
 thread_local std::vector<std::uint32_t> t_index_scratch;
@@ -336,7 +380,52 @@ void deserialize_update_into(const std::vector<std::uint8_t>& bytes,
   out.round = h.round;
   out.sample_count = h.samples;
   out.train_loss = h.loss;
+  if (h.codec == CodecKind::kAggSum) {
+    out.is_delta = false;
+    read_agg_payload(r, h, out);
+    return;
+  }
+  // Clear stale aggregate state: `out` buffers are reused across decodes.
+  out.agg_terms.clear();
+  out.agg_contributors = 0;
   out.is_delta = read_payload(r, h, out.weights, t_index_scratch);
+}
+
+void serialize_aggregate_into(std::uint32_t round, std::int32_t client,
+                              std::uint64_t samples, float loss,
+                              std::uint64_t contributors,
+                              std::uint64_t total_weight,
+                              const std::vector<ExactTerm>& terms,
+                              std::vector<std::uint8_t>& out) {
+  EVFL_REQUIRE(total_weight > 0, "serialize_aggregate: zero total weight");
+  const std::uint64_t dim = terms.size();
+  out.clear();
+  out.reserve(kWireHeaderBytesV2 + 16 + static_cast<std::size_t>(dim) * 16);
+  Writer w(out);
+  w.put(kWireMagic);
+  w.put(kWireVersion2);
+  w.put(static_cast<std::uint16_t>(MessageKind::kWeightUpdate));
+  w.put(round);
+  w.put(client);
+  w.put(samples);
+  w.put(loss);
+  w.put(static_cast<std::uint8_t>(CodecKind::kAggSum));
+  w.put(std::uint8_t{0});   // quant_bits
+  w.put(std::uint16_t{0});  // reserved
+  w.put(dim);
+  w.put(dim);  // nnz == dim
+  const std::size_t crc_pos = w.pos();
+  w.put(std::uint32_t{0});  // CRC placeholder
+  const std::size_t payload_pos = w.pos();
+  w.put(contributors);
+  w.put(total_weight);
+  for (const ExactTerm t : terms) {
+    const auto u = static_cast<unsigned __int128>(t);
+    w.put(static_cast<std::uint64_t>(u));        // low word
+    w.put(static_cast<std::uint64_t>(u >> 64));  // high word
+  }
+  w.patch_u32(crc_pos,
+              crc32(out.data() + payload_pos, out.size() - payload_pos));
 }
 
 void deserialize_global_into(const std::vector<std::uint8_t>& bytes,

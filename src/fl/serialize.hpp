@@ -41,6 +41,13 @@
 //     kTopKQuant: nnz * u32 indices, ceil(nnz/256) * f32 block scales,
 //                 then nnz packed signed quant_bits-wide values
 //     kQuantDense:ceil(dim/256) * f32 block scales, then dim packed values
+//     kAggSum:    u64 contributors, u64 total_weight, then dim * i128
+//                 fixed-point partial sums (two u64 words each, low first,
+//                 two's complement).  nnz == dim; `samples` in the header is
+//                 the shard's cumulative sample count, `loss` its weighted
+//                 mean train loss.  Decodes into WeightUpdate::agg_terms
+//                 plus a float mean view in `weights` so validator rules
+//                 (dimension, norm) still apply.
 //
 // Decoders throw evfl::FormatError on bad magic/version/kind/codec/CRC/
 // size.  v2 delta payloads decode into WeightUpdate::weights with
@@ -90,6 +97,17 @@ std::vector<std::uint8_t> serialize(const GlobalModel& model);
 /// allocate.
 void serialize_into(const WeightUpdate& update, std::vector<std::uint8_t>& out);
 void serialize_into(const GlobalModel& model, std::vector<std::uint8_t>& out);
+
+/// Serialize an edge aggregator's exact partial sum as a v2 kAggSum update
+/// (buffer-reusing).  `terms` are the accumulator's raw fixed-point sums,
+/// `total_weight` its divisor (mode-dependent: Σ samples or Σ 1), `samples`
+/// the shard's cumulative sample count, `contributors` its accepted leaves.
+void serialize_aggregate_into(std::uint32_t round, std::int32_t client,
+                              std::uint64_t samples, float loss,
+                              std::uint64_t contributors,
+                              std::uint64_t total_weight,
+                              const std::vector<ExactTerm>& terms,
+                              std::vector<std::uint8_t>& out);
 
 /// Peek at the message kind without full decoding; throws FormatError on
 /// malformed headers.

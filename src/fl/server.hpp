@@ -1,70 +1,20 @@
-// Federated server: holds the global model and applies FedAvg to the
-// updates collected each round.  Transport-agnostic — the drivers move the
-// serialized bytes.
-//
-// The server does not trust incoming updates: every finish_round runs the
-// UpdateValidator first (stale/duplicate rejection, non-finite and
-// wrong-dimension rejection, optional norm clipping, quorum), and publishes
-// what it rejected through last_audit().  An all-rejected or under-quorum round leaves the global
-// weights unchanged but still advances the round counter, so a poisoned
-// round costs progress, never correctness.
+// Federated server: the root of an aggregation tree.  All round logic
+// (validate → clip → quorum → FedAvg → advance) lives in fl::Aggregator —
+// see fl/aggregator.hpp; Server remains as the name the flat (one-level)
+// topology and the drivers use for the root node.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "fl/codec.hpp"
-#include "fl/fedavg.hpp"
-#include "fl/validator.hpp"
-#include "fl/weights.hpp"
+#include "fl/aggregator.hpp"
 
 namespace evfl::fl {
 
-class Server {
+class Server : public Aggregator {
  public:
+  // Explicit forwarding ctor (not `using Aggregator::Aggregator`) so
+  // `Server({...})` keeps its historical overload resolution.
   explicit Server(std::vector<float> initial_weights, FedAvgConfig cfg = {},
-                  ValidatorConfig validator_cfg = {}, CodecConfig codec = {});
-
-  std::uint32_t round() const { return round_; }
-  const std::vector<float>& weights() const { return weights_; }
-  const CodecConfig& codec() const { return codec_; }
-
-  /// The broadcast for the current round.
-  GlobalModel broadcast() const;
-
-  /// The broadcast for the current round as wire bytes under the configured
-  /// codec (internal buffer, reused across rounds — valid until the next
-  /// call).  When the codec makes the broadcast lossy, the server also
-  /// decodes its own message and keeps the result as the round's delta
-  /// reference: clients compute deltas against what they *received*, so the
-  /// server must re-materialize against the same basis — that way downlink
-  /// quantization error cancels exactly instead of compounding per round.
-  const std::vector<std::uint8_t>& broadcast_wire();
-
-  /// Validate and aggregate one round's updates and advance the round
-  /// counter.  Returns the L2 movement of the global weights (convergence
-  /// diagnostic).  An empty, all-rejected, or under-quorum update set
-  /// leaves weights unchanged.
-  ///
-  /// Delta-coded updates (WeightUpdate::is_delta, from wire-v2 codecs) are
-  /// validated as deltas, then materialized against the round's broadcast
-  /// reference before FedAvg — mathematically identical to averaging in
-  /// delta space and re-materializing, since FedAvg weights sum to 1.
-  double finish_round(std::vector<WeightUpdate> updates);
-
-  /// Validation outcome of the most recent finish_round.
-  const RoundAudit& last_audit() const { return last_audit_; }
-
- private:
-  std::vector<float> weights_;
-  FedAvgConfig cfg_;
-  UpdateValidator validator_;
-  CodecConfig codec_;
-  RoundAudit last_audit_;
-  std::uint32_t round_ = 0;
-  std::vector<std::uint8_t> wire_buf_;   // broadcast_wire scratch
-  GlobalModel decoded_broadcast_;        // lossy-broadcast reference
-  bool has_lossy_reference_ = false;
+                  ValidatorConfig validator_cfg = {}, CodecConfig codec = {})
+      : Aggregator(std::move(initial_weights), cfg, validator_cfg, codec) {}
 };
 
 }  // namespace evfl::fl

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <unordered_set>
 #include <vector>
 
 #include "fl/weights.hpp"
@@ -68,6 +69,37 @@ class UpdateValidator {
 
  private:
   ValidatorConfig cfg_;
+};
+
+/// Streaming form of the validator: one gate per round, updates admitted as
+/// they arrive.  This is what lets an aggregator run in O(dim) memory — no
+/// per-round buffering of every raw update.  `filter` above is implemented
+/// on top of this, so both paths share one rule set.
+class RoundGate {
+ public:
+  /// `global_weights` must outlive the gate (it is the clip reference).
+  RoundGate(const ValidatorConfig& cfg, std::uint32_t expected_round,
+            const std::vector<float>& global_weights);
+
+  /// Apply the round's rules to `u` in arrival order.  Returns true when
+  /// the update is accepted (possibly norm-clipped in place); false records
+  /// the rejection in the audit.  Clipping a forwarded aggregate drops its
+  /// exact terms — the float mean view is what gets rescaled, so exactness
+  /// is forfeited for that update (clipping is already lossy by intent).
+  bool admit(WeightUpdate& u);
+
+  /// Stamp accepted/quorum and return the audit.  Callable once per round.
+  const RoundAudit& finish();
+
+  const RoundAudit& audit() const { return audit_; }
+
+ private:
+  const ValidatorConfig& cfg_;
+  std::uint32_t expected_round_;
+  const std::vector<float>& global_weights_;
+  RoundAudit audit_;
+  std::unordered_set<int> seen_clients_;
+  std::size_t accepted_ = 0;
 };
 
 /// True when every weight is finite.

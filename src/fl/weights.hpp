@@ -9,6 +9,12 @@
 
 namespace evfl::fl {
 
+/// Fixed-point accumulator term used by the exact FedAvg path.  Weighted
+/// per-leaf products are truncated into Q?.64 fixed point; integer addition
+/// is associative, which is what makes tree aggregation bit-identical to
+/// flat aggregation regardless of how leaves are grouped into shards.
+using ExactTerm = __int128;
+
 /// One client's contribution to a federated round.
 struct WeightUpdate {
   std::int32_t client_id = -1;
@@ -21,6 +27,12 @@ struct WeightUpdate {
   /// delta directly, averages in delta space and re-materializes against
   /// the round's broadcast reference.
   bool is_delta = false;
+  /// Non-empty iff this update is a forwarded partial aggregate (kAggSum
+  /// wire codec): the raw fixed-point sums of an edge aggregator's shard.
+  /// `weights` then holds the float mean view (for validator rules); the
+  /// parent folds `agg_terms` instead, preserving exactness.
+  std::vector<ExactTerm> agg_terms;
+  std::uint64_t agg_contributors = 0;  // leaves behind this aggregate
 };
 
 /// Global model broadcast from server to clients.

@@ -56,6 +56,8 @@ void RoundTelemetrySink::write_json(
        << ", \"late_updates\": " << r.late_updates
        << ", \"dropped_messages\": " << r.dropped_messages
        << ", \"timed_out_clients\": " << r.timed_out_clients
+       << ", \"population\": " << r.population
+       << ", \"sampled_clients\": " << r.sampled_clients
        << ", \"rejected_nonfinite\": " << r.rejected_nonfinite
        << ", \"rejected_stale\": " << r.rejected_stale
        << ", \"rejected_duplicate\": " << r.rejected_duplicate
@@ -73,8 +75,10 @@ void RoundTelemetrySink::write_json(
   std::uint64_t bytes_up = 0, bytes_down = 0;
   std::uint64_t logical_up = 0, logical_down = 0;
   std::size_t accepted = 0, rejected = 0, late = 0, dropped = 0, timed_out = 0;
+  std::size_t sampled = 0;
   double wall = 0.0;
   for (const RoundTelemetry& r : rounds_) {
+    sampled += r.sampled_clients;
     bytes_up += r.bytes_up;
     bytes_down += r.bytes_down;
     logical_up += r.logical_bytes_up;
@@ -101,7 +105,8 @@ void RoundTelemetrySink::write_json(
      << ", \"updates_accepted\": " << accepted
      << ", \"rejected_updates\": " << rejected << ", \"late_updates\": " << late
      << ", \"dropped_messages\": " << dropped
-     << ", \"timed_out_clients\": " << timed_out << "},\n  \"counters\": {";
+     << ", \"timed_out_clients\": " << timed_out
+     << ", \"sampled_clients\": " << sampled << "},\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : extra_counters) {
     if (!first) os << ", ";

@@ -58,6 +58,10 @@ struct RoundTelemetry {
   std::size_t late_updates = 0;
   std::size_t dropped_messages = 0;
   std::size_t timed_out_clients = 0;
+  /// Fleet size the driver manages, and how many clients were sampled to
+  /// participate this round (== population without client sampling).
+  std::size_t population = 0;
+  std::size_t sampled_clients = 0;
 
   // Validator rejection reasons (mirrors fl::RoundAudit).
   std::size_t rejected_nonfinite = 0;

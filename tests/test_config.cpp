@@ -56,6 +56,38 @@ TEST(CliOverrides, RejectsBadCodecKnobs) {
   EXPECT_THROW(apply(cfg, {"--quant-bits", "0"}), Error);
 }
 
+TEST(CliOverrides, AppliesFleetKnobs) {
+  ExperimentConfig cfg;
+  EXPECT_EQ(cfg.fleet_clients, 0u);  // flat 3-zone federation by default
+  apply(cfg, {"--clients", "2048", "--edges", "16", "--sample-frac", "0.25"});
+  EXPECT_EQ(cfg.fleet_clients, 2048u);
+  EXPECT_EQ(cfg.fleet_edges, 16u);
+  EXPECT_DOUBLE_EQ(cfg.sample_frac, 0.25);
+  // describe() surfaces the fleet only when one is configured.
+  EXPECT_NE(describe(cfg).find("clients=2048"), std::string::npos);
+  EXPECT_NE(describe(cfg).find("edges=16"), std::string::npos);
+}
+
+TEST(CliOverrides, RejectsBadFleetKnobs) {
+  ExperimentConfig cfg;
+  // Same strict full-token numeric parsing as every other knob: trailing
+  // garbage, negatives, and out-of-range values all throw.
+  EXPECT_THROW(apply(cfg, {"--clients", "10x"}), Error);
+  EXPECT_THROW(apply(cfg, {"--clients", "-5"}), Error);
+  EXPECT_THROW(apply(cfg, {"--clients", "2000000"}), Error);
+  EXPECT_THROW(apply(cfg, {"--edges", "0"}), Error);
+  EXPECT_THROW(apply(cfg, {"--edges", "8192"}), Error);
+  EXPECT_THROW(apply(cfg, {"--edges", "4.5"}), Error);
+  EXPECT_THROW(apply(cfg, {"--sample-frac", "0"}), Error);
+  EXPECT_THROW(apply(cfg, {"--sample-frac", "1.5"}), Error);
+  EXPECT_THROW(apply(cfg, {"--sample-frac", "0.5.1"}), Error);
+  EXPECT_THROW(apply(cfg, {"--sample-frac", "25%"}), Error);
+  // Nothing was half-applied.
+  EXPECT_EQ(cfg.fleet_clients, 0u);
+  EXPECT_EQ(cfg.fleet_edges, 8u);
+  EXPECT_DOUBLE_EQ(cfg.sample_frac, 1.0);
+}
+
 TEST(CliOverrides, RejectsTrailingGarbageOnIntegers) {
   // Regression: std::stoul accepted "8x" as 8 — a typo'd unit suffix ran
   // the experiment with a silently different configuration.

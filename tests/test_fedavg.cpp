@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "fl/weights.hpp"
 
@@ -84,6 +86,103 @@ TEST(FedAvg, AverageStaysWithinHull) {
   EXPECT_LE(avg[0], 2.0f);
   EXPECT_GE(avg[1], 1.0f);
   EXPECT_LE(avg[1], 5.0f);
+}
+
+TEST(FedAccumulator, StreamingMatchesBatch) {
+  const std::vector<WeightUpdate> updates = {
+      make_update(0, 300, {0.125f, -2.5f}),
+      make_update(1, 100, {4.0f, 0.75f}),
+      make_update(2, 57, {-1.25f, 3.5f}),
+  };
+  const std::vector<float> batch = fed_avg(updates);
+  FedAccumulator acc;
+  acc.reset(2);
+  for (const WeightUpdate& u : updates) acc.add_update(u.weights, u.sample_count);
+  std::vector<float> streamed;
+  acc.mean(streamed);
+  EXPECT_EQ(streamed, batch);  // bit-identical, not just close
+}
+
+TEST(FedAccumulator, GroupingInvarianceWithHeterogeneousSamples) {
+  // The satellite-1 property at the accumulator level: folding per-group
+  // fixed-point sums with *cumulative* sample counts reproduces the flat
+  // weighted mean bit for bit, whatever the grouping.
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 12; ++i) {
+    updates.push_back(make_update(
+        i, 10 + 37 * static_cast<std::uint64_t>(i),
+        {0.1f * static_cast<float>(i) - 0.4f,
+         1.0f / (1.0f + static_cast<float>(i))}));
+  }
+
+  FedAccumulator flat;
+  flat.reset(2);
+  for (const WeightUpdate& u : updates) flat.add_update(u.weights, u.sample_count);
+  std::vector<float> flat_mean;
+  flat.mean(flat_mean);
+
+  for (const std::size_t groups : {1u, 3u, 4u}) {
+    FedAccumulator parent;
+    parent.reset(2);
+    for (std::size_t g = 0; g < groups; ++g) {
+      FedAccumulator shard;
+      shard.reset(2);
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = g; i < updates.size(); i += groups) {
+        shard.add_update(updates[i].weights, updates[i].sample_count);
+        cumulative += updates[i].sample_count;
+      }
+      parent.add_terms(shard.terms(), cumulative, shard.contributors());
+    }
+    std::vector<float> tree_mean;
+    parent.mean(tree_mean);
+    EXPECT_EQ(tree_mean, flat_mean) << groups << " groups";
+  }
+}
+
+TEST(FedAvg, FoldsForwardedAggregates) {
+  // An update carrying agg_terms is a shard's exact partial sum; fed_avg
+  // must weight it by its cumulative sample count.
+  FedAccumulator shard;
+  shard.reset(1);
+  shard.add_update({2.0f}, 300);  // leaves: 300 samples at 2.0
+  shard.add_update({6.0f}, 100);  //         100 samples at 6.0
+
+  WeightUpdate forwarded;
+  forwarded.client_id = -2;
+  forwarded.sample_count = 400;  // cumulative
+  forwarded.weights = {3.0f};    // the mean view (validator's concern)
+  forwarded.agg_terms = shard.terms();
+  forwarded.agg_contributors = 2;
+  const std::vector<WeightUpdate> mixed = {
+      forwarded, make_update(9, 400, {5.0f})};
+  const std::vector<float> avg = fed_avg(mixed);
+  // (300*2 + 100*6 + 400*5) / 800 = 4.0
+  EXPECT_FLOAT_EQ(avg[0], 4.0f);
+
+  // Unweighted mode folds by contributor count.  The shard must have been
+  // accumulated under the same (unweighted) config — weight 1 per leaf.
+  FedAccumulator flat_shard;
+  flat_shard.reset(1);
+  flat_shard.add_update({2.0f}, 1);
+  flat_shard.add_update({6.0f}, 1);
+  WeightUpdate forwarded_unweighted = forwarded;
+  forwarded_unweighted.agg_terms = flat_shard.terms();
+  FedAvgConfig cfg;
+  cfg.weighted_by_samples = false;
+  const std::vector<float> unweighted =
+      fed_avg({forwarded_unweighted, make_update(9, 400, {5.0f})}, cfg);
+  EXPECT_NEAR(unweighted[0], (2.0 + 6.0 + 5.0) / 3.0, 1e-6);
+}
+
+TEST(FedAvg, ToFixedHandlesNonFiniteAndCap) {
+  EXPECT_EQ(to_fixed(std::numeric_limits<double>::quiet_NaN()),
+            static_cast<ExactTerm>(0));
+  EXPECT_EQ(to_fixed(std::numeric_limits<double>::infinity()),
+            to_fixed(kExactTermCap));
+  EXPECT_EQ(to_fixed(-std::numeric_limits<double>::infinity()),
+            to_fixed(-kExactTermCap));
+  EXPECT_EQ(to_fixed(1.0), static_cast<ExactTerm>(1) << 64);
 }
 
 TEST(WeightsHelpers, AxpyAndDistance) {
