@@ -1,10 +1,12 @@
-// Fault-tolerance matrix: sweep crash-fraction x corruption-rate over a
-// federated run and show that forecast quality (validation R² of the global
-// model) degrades gracefully — the hardened round protocol rejects poisoned
-// updates and times out crashed clients instead of hanging or diverging.
+// Fault-tolerance matrix: sweep crash-fraction x corruption-rate x
+// attacker-presence over a federated run and show that forecast quality
+// (validation R² of the global model) degrades gracefully — the hardened
+// round protocol rejects poisoned updates and times out crashed clients
+// instead of hanging or diverging, and a trimmed-mean defense keeps one
+// live within-clip-norm (ALIE) attacker from compounding with the faults.
 //
 // Writes BENCH_faults.json with one cell per (crash_fraction,
-// corruption_rate) pair, plus trace/metrics telemetry under
+// corruption_rate, attack) triple, plus trace/metrics telemetry under
 // build/artifacts/ (override with --trace-out / --metrics-json).
 #include <fstream>
 #include <iomanip>
@@ -16,6 +18,7 @@
 #include "data/csv.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
+#include "fl/adversary.hpp"
 #include "fl/driver.hpp"
 #include "metrics/regression.hpp"
 #include "nn/dense.hpp"
@@ -78,13 +81,14 @@ double holdout_r2(const std::vector<float>& weights) {
 struct Cell {
   double crash_fraction = 0.0;
   double corruption_rate = 0.0;
+  bool attacked = false;
   double r2 = 0.0;
   std::size_t rejected = 0;
   std::size_t timed_out = 0;
   std::size_t accepted = 0;
 };
 
-Cell run_cell(double crash_fraction, double corruption_rate,
+Cell run_cell(double crash_fraction, double corruption_rate, bool attacked,
               const runtime::RunContext* ctx,
               obs::RoundTelemetrySink* telemetry) {
   auto clients = make_clients();
@@ -103,17 +107,34 @@ Cell run_cell(double crash_fraction, double corruption_rate,
   }
   const faults::FaultInjector injector(plan, kFaultSeed);
 
+  // Attacked cells add one live within-clip-norm ALIE attacker (the last
+  // client, which the crash plan never takes) and defend with trimmed mean;
+  // the validator alone cannot see a within-norm poison, so the cell shows
+  // the robust rule carrying the matrix's graceful-degradation guarantee.
+  fl::AdversaryConfig acfg;
+  acfg.kind = attacked ? fl::AttackKind::kAlie : fl::AttackKind::kNone;
+  acfg.attackers = {kClients - 1};
+  acfg.norm_budget = 1.0;
+  const fl::AdversarySuite adversary(acfg);
+
   fl::ValidatorConfig vc;
   vc.max_update_norm = 10.0;
-  fl::Server server({0.0f, 0.0f}, {}, vc);
+  fl::FedAvgConfig fedavg;
+  if (attacked) {
+    fedavg.rule = fl::AggregationRule::kTrimmedMean;
+    fedavg.trim_fraction = 0.34;
+  }
+  fl::Server server({0.0f, 0.0f}, fedavg, vc);
   fl::InMemoryNetwork net;
   fl::SyncDriver driver(server, clients, net, ctx, &injector,
-                        fl::RoundPolicy{}, telemetry);
+                        fl::RoundPolicy{}, telemetry,
+                        attacked ? &adversary : nullptr);
   const fl::FederatedRunResult result = driver.run(kRounds);
 
   Cell cell;
   cell.crash_fraction = crash_fraction;
   cell.corruption_rate = corruption_rate;
+  cell.attacked = attacked;
   cell.r2 = holdout_r2(result.final_weights);
   cell.rejected = result.total_rejected_updates();
   cell.timed_out = result.total_timed_out_clients();
@@ -157,36 +178,53 @@ int main(int argc, char** argv) {
   const std::vector<double> crash_fractions = {0.0, 1.0 / 6.0, 1.0 / 3.0};
   const std::vector<double> corruption_rates = {0.0, 0.25, 0.5};
 
-  std::cout << "=== fault matrix: crash fraction x corruption rate ===\n"
-            << "clients=" << kClients << " rounds=" << kRounds
-            << " (SyncDriver, validator: reject non-finite, clip norm 10)\n\n"
+  std::cout << "=== fault matrix: crash fraction x corruption rate x attack ==="
+            << "\nclients=" << kClients << " rounds=" << kRounds
+            << " (SyncDriver, validator: reject non-finite, clip norm 10;\n"
+            << " attacked cells: 1 ALIE client, trimmed-mean defense)\n\n"
             << std::left << std::setw(12) << "crash_frac" << std::setw(14)
-            << "corrupt_rate" << std::setw(10) << "R2" << std::setw(10)
-            << "accepted" << std::setw(10) << "rejected" << std::setw(10)
-            << "timed_out" << "\n";
+            << "corrupt_rate" << std::setw(10) << "attack" << std::setw(10)
+            << "R2" << std::setw(10) << "accepted" << std::setw(10)
+            << "rejected" << std::setw(10) << "timed_out" << "\n";
 
   std::vector<Cell> cells;
   double r2_clean = 0.0;
-  for (const double cf : crash_fractions) {
-    for (const double cr : corruption_rates) {
-      const Cell cell = run_cell(cf, cr, &ctx, &telemetry);
-      if (cf == 0.0 && cr == 0.0) r2_clean = cell.r2;
-      cells.push_back(cell);
-      std::cout << std::left << std::setw(12) << fmt(cf, 2) << std::setw(14)
-                << fmt(cr, 2) << std::setw(10) << fmt(cell.r2) << std::setw(10)
-                << cell.accepted << std::setw(10) << cell.rejected
-                << std::setw(10) << cell.timed_out << "\n";
+  for (const bool attacked : {false, true}) {
+    for (const double cf : crash_fractions) {
+      for (const double cr : corruption_rates) {
+        const Cell cell = run_cell(cf, cr, attacked, &ctx, &telemetry);
+        if (cf == 0.0 && cr == 0.0 && !attacked) r2_clean = cell.r2;
+        cells.push_back(cell);
+        std::cout << std::left << std::setw(12) << fmt(cf, 2) << std::setw(14)
+                  << fmt(cr, 2) << std::setw(10)
+                  << (attacked ? "alie" : "none") << std::setw(10)
+                  << fmt(cell.r2) << std::setw(10) << cell.accepted
+                  << std::setw(10) << cell.rejected << std::setw(10)
+                  << cell.timed_out << "\n";
+      }
     }
   }
 
   std::cout << "\n--- shape checks ---\n";
-  bool holds = true;
+  // Trimmed mean holds only while a majority of the *accepted* updates are
+  // honest; at corruption rate 0.5 the validator sometimes rejects every
+  // honest survivor and the attacker owns the round — no aggregation rule
+  // can help there.  So: tight degradation bound in the honest-majority
+  // regime, bounded (clip-limited, never divergent) degradation beyond it.
+  bool majority_holds = true, bounded_holds = true;
   for (const Cell& c : cells) {
-    if (c.r2 < r2_clean - 0.1) holds = false;
+    const bool honest_majority = !c.attacked || c.corruption_rate <= 0.25;
+    if (honest_majority && c.r2 < r2_clean - 0.1) majority_holds = false;
+    if (!(c.r2 >= 0.25)) bounded_holds = false;  // also catches NaN
   }
+  const bool holds = majority_holds && bounded_holds;
   std::cout << "fault-free R2: " << fmt(r2_clean) << "\n"
-            << "R2 within 0.1 of fault-free across the whole matrix: "
-            << (holds ? "YES" : "NO") << "\n";
+            << "R2 within 0.1 of fault-free wherever an honest majority "
+               "survives: "
+            << (majority_holds ? "YES" : "NO") << "\n"
+            << "R2 bounded (>= 0.25, finite) even with attacker + majority "
+               "corruption: "
+            << (bounded_holds ? "YES" : "NO") << "\n";
 
   std::ofstream json("BENCH_faults.json");
   json << "{\n  \"clients\": " << kClients << ",\n  \"rounds\": " << kRounds
@@ -196,6 +234,7 @@ int main(int argc, char** argv) {
     const Cell& c = cells[i];
     json << "    {\"crash_fraction\": " << fmt(c.crash_fraction, 4)
          << ", \"corruption_rate\": " << fmt(c.corruption_rate, 4)
+         << ", \"attack\": \"" << (c.attacked ? "alie" : "none") << "\""
          << ", \"r2\": " << fmt(c.r2, 6) << ", \"accepted\": " << c.accepted
          << ", \"rejected\": " << c.rejected
          << ", \"timed_out\": " << c.timed_out << "}"

@@ -122,6 +122,17 @@ void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv) {
                     "' (expected a fraction in (0, 1])");
       }
       cfg.sample_frac = frac;
+    } else if (key == "--agg-rule") {
+      cfg.fedavg.rule = fl::parse_aggregation_rule(value);
+    } else if (key == "--attack-kind") {
+      cfg.attack.kind = fl::parse_attack_kind(value);
+    } else if (key == "--attack-frac") {
+      const double frac = parse_double(key, value);
+      if (frac < 0.0 || frac > 1.0) {
+        throw Error("bad value for --attack-frac: '" + value +
+                    "' (expected a fraction in [0, 1])");
+      }
+      cfg.attack.fraction = frac;
     } else if (key == "--cache-dir") {
       cfg.cache_dir = value;
     } else if (key == "--trace-out") {
@@ -150,7 +161,12 @@ std::string describe(const ExperimentConfig& cfg) {
      << " threshold=" << anomaly::to_string(cfg.filter.threshold.kind) << "("
      << cfg.filter.threshold.param << ")"
      << " seed=" << cfg.seed << " threads=" << cfg.threads
-     << " codec=" << fl::to_string(cfg.codec.kind);
+     << " codec=" << fl::to_string(cfg.codec.kind)
+     << " agg-rule=" << fl::to_string(cfg.fedavg.rule);
+  if (cfg.attack.kind != fl::AttackKind::kNone) {
+    os << " attack=" << fl::to_string(cfg.attack.kind)
+       << " attack-frac=" << cfg.attack.fraction;
+  }
   if (cfg.fleet_clients > 0) {
     os << " clients=" << cfg.fleet_clients << " edges=" << cfg.fleet_edges
        << " sample-frac=" << cfg.sample_frac;

@@ -10,6 +10,7 @@
 #include "anomaly/filter.hpp"
 #include "attack/ddos_injector.hpp"
 #include "datagen/shenzhen.hpp"
+#include "fl/adversary.hpp"
 #include "fl/codec.hpp"
 #include "fl/fedavg.hpp"
 #include "forecast/model.hpp"
@@ -22,6 +23,9 @@ struct ExperimentConfig {
   anomaly::FilterConfig filter;            // AE 50->25->25->50, 98th pct
   forecast::ForecasterConfig forecaster;   // LSTM 50, Dense 10 relu, Dense 1
   fl::FedAvgConfig fedavg;
+  /// Adaptive adversary simulated inside the protocol (default: none).
+  /// `fedavg.rule` picks the aggregation defense.
+  fl::AdversaryConfig attack;
   /// Wire codec for the federated comms path (default kDense: lossless v1
   /// bytes, bit-identical results to the uncompressed path).
   fl::CodecConfig codec;
@@ -76,6 +80,9 @@ struct ExperimentConfig {
 ///   --cache-dir PATH  --trace-out FILE  --metrics-json FILE
 ///   --codec dense|delta|topk|topk_q  --topk-frac X  --quant-bits 4|8
 ///   --clients N  --edges N  --sample-frac X
+///   --agg-rule mean|trimmed_mean|median|norm_bounded|multi_krum
+///   --attack-kind none|sign_flip|alie|label_flip|backdoor
+///   --attack-frac X (fraction of clients compromised, [0, 1])
 /// Unknown keys throw evfl::Error (typos must not silently run the
 /// default), and numeric values must consume the whole token: "8x" or
 /// "1.5abc" is an error, never a silent prefix parse.

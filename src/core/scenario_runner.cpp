@@ -91,8 +91,20 @@ ScenarioResult ScenarioRunner::run_federated(DataScenario scenario) {
   client_cfg.learning_rate = cfg_.forecaster.learning_rate;
   client_cfg.codec = cfg_.codec;
 
+  // --attack-kind/--attack-frac: hash-seeded attacker membership over the
+  // scenario's clients.  Data-poisoning kinds relabel the training tensors
+  // here, before the Client takes ownership; model-poisoning kinds hook the
+  // drivers below.
+  const fl::AdversarySuite adversary(cfg_.attack);
+  const fl::AdversarySuite* adv =
+      cfg_.attack.kind == fl::AttackKind::kNone ? nullptr : &adversary;
+
   std::vector<std::unique_ptr<fl::Client>> fl_clients;
   for (std::size_t c = 0; c < prepared.size(); ++c) {
+    if (adv != nullptr) {
+      adv->poison_labels(static_cast<int>(c), 0, prepared[c].train.x,
+                         prepared[c].train.y);
+    }
     fl_clients.push_back(std::make_unique<fl::Client>(
         static_cast<int>(c), prepared[c].train.x, prepared[c].train.y, factory,
         client_cfg, root.split()));
@@ -114,11 +126,12 @@ ScenarioResult ScenarioRunner::run_federated(DataScenario scenario) {
   std::unique_ptr<fl::Driver> driver;
   if (cfg_.threaded) {
     driver = std::make_unique<fl::ThreadedDriver>(server, fl_clients, net,
-                                                  nullptr, &ctx_, &rounds_);
+                                                  nullptr, &ctx_, &rounds_,
+                                                  adv);
   } else {
     driver = std::make_unique<fl::SyncDriver>(server, fl_clients, net, &ctx_,
                                               nullptr, fl::RoundPolicy{},
-                                              &rounds_);
+                                              &rounds_, adv);
   }
   const fl::FederatedRunResult run = driver->run(cfg_.federated_rounds);
   scenario_span.end();

@@ -1,0 +1,128 @@
+// Model-poisoning adversaries inside the FL protocol.
+//
+// Unlike faults::FaultInjector — which scripts *generic* failures (crash,
+// NaN, norm inflation) that the validator was built to stop — this suite
+// models an *adaptive* adversary who knows the defense parameters and
+// crafts updates to slip past them:
+//
+//   kSignFlip   crude model poisoning: ship the broadcast minus a scaled
+//               version of the honest movement.  Large scales trip the
+//               validator's norm clip; the attack exists as the baseline
+//               the clip *does* stop.
+//   kAlie       colluding within-clip-norm drift (a-little-is-enough
+//               style): every attacker ships broadcast + drift, where the
+//               drift direction is one shared hash-derived sign vector and
+//               its L2 norm is exactly `norm_budget` ≤ the validator's
+//               max_update_norm.  Each update passes UpdateValidator
+//               untouched; the collusion is invisible per-update and only
+//               order-statistic aggregation rules (fl::AggregationRule)
+//               defend the mean.
+//   kLabelFlip  training-data poisoning: labels are reflected within the
+//               client's observed label range before training, so the
+//               poisoned update is produced by the *real* Client::train
+//               path and is statistically unremarkable on the wire.
+//   kBackdoor   targeted-zone data poisoning: only samples whose mean
+//               input falls inside [trigger_lo, trigger_hi) are relabeled
+//               to `backdoor_value` — degrading one zone's forecasts while
+//               the global fit (and global R²) stays nearly intact.
+//
+// Every decision is a pure hash of (seed, client / coordinate) — the same
+// splitmix64 idiom as faults::FaultPlan — so a grid re-run with the same
+// seed reproduces the identical attack bit for bit, across thread
+// schedules and driver choices.  The suite is immutable after construction
+// and safe to share across threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fl/weights.hpp"
+#include "tensor/tensor3.hpp"
+
+namespace evfl::fl {
+
+enum class AttackKind : std::uint8_t {
+  kNone = 0,
+  kSignFlip = 1,   // scaled sign-flip of the honest movement
+  kAlie = 2,       // colluding within-clip-norm drift
+  kLabelFlip = 3,  // label reflection through the real training path
+  kBackdoor = 4,   // targeted-zone relabeling
+};
+
+/// "none" / "sign_flip" / "alie" / "label_flip" / "backdoor".
+std::string to_string(AttackKind kind);
+
+/// Inverse of to_string for the --attack-kind CLI knob; throws evfl::Error
+/// on an unknown name.
+AttackKind parse_attack_kind(const std::string& name);
+
+struct AdversaryConfig {
+  AttackKind kind = AttackKind::kNone;
+  /// Bernoulli membership probability per client (hash of (seed, id)), used
+  /// when `attackers` is empty.  Benches wanting an exact count should use
+  /// AdversarySuite::pick_attackers instead.
+  double fraction = 0.0;
+  /// Explicit attacker ids — authoritative when non-empty.
+  std::vector<int> attackers;
+  std::uint64_t seed = 1337;
+  /// Inclusive round window in which the attack is live.  Model-poisoning
+  /// attacks stop cleanly outside it; data poisoning only re-arms where the
+  /// training data itself is rebuilt per round (the fleet path).
+  std::uint32_t round_begin = 0;
+  std::uint32_t round_end = 0xFFFFFFFFu;
+
+  /// kSignFlip: the attacker ships reference - sign_scale * movement.
+  double sign_scale = 10.0;
+  /// kAlie: exact L2 norm of the shared drift.  Keep it at or under the
+  /// validator's max_update_norm and every poisoned update passes the gate
+  /// unclipped.
+  double norm_budget = 1.0;
+
+  /// kBackdoor trigger zone in (scaled) mean-input space, half-open.
+  float trigger_lo = 0.75f;
+  float trigger_hi = 2.0f;
+  /// Label written for triggered samples (kBackdoor).
+  float backdoor_value = 0.0f;
+};
+
+class AdversarySuite {
+ public:
+  explicit AdversarySuite(AdversaryConfig cfg);
+
+  const AdversaryConfig& config() const { return cfg_; }
+  AttackKind kind() const { return cfg_.kind; }
+
+  /// Membership is a pure function of (seed, id): explicit list when given,
+  /// else a Bernoulli hash threshold on `fraction`.
+  bool is_attacker(int client_id) const;
+
+  /// Membership AND the round window: whether this client attacks now.
+  bool active(int client_id, std::uint32_t round) const;
+
+  /// Model-poisoning hook — call after local training, before encoding.
+  /// `reference` is the broadcast weights the client trained from (the
+  /// movement basis).  Mutates `u.weights` in place for kSignFlip/kAlie
+  /// when this client is active; returns true when the update was poisoned.
+  bool poison_update(WeightUpdate& u, const std::vector<float>& reference) const;
+
+  /// Data-poisoning hook — call before the update is trained (kLabelFlip /
+  /// kBackdoor).  `x` supplies the backdoor trigger features; `y` is
+  /// relabeled in place.  Returns the number of poisoned samples.
+  std::size_t poison_labels(int client_id, std::uint32_t round,
+                            const tensor::Tensor3& x,
+                            tensor::Tensor3& y) const;
+
+  /// Exact-count attacker selection for benches and tests: the
+  /// floor(fraction * ids.size()) clients with the smallest membership
+  /// hashes (ties by id).  Deterministic in (fraction, seed, ids).
+  static std::vector<int> pick_attackers(double fraction, std::uint64_t seed,
+                                         const std::vector<int>& ids);
+
+ private:
+  AdversaryConfig cfg_;
+  std::unordered_set<int> explicit_members_;
+};
+
+}  // namespace evfl::fl

@@ -39,6 +39,9 @@ void Aggregator::adopt(std::uint32_t round, const std::vector<float>& weights) {
 void Aggregator::open_round() {
   gate_.emplace(validator_.config(), round_, weights_);
   accum_.reset(weights_.size());
+  if (cfg_.rule != AggregationRule::kMean) {
+    robust_buf_.reset(weights_.size(), cfg_.robust_buffer_cap);
+  }
   samples_accum_ = 0;
   loss_accum_ = 0.0;
 }
@@ -79,7 +82,15 @@ void Aggregator::offer(WeightUpdate u) {
     const std::uint64_t unweighted =
         u.agg_contributors > 0 ? u.agg_contributors : 1;
     fold_weight = cfg_.weighted_by_samples ? u.sample_count : unweighted;
-    accum_.add_update(u.weights, fold_weight);
+    const bool is_leaf = u.agg_contributors == 0;
+    if (cfg_.rule != AggregationRule::kMean && is_leaf && !robust_buf_.full()) {
+      // Robust mode buffers leaves for the order-statistic reduction at
+      // close.  Forwarded aggregates (robust at their own tier) and any
+      // overflow past the buffer cap keep folding into the exact mean.
+      robust_buf_.add(u.weights, fold_weight);
+    } else {
+      accum_.add_update(u.weights, fold_weight);
+    }
   }
   samples_accum_ += u.sample_count;
   loss_accum_ +=
@@ -94,10 +105,41 @@ double Aggregator::close_round() {
   has_lossy_reference_ = false;
   if (last_audit_.accepted == 0 || !last_audit_.quorum_met) return 0.0;
 
-  accum_.mean(next_scratch_);
+  if (cfg_.rule == AggregationRule::kMean || robust_buf_.count() == 0) {
+    accum_.mean(next_scratch_);
+  } else {
+    // The movement basis for kNormBoundedMean is the weights the round
+    // opened with — still in weights_ until the swap below.
+    robust_buf_.aggregate(cfg_, &weights_, robust_scratch_);
+    if (accum_.total_weight() == 0) {
+      next_scratch_.assign(robust_scratch_.begin(), robust_scratch_.end());
+    } else {
+      // Robust leaf reduction + exactly-folded shard aggregates, combined
+      // by total FedAvg weight.
+      accum_.mean(next_scratch_);
+      const double wr = static_cast<double>(robust_buf_.total_weight());
+      const double wm = static_cast<double>(accum_.total_weight());
+      for (std::size_t i = 0; i < next_scratch_.size(); ++i) {
+        next_scratch_[i] = static_cast<float>(
+            (wr * static_cast<double>(robust_scratch_[i]) +
+             wm * static_cast<double>(next_scratch_[i])) /
+            (wr + wm));
+      }
+    }
+  }
   const double delta = l2_distance(weights_, next_scratch_);
   std::swap(weights_, next_scratch_);
   return delta;
+}
+
+std::uint64_t Aggregator::accepted_contributors() const {
+  // robust_buf_ is untouched (count 0) under kMean; post-close it still
+  // holds the closed round's contents, matching accumulated()'s lifetime.
+  return accum_.contributors() + robust_buf_.count();
+}
+
+std::uint64_t Aggregator::accepted_weight() const {
+  return accum_.total_weight() + robust_buf_.total_weight();
 }
 
 double Aggregator::finish_round(std::vector<WeightUpdate> updates) {
@@ -107,7 +149,7 @@ double Aggregator::finish_round(std::vector<WeightUpdate> updates) {
 }
 
 float Aggregator::accepted_loss() const {
-  const std::uint64_t tw = accum_.total_weight();
+  const std::uint64_t tw = accepted_weight();
   if (tw == 0) return 0.0f;
   return static_cast<float>(loss_accum_ / static_cast<double>(tw));
 }
@@ -146,9 +188,12 @@ const std::vector<std::uint8_t>* EdgeAggregator::forward_wire() {
   // nothing — the parent just sees one fewer child (partial aggregation).
   if (audit.accepted == 0 || !audit.quorum_met) return nullptr;
 
-  if (upstream_codec_.kind == CodecKind::kDense) {
+  if (upstream_codec_.kind == CodecKind::kDense &&
+      core_.rule() == AggregationRule::kMean) {
     // Exact path: ship the raw fixed-point sums.  The parent's fold is then
-    // bit-identical to having aggregated this shard's leaves directly.
+    // bit-identical to having aggregated this shard's leaves directly.  A
+    // robust rule has no exact sum to ship — its reduction is an order
+    // statistic, not a linear fold — so it takes the mean-update path below.
     const FedAccumulator& acc = core_.accumulated();
     serialize_aggregate_into(closed_round, id_, core_.accepted_samples(),
                              core_.accepted_loss(), acc.contributors(),
@@ -156,16 +201,18 @@ const std::vector<std::uint8_t>* EdgeAggregator::forward_wire() {
     return &up_buf_;
   }
 
-  // Lossy upstream: forward the shard mean as a regular update (the edge is
-  // just another client from the parent's perspective, error-feedback
-  // residual and all).
+  // Lossy upstream — or a robust shard reduction: forward the shard result
+  // as a regular update (the edge is just another client from the parent's
+  // perspective, error-feedback residual and all).  agg_contributors > 0
+  // marks it as an aggregate so a robust parent folds it instead of
+  // re-buffering it against the leaf order statistics.
   WeightUpdate up;
   up.client_id = id_;
   up.round = closed_round;
   up.sample_count = core_.accepted_samples();
   up.train_loss = core_.accepted_loss();
-  up.weights = core_.weights();  // close_round left the shard mean here
-  up.agg_contributors = core_.accumulated().contributors();
+  up.weights = core_.weights();  // close_round left the shard result here
+  up.agg_contributors = core_.accepted_contributors();
   upstream_encoder_.encode(up, parent_reference_, up_buf_);
   return &up_buf_;
 }

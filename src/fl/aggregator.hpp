@@ -8,6 +8,14 @@
 // buffers the raw updates), and advances the round on close.  fl::Server is
 // now a thin alias for the root of a one-level tree.
 //
+// Under a Byzantine-robust FedAvgConfig::rule the node switches to a
+// bounded buffering mode: leaf updates (decoded to dense by the codec
+// layer, so robustness composes with top-k/quantized wire formats) are
+// buffered up to robust_buffer_cap and reduced order-statistically at
+// close; forwarded shard aggregates — already robust at their own tier —
+// keep folding into the exact accumulator, and the two components combine
+// by total FedAvg weight ("robust-per-shard, fold upstream").
+//
 // EdgeAggregator is simultaneously a server to its shard of clients and a
 // client to its parent: adopt the parent's broadcast, serve the shard,
 // forward ONE update upstream carrying the shard's cumulative sample count.
@@ -36,6 +44,7 @@ class Aggregator {
   std::uint32_t round() const { return round_; }
   const std::vector<float>& weights() const { return weights_; }
   const CodecConfig& codec() const { return codec_; }
+  AggregationRule rule() const { return cfg_.rule; }
 
   /// The broadcast for the current round.
   GlobalModel broadcast() const;
@@ -76,6 +85,11 @@ class Aggregator {
   // forwards upstream).  Valid until the next offer()/adopt().
   const FedAccumulator& accumulated() const { return accum_; }
   std::uint64_t accepted_samples() const { return samples_accum_; }
+  /// Leaves covered this round, across both the exact accumulator and the
+  /// robust buffer (equals accumulated().contributors() under kMean).
+  std::uint64_t accepted_contributors() const;
+  /// Total FedAvg weight folded + buffered this round.
+  std::uint64_t accepted_weight() const;
   /// Fold-weighted mean train loss of the accepted updates.
   float accepted_loss() const;
 
@@ -94,9 +108,11 @@ class Aggregator {
 
   std::optional<RoundGate> gate_;        // engaged while a round is open
   FedAccumulator accum_;
+  RobustBuffer robust_buf_;              // leaf buffer under robust rules
   std::uint64_t samples_accum_ = 0;
   double loss_accum_ = 0.0;              // Σ fold_weight * train_loss
   std::vector<float> next_scratch_;      // close_round mean target
+  std::vector<float> robust_scratch_;    // robust-reduction target
 };
 
 /// One interior node of an aggregation tree: a server to its shard, a

@@ -101,6 +101,13 @@ void Client::serve(InMemoryNetwork& net, std::size_t rounds,
     WeightUpdate update = train_round(global);
     train_span.end();
 
+    // An attacker client poisons its own update before anything else
+    // touches it — upstream of scripted corruption and of encoding, exactly
+    // where a compromised client controls the pipeline.
+    if (opts.adversary != nullptr) {
+      opts.adversary->poison_update(update, global.weights);
+    }
+
     if (opts.injector != nullptr) {
       const double delay_ms =
           opts.injector->straggler_delay_ms(id_, global.round);

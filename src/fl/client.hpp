@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "faults/fault_injector.hpp"
+#include "fl/adversary.hpp"
 #include "fl/codec.hpp"
 #include "fl/network.hpp"
 #include "fl/serialize.hpp"
@@ -50,6 +51,9 @@ struct ServeOptions {
   /// Optional trace sink: each local training pass is recorded as one
   /// "fl.client_train" span.  Non-owning; must outlive the serve loop.
   obs::TraceWriter* trace = nullptr;
+  /// Optional adaptive adversary: attacker clients poison their update
+  /// after local training, before encoding.  Non-owning.
+  const AdversarySuite* adversary = nullptr;
 };
 
 class Client {

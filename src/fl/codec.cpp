@@ -16,11 +16,14 @@ namespace {
 using wire_detail::Writer;
 
 /// Header through the CRC field; returns the byte position of the CRC so it
-/// can be patched once the payload is assembled.
+/// can be patched once the payload is assembled.  `agg_leaves` is the
+/// saturated leaf count behind a forwarded aggregate mean (0 for leaf
+/// updates and broadcasts) — see the agg_leaves field in serialize.hpp.
 std::size_t write_v2_header(Writer& w, MessageKind kind, std::uint32_t round,
                             std::int32_t client, std::uint64_t samples,
                             float loss, CodecKind codec, int quant_bits,
-                            std::uint64_t dim, std::uint64_t nnz) {
+                            std::uint64_t dim, std::uint64_t nnz,
+                            std::uint16_t agg_leaves = 0) {
   w.put(kWireMagic);
   w.put(kWireVersion2);
   w.put(static_cast<std::uint16_t>(kind));
@@ -30,12 +33,20 @@ std::size_t write_v2_header(Writer& w, MessageKind kind, std::uint32_t round,
   w.put(loss);
   w.put(static_cast<std::uint8_t>(codec));
   w.put(static_cast<std::uint8_t>(quant_bits));
-  w.put(static_cast<std::uint16_t>(0));  // reserved
+  w.put(agg_leaves);
   w.put(dim);
   w.put(nnz);
   const std::size_t crc_pos = w.pos();
   w.put(std::uint32_t{0});  // CRC placeholder
   return crc_pos;
+}
+
+/// Saturate a contributor count into the u16 header field.  65535 already
+/// far exceeds any single shard's fan-out; the exact count rides in the
+/// kAggSum payload when exactness matters.
+std::uint16_t saturate_leaves(std::uint64_t contributors) {
+  return contributors > 0xFFFFu ? std::uint16_t{0xFFFFu}
+                                : static_cast<std::uint16_t>(contributors);
 }
 
 /// Block-quantize `count` values from `src`: per-block fp32 scale
@@ -138,7 +149,25 @@ void UpdateEncoder::encode(const WeightUpdate& update,
                            const std::vector<float>& reference,
                            std::vector<std::uint8_t>& out) {
   if (cfg_.kind == CodecKind::kDense) {
-    serialize_into(update, out);
+    if (update.agg_contributors == 0) {
+      serialize_into(update, out);
+      return;
+    }
+    // A forwarded aggregate mean (a robust shard reduction has no exact
+    // kAggSum to ship) needs the v2 agg_leaves field so the parent folds it
+    // as an aggregate instead of re-buffering it as one leaf vote.
+    const std::size_t dense_dim = update.weights.size();
+    out.clear();
+    Writer w(out);
+    const std::size_t crc_pos = write_v2_header(
+        w, MessageKind::kWeightUpdate, update.round, update.client_id,
+        update.sample_count, update.train_loss, CodecKind::kDense,
+        /*quant_bits=*/0, dense_dim, dense_dim,
+        saturate_leaves(update.agg_contributors));
+    const std::size_t payload_pos = w.pos();
+    w.put_floats(update.weights.data(), dense_dim);
+    w.patch_u32(crc_pos,
+                crc32(out.data() + payload_pos, out.size() - payload_pos));
     return;
   }
   const std::size_t dim = update.weights.size();
@@ -173,7 +202,8 @@ void UpdateEncoder::encode(const WeightUpdate& update,
     const std::size_t crc_pos = write_v2_header(
         w, MessageKind::kWeightUpdate, update.round, update.client_id,
         update.sample_count, update.train_loss, CodecKind::kDelta,
-        /*quant_bits=*/0, dim, dim);
+        /*quant_bits=*/0, dim, dim,
+        saturate_leaves(update.agg_contributors));
     const std::size_t payload_pos = w.pos();
     w.put_floats(delta_.data(), dim);
     w.patch_u32(crc_pos,
@@ -204,7 +234,8 @@ void UpdateEncoder::encode(const WeightUpdate& update,
   const int bits = quantized ? cfg_.quant_bits : 0;
   const std::size_t crc_pos = write_v2_header(
       w, MessageKind::kWeightUpdate, update.round, update.client_id,
-      update.sample_count, update.train_loss, cfg_.kind, bits, dim, k);
+      update.sample_count, update.train_loss, cfg_.kind, bits, dim, k,
+      saturate_leaves(update.agg_contributors));
   const std::size_t payload_pos = w.pos();
   w.put_bytes(reinterpret_cast<const std::uint8_t*>(index_.data()),
               k * sizeof(std::uint32_t));

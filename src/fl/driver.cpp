@@ -168,6 +168,7 @@ obs::RoundTelemetry round_telemetry(const RoundMetrics& rm,
   rt.rejected_duplicate = audit.rejected_duplicate;
   rt.rejected_dimension = audit.rejected_dimension;
   rt.clipped = audit.clipped;
+  rt.clipped_aggregates = audit.clipped_aggregates;
   rt.quorum_met = audit.quorum_met;
   return rt;
 }
@@ -196,14 +197,16 @@ SyncDriver::SyncDriver(Server& server,
                        std::vector<std::unique_ptr<Client>>& clients,
                        InMemoryNetwork& net, const runtime::RunContext* ctx,
                        const faults::FaultInjector* injector,
-                       RoundPolicy policy, obs::RoundTelemetrySink* telemetry)
+                       RoundPolicy policy, obs::RoundTelemetrySink* telemetry,
+                       const AdversarySuite* adversary)
     : server_(&server),
       clients_(&clients),
       net_(&net),
       ctx_(ctx),
       injector_(injector),
       policy_(policy),
-      telemetry_(telemetry) {
+      telemetry_(telemetry),
+      adversary_(adversary) {
   EVFL_REQUIRE(!clients.empty(), "SyncDriver needs clients");
   if (injector_ != nullptr) net_->set_fault_injector(injector_);
 }
@@ -277,6 +280,11 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
                           static_cast<std::uint64_t>(received.round));
       WeightUpdate update = client.train_round(received);
       train_span.end();
+      // Attacker clients poison their update before scripted corruption and
+      // before encoding — the point a compromised client controls.
+      if (adversary_ != nullptr) {
+        adversary_->poison_update(update, received.weights);
+      }
       double elapsed = client.last_train_seconds();
       if (injector_ != nullptr) {
         // Straggler delay is simulated time in the sync schedule — it
@@ -393,13 +401,15 @@ ThreadedDriver::ThreadedDriver(Server& server,
                                InMemoryNetwork& net,
                                const faults::FaultInjector* injector,
                                const runtime::RunContext* ctx,
-                               obs::RoundTelemetrySink* telemetry)
+                               obs::RoundTelemetrySink* telemetry,
+                               const AdversarySuite* adversary)
     : server_(&server),
       clients_(&clients),
       net_(&net),
       injector_(injector),
       ctx_(ctx),
-      telemetry_(telemetry) {
+      telemetry_(telemetry),
+      adversary_(adversary) {
   EVFL_REQUIRE(!clients.empty(), "ThreadedDriver needs clients");
   if (injector_ != nullptr) net_->set_fault_injector(injector_);
 }
@@ -425,6 +435,7 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
   ServeOptions serve_opts;
   serve_opts.injector = injector_;
   serve_opts.trace = trace;
+  serve_opts.adversary = adversary_;
   // A server that holds a round open until its deadline is healthy: clients
   // must out-wait the deadline (plus slack for aggregation) before deciding
   // the server is gone, or every long round ends the fleet.

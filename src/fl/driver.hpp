@@ -133,12 +133,15 @@ class SyncDriver : public Driver {
   /// `injector` (optional, non-owning) scripts faults; it is also attached
   /// to the network so message-level faults (duplicates) apply.
   /// `telemetry` (optional, non-owning) receives one RoundTelemetry record
-  /// per federated round.
+  /// per federated round.  `adversary` (optional, non-owning) poisons
+  /// attacker-client updates after local training, before encoding — the
+  /// point a compromised client controls in a real deployment.
   SyncDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
              InMemoryNetwork& net, const runtime::RunContext* ctx = nullptr,
              const faults::FaultInjector* injector = nullptr,
              RoundPolicy policy = {},
-             obs::RoundTelemetrySink* telemetry = nullptr);
+             obs::RoundTelemetrySink* telemetry = nullptr,
+             const AdversarySuite* adversary = nullptr);
 
   FederatedRunResult run(std::size_t rounds) override;
 
@@ -150,17 +153,20 @@ class SyncDriver : public Driver {
   const faults::FaultInjector* injector_;
   RoundPolicy policy_;
   obs::RoundTelemetrySink* telemetry_;
+  const AdversarySuite* adversary_;
 };
 
 class ThreadedDriver : public Driver {
  public:
   /// `ctx` is used only for its trace writer (worker threads schedule
-  /// themselves); `telemetry` receives one RoundTelemetry per round.
+  /// themselves); `telemetry` receives one RoundTelemetry per round;
+  /// `adversary` is handed to every client's serve loop.
   ThreadedDriver(Server& server, std::vector<std::unique_ptr<Client>>& clients,
                  InMemoryNetwork& net,
                  const faults::FaultInjector* injector = nullptr,
                  const runtime::RunContext* ctx = nullptr,
-                 obs::RoundTelemetrySink* telemetry = nullptr);
+                 obs::RoundTelemetrySink* telemetry = nullptr,
+                 const AdversarySuite* adversary = nullptr);
 
   FederatedRunResult run(std::size_t rounds) override;
 
@@ -178,6 +184,7 @@ class ThreadedDriver : public Driver {
   const faults::FaultInjector* injector_;
   const runtime::RunContext* ctx_;
   obs::RoundTelemetrySink* telemetry_;
+  const AdversarySuite* adversary_;
 };
 
 }  // namespace evfl::fl

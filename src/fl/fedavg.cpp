@@ -1,6 +1,8 @@
 #include "fl/fedavg.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <string>
 
 #include "common/error.hpp"
@@ -17,6 +19,27 @@ constexpr double kFixedScale = 18446744073709551616.0;
 constexpr ExactTerm kWireTermCap = static_cast<ExactTerm>(1) << 114;
 
 }  // namespace
+
+std::string to_string(AggregationRule rule) {
+  switch (rule) {
+    case AggregationRule::kMean: return "mean";
+    case AggregationRule::kTrimmedMean: return "trimmed_mean";
+    case AggregationRule::kCoordinateMedian: return "median";
+    case AggregationRule::kNormBoundedMean: return "norm_bounded";
+    case AggregationRule::kMultiKrum: return "multi_krum";
+  }
+  return "unknown";
+}
+
+AggregationRule parse_aggregation_rule(const std::string& name) {
+  if (name == "mean") return AggregationRule::kMean;
+  if (name == "trimmed_mean") return AggregationRule::kTrimmedMean;
+  if (name == "median") return AggregationRule::kCoordinateMedian;
+  if (name == "norm_bounded") return AggregationRule::kNormBoundedMean;
+  if (name == "multi_krum") return AggregationRule::kMultiKrum;
+  throw Error("unknown aggregation rule: '" + name +
+              "' (expected mean|trimmed_mean|median|norm_bounded|multi_krum)");
+}
 
 ExactTerm clamp_wire_term(ExactTerm t) {
   if (t > kWireTermCap) return kWireTermCap;
@@ -81,14 +104,213 @@ void FedAccumulator::mean(std::vector<float>& out) const {
   }
 }
 
+// ---- RobustBuffer -----------------------------------------------------------
+
+void RobustBuffer::reset(std::size_t dim, std::size_t cap) {
+  EVFL_REQUIRE(dim > 0, "RobustBuffer: zero dimension");
+  EVFL_REQUIRE(cap > 0, "RobustBuffer: zero capacity");
+  dim_ = dim;
+  cap_ = cap;
+  count_ = 0;
+  total_weight_ = 0;
+  // Rows are overwritten by add(); no need to clear — only shrink-to-fit
+  // would lose the reuse guarantee, so never do that here.
+}
+
+void RobustBuffer::add(const std::vector<float>& weights, std::uint64_t w) {
+  EVFL_REQUIRE(weights.size() == dim_, "RobustBuffer: dimension mismatch");
+  EVFL_REQUIRE(w > 0, "RobustBuffer: zero update weight");
+  EVFL_REQUIRE(!full(), "RobustBuffer: add past capacity");
+  const std::size_t base = count_ * dim_;
+  if (rows_.size() < base + dim_) rows_.resize(base + dim_);
+  std::copy(weights.begin(), weights.end(), rows_.begin() + base);
+  if (row_w_.size() < count_ + 1) row_w_.resize(count_ + 1);
+  row_w_[count_] = w;
+  EVFL_REQUIRE(total_weight_ + w >= total_weight_,
+               "RobustBuffer: total weight overflow");
+  total_weight_ += w;
+  ++count_;
+}
+
+void RobustBuffer::weighted_mean_of(const std::vector<std::size_t>& rows,
+                                    std::vector<float>& out) const {
+  double tw = 0.0;
+  for (const std::size_t r : rows) tw += static_cast<double>(row_w_[r]);
+  out.assign(dim_, 0.0f);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    double acc = 0.0;
+    for (const std::size_t r : rows) {
+      acc += static_cast<double>(row_w_[r]) *
+             static_cast<double>(rows_[r * dim_ + d]);
+    }
+    out[d] = static_cast<float>(acc / tw);
+  }
+}
+
+void RobustBuffer::trimmed_mean(std::size_t trim_each_side,
+                                std::vector<float>& out) const {
+  // Per coordinate: sort the column, drop `trim_each_side` values from each
+  // end, average the survivors with equal votes.  With k >= f colluding
+  // attackers pushing the same direction, all f poisoned values land in one
+  // tail and are removed.
+  const std::size_t n = count_;
+  const std::size_t keep = n - 2 * trim_each_side;
+  out.resize(dim_);
+  col_.resize(n);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    for (std::size_t r = 0; r < n; ++r) col_[r] = rows_[r * dim_ + d];
+    std::sort(col_.begin(), col_.end());
+    double acc = 0.0;
+    for (std::size_t r = trim_each_side; r < trim_each_side + keep; ++r) {
+      acc += static_cast<double>(col_[r]);
+    }
+    out[d] = static_cast<float>(acc / static_cast<double>(keep));
+  }
+}
+
+void RobustBuffer::norm_bounded_mean(const FedAvgConfig& cfg,
+                                     const std::vector<float>* reference,
+                                     std::vector<float>& out) const {
+  // Movement norm of each buffered update against the reference.
+  const std::size_t n = count_;
+  norms_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double sq = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      double v = static_cast<double>(rows_[r * dim_ + d]);
+      if (reference) v -= static_cast<double>((*reference)[d]);
+      sq += v * v;
+    }
+    norms_[r] = std::sqrt(sq);
+  }
+  // Static bound if configured; otherwise adapt to the round's *median*
+  // movement norm.  Unlike the validator's fixed clip — which an attacker
+  // can sit just beneath — the median moves with the honest majority.
+  double bound = cfg.norm_bound;
+  if (!(bound > 0.0)) {
+    col_.resize(n);
+    for (std::size_t r = 0; r < n; ++r) col_[r] = static_cast<float>(norms_[r]);
+    std::sort(col_.begin(), col_.end());
+    bound = (n % 2 == 1)
+                ? static_cast<double>(col_[n / 2])
+                : 0.5 * (static_cast<double>(col_[n / 2 - 1]) +
+                         static_cast<double>(col_[n / 2]));
+  }
+  out.assign(dim_, 0.0f);
+  double tw = 0.0;
+  for (std::size_t r = 0; r < n; ++r) tw += static_cast<double>(row_w_[r]);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double v = static_cast<double>(rows_[r * dim_ + d]);
+      if (reference) v -= static_cast<double>((*reference)[d]);
+      if (bound > 0.0 && norms_[r] > bound) v *= bound / norms_[r];
+      acc += static_cast<double>(row_w_[r]) * v;
+    }
+    double mean = acc / tw;
+    if (reference) mean += static_cast<double>((*reference)[d]);
+    out[d] = static_cast<float>(mean);
+  }
+}
+
+void RobustBuffer::multi_krum(const FedAvgConfig& cfg,
+                              std::vector<float>& out) const {
+  const std::size_t n = count_;
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  if (n < 4) {
+    // Krum's score needs n - f - 2 >= 1 with f >= 1; below that there is
+    // no meaningful consistency ranking — fall back to the plain mean.
+    weighted_mean_of(order_, out);
+    return;
+  }
+  std::size_t f = cfg.krum_assumed_byzantine;
+  if (f == 0) f = (n - 3) / 2;            // max tolerable by the bound
+  if (f > (n - 3) / 2) f = (n - 3) / 2;   // keep n - f - 2 >= 1
+  const std::size_t neighbours = n - f - 2;
+
+  // score_i = sum of the `neighbours` smallest squared distances to the
+  // other updates; colluders are mutually close but far from the honest
+  // cluster, so with f < n/2 the honest cluster wins the ranking.
+  scores_.resize(n);
+  norms_.resize(n);  // reused as the per-row distance scratch
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t m = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double sq = 0.0;
+      for (std::size_t d = 0; d < dim_; ++d) {
+        const double diff = static_cast<double>(rows_[i * dim_ + d]) -
+                            static_cast<double>(rows_[j * dim_ + d]);
+        sq += diff * diff;
+      }
+      norms_[m++] = sq;
+    }
+    std::nth_element(norms_.begin(), norms_.begin() + (neighbours - 1),
+                     norms_.begin() + static_cast<std::ptrdiff_t>(m));
+    double s = 0.0;
+    for (std::size_t k = 0; k < neighbours; ++k) s += norms_[k];
+    scores_[i] = s;
+  }
+
+  std::size_t select = cfg.krum_select > 0 ? cfg.krum_select : n - f;
+  if (select > n) select = n;
+  // Deterministic tie-break on index keeps the rule hash-reproducible.
+  std::sort(order_.begin(), order_.end(),
+            [this](std::size_t a, std::size_t b) {
+              if (scores_[a] != scores_[b]) return scores_[a] < scores_[b];
+              return a < b;
+            });
+  order_.resize(select);
+  weighted_mean_of(order_, out);
+}
+
+void RobustBuffer::aggregate(const FedAvgConfig& cfg,
+                             const std::vector<float>* reference,
+                             std::vector<float>& out) const {
+  EVFL_REQUIRE(count_ > 0, "RobustBuffer: aggregate over empty buffer");
+  EVFL_REQUIRE(!reference || reference->size() == dim_,
+               "RobustBuffer: reference dimension mismatch");
+  switch (cfg.rule) {
+    case AggregationRule::kMean: {
+      order_.resize(count_);
+      std::iota(order_.begin(), order_.end(), std::size_t{0});
+      weighted_mean_of(order_, out);
+      return;
+    }
+    case AggregationRule::kTrimmedMean: {
+      std::size_t k = static_cast<std::size_t>(
+          cfg.trim_fraction * static_cast<double>(count_));
+      if (2 * k >= count_) k = (count_ - 1) / 2;  // keep >= 1 survivor
+      trimmed_mean(k, out);
+      return;
+    }
+    case AggregationRule::kCoordinateMedian:
+      // The median is the maximally-trimmed mean.
+      trimmed_mean((count_ - 1) / 2, out);
+      return;
+    case AggregationRule::kNormBoundedMean:
+      norm_bounded_mean(cfg, reference, out);
+      return;
+    case AggregationRule::kMultiKrum:
+      multi_krum(cfg, out);
+      return;
+  }
+  throw Error("RobustBuffer: unknown aggregation rule");
+}
+
 std::vector<float> fed_avg(const std::vector<WeightUpdate>& updates,
-                           const FedAvgConfig& cfg) {
+                           const FedAvgConfig& cfg,
+                           const std::vector<float>* reference) {
   EVFL_REQUIRE(!updates.empty(), "fed_avg: no updates");
   const std::size_t dim = updates.front().weights.size();
   EVFL_REQUIRE(dim > 0, "fed_avg: empty weight vectors");
 
+  const bool robust = cfg.rule != AggregationRule::kMean;
   FedAccumulator acc;
   acc.reset(dim);
+  RobustBuffer buf;
+  if (robust) buf.reset(dim, cfg.robust_buffer_cap);
   for (const WeightUpdate& u : updates) {
     if (u.weights.size() != dim) {
       throw Error("fed_avg: weight dimension mismatch (client " +
@@ -96,7 +318,9 @@ std::vector<float> fed_avg(const std::vector<WeightUpdate>& updates,
     }
     if (!u.agg_terms.empty()) {
       // Forwarded partial aggregate: fold the exact shard sums.  Cumulative
-      // sample count makes two-level weighting equal flat weighting.
+      // sample count makes two-level weighting equal flat weighting.  Under
+      // a robust rule the shard was already robust at its own tier, so the
+      // fold stays a plain weighted mean.
       EVFL_REQUIRE(u.agg_terms.size() == dim,
                    "fed_avg: aggregate term dimension mismatch");
       const std::uint64_t w =
@@ -114,12 +338,38 @@ std::vector<float> fed_avg(const std::vector<WeightUpdate>& updates,
       // under unweighted averaging.
       const std::uint64_t unweighted =
           u.agg_contributors > 0 ? u.agg_contributors : 1;
-      acc.add_update(u.weights,
-                     cfg.weighted_by_samples ? u.sample_count : unweighted);
+      const std::uint64_t w =
+          cfg.weighted_by_samples ? u.sample_count : unweighted;
+      const bool is_leaf = u.agg_contributors == 0;
+      if (robust && is_leaf && !buf.full()) {
+        buf.add(u.weights, w);
+      } else {
+        // kMean, a (clipped) forwarded aggregate, or buffer overflow past
+        // the cap — fold into the exact accumulator.
+        acc.add_update(u.weights, w);
+      }
     }
   }
+
   std::vector<float> out;
-  acc.mean(out);
+  if (!robust || buf.count() == 0) {
+    acc.mean(out);
+    return out;
+  }
+  buf.aggregate(cfg, reference, out);
+  if (acc.total_weight() > 0) {
+    // Combine the robust leaf reduction with the folded aggregates by total
+    // FedAvg weight ("robust-per-shard, fold upstream").
+    std::vector<float> folded;
+    acc.mean(folded);
+    const double wr = static_cast<double>(buf.total_weight());
+    const double wm = static_cast<double>(acc.total_weight());
+    for (std::size_t d = 0; d < dim; ++d) {
+      out[d] = static_cast<float>((wr * static_cast<double>(out[d]) +
+                                   wm * static_cast<double>(folded[d])) /
+                                  (wr + wm));
+    }
+  }
   return out;
 }
 

@@ -158,12 +158,20 @@ FederatedRunResult FleetDriver::run(std::size_t rounds) {
       const std::vector<float> scaled = scaler.transform(series.values);
       data::SequenceDataset ds =
           data::make_forecast_sequences(scaled, cfg_.lookback);
+      // Data poisoning happens on the freshly materialized training set, so
+      // the poisoned update flows through the *real* training path.
+      if (cfg_.adversary != nullptr) {
+        cfg_.adversary->poison_labels(spec.id, round_no, ds.x, ds.y);
+      }
       tensor::Rng rng(spec.series_seed ^ kLeafModelSalt);
       Client client(spec.id, std::move(ds.x), std::move(ds.y), factory_,
                     cfg_.client, std::move(rng));
       if (ctx_ != nullptr) ctx_->count("fleet.clients_materialized");
 
       WeightUpdate u = client.train_round(shard_model[e]);
+      if (cfg_.adversary != nullptr) {
+        cfg_.adversary->poison_update(u, shard_model[e].weights);
+      }
       leaf_seconds[k] = client.last_train_seconds();
       leaf_loss[k] = u.train_loss;
 
@@ -215,7 +223,7 @@ FederatedRunResult FleetDriver::run(std::size_t rounds) {
     rm.timed_out_clients = reached - offered;
 
     // --- tier 1 close: edges forward, root aggregates ------------------
-    std::size_t clipped = 0;
+    std::size_t clipped = 0, clipped_aggregates = 0;
     std::size_t nonfinite = 0, stale = 0, duplicate = 0, dimension = 0;
     for (std::size_t e = 0; e < edge_count; ++e) {
       if (!edge_alive[e]) continue;
@@ -227,6 +235,7 @@ FederatedRunResult FleetDriver::run(std::size_t rounds) {
       duplicate += audit.rejected_duplicate;
       dimension += audit.rejected_dimension;
       clipped += audit.clipped;
+      clipped_aggregates += audit.clipped_aggregates;
       if (fw == nullptr) continue;  // under per-tier quorum: partial round
       bytes_up += fw->size();
       logical_up += logical_msg;
@@ -242,6 +251,7 @@ FederatedRunResult FleetDriver::run(std::size_t rounds) {
     duplicate += root_audit.rejected_duplicate;
     dimension += root_audit.rejected_dimension;
     clipped += root_audit.clipped;
+    clipped_aggregates += root_audit.clipped_aggregates;
     rm.rejected_updates = nonfinite + duplicate + dimension;
     rm.late_updates = stale;
     rm.wall_seconds = now_seconds() - round_start;
@@ -273,6 +283,7 @@ FederatedRunResult FleetDriver::run(std::size_t rounds) {
       rt.rejected_duplicate = duplicate;
       rt.rejected_dimension = dimension;
       rt.clipped = clipped;
+      rt.clipped_aggregates = clipped_aggregates;
       rt.quorum_met = root_audit.quorum_met;
       telemetry_->record(std::move(rt));
     }

@@ -51,6 +51,10 @@ struct FleetDriverConfig {
   /// Simulated per-round deadline for leaves (straggler delays are virtual
   /// time, as in SyncDriver).
   double round_deadline_ms = 120'000.0;
+  /// Optional adaptive adversary (non-owning).  Data-poisoning kinds
+  /// relabel a leaf's freshly materialized training set; model-poisoning
+  /// kinds rewrite its update before the leaf→edge wire.
+  const AdversarySuite* adversary = nullptr;
 };
 
 class FleetDriver : public Driver {

@@ -53,6 +53,7 @@ struct Header {
   float loss = 0.0f;
   CodecKind codec = CodecKind::kDense;
   int quant_bits = 0;
+  std::uint16_t agg_leaves = 0;  // saturated leaves behind a forwarded mean
   std::uint64_t dim = 0;   // logical weight count after decoding
   std::uint64_t nnz = 0;   // entries on the wire
   std::uint32_t crc = 0;
@@ -104,8 +105,15 @@ Header read_header(Reader& r) {
     }
     h.codec = static_cast<CodecKind>(codec);
     h.quant_bits = r.get<std::uint8_t>();
-    const auto reserved = r.get<std::uint16_t>();
-    if (reserved != 0) throw FormatError("wire: nonzero reserved field");
+    h.agg_leaves = r.get<std::uint16_t>();
+    // Only a forwarded update mean legitimately carries the field; a
+    // broadcast or an exact aggregate (whose contributor count rides in the
+    // payload) with it set is a forgery or corruption.
+    if (h.agg_leaves != 0 &&
+        (h.kind != static_cast<std::uint16_t>(MessageKind::kWeightUpdate) ||
+         h.codec == CodecKind::kAggSum)) {
+      throw FormatError("wire: unexpected agg_leaves field");
+    }
     h.dim = r.get<std::uint64_t>();
     h.nnz = r.get<std::uint64_t>();
     if (h.dim > kMaxWireDim) throw FormatError("wire: dimension too large");
@@ -386,8 +394,10 @@ void deserialize_update_into(const std::vector<std::uint8_t>& bytes,
     return;
   }
   // Clear stale aggregate state: `out` buffers are reused across decodes.
+  // A forwarded aggregate mean re-announces its (saturated) leaf coverage
+  // through the v2 agg_leaves field; leaf updates and v1 messages carry 0.
   out.agg_terms.clear();
-  out.agg_contributors = 0;
+  out.agg_contributors = h.agg_leaves;
   out.is_delta = read_payload(r, h, out.weights, t_index_scratch);
 }
 

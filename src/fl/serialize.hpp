@@ -31,7 +31,12 @@
 //   loss    f32
 //   codec      u8   (CodecKind)
 //   quant_bits u8   (0 unless the codec quantizes; else 4 or 8)
-//   reserved   u16  (must be 0)
+//   agg_leaves u16  (saturated count of leaves behind a forwarded aggregate
+//                    *mean* — a robust shard reduction, or an exact shard
+//                    mean shipped through a lossy upstream codec; 0 for leaf
+//                    updates, broadcasts, and kAggSum, whose exact count
+//                    rides in the payload.  Nonzero outside a non-kAggSum
+//                    WeightUpdate is rejected.)
 //   dim     u64  (logical weight count of the decoded vector)
 //   nnz     u64  (entries on the wire; == dim for dense codecs)
 //   crc32   u32  (over the payload bytes)

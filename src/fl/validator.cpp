@@ -74,6 +74,10 @@ bool RoundGate::admit(WeightUpdate& u) {
       }
       // A clipped aggregate's exact sums no longer describe its (rescaled)
       // mean view; drop them so the parent averages the clipped floats.
+      // Forfeiting a whole shard's exactness is audited, not silent.
+      if (!u.agg_terms.empty() || u.agg_contributors > 0) {
+        ++audit_.clipped_aggregates;
+      }
       u.agg_terms.clear();
       ++audit_.clipped;
     }

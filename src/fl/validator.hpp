@@ -44,6 +44,10 @@ struct RoundAudit {
   std::size_t rejected_duplicate = 0;
   std::size_t rejected_dimension = 0;  // weight count != global model's
   std::size_t clipped = 0;             // accepted, but norm-clipped
+  /// Subset of `clipped` that were *forwarded aggregates*: clipping one
+  /// rescales a whole shard's mean and forfeits its exact int128 terms, so
+  /// the event is worth watching separately from leaf clips.
+  std::size_t clipped_aggregates = 0;
   bool quorum_met = true;
 
   std::size_t rejected() const {
@@ -85,7 +89,8 @@ class RoundGate {
   /// the update is accepted (possibly norm-clipped in place); false records
   /// the rejection in the audit.  Clipping a forwarded aggregate drops its
   /// exact terms — the float mean view is what gets rescaled, so exactness
-  /// is forfeited for that update (clipping is already lossy by intent).
+  /// is forfeited for that update (clipping is already lossy by intent) —
+  /// and counts it in `clipped_aggregates`.
   bool admit(WeightUpdate& u);
 
   /// Stamp accepted/quorum and return the audit.  Callable once per round.

@@ -63,6 +63,7 @@ void RoundTelemetrySink::write_json(
        << ", \"rejected_duplicate\": " << r.rejected_duplicate
        << ", \"rejected_dimension\": " << r.rejected_dimension
        << ", \"clipped\": " << r.clipped
+       << ", \"clipped_aggregates\": " << r.clipped_aggregates
        << ", \"quorum_met\": " << (r.quorum_met ? "true" : "false") << "}"
        << (i + 1 < rounds_.size() ? "," : "") << "\n";
   }

@@ -69,6 +69,9 @@ struct RoundTelemetry {
   std::size_t rejected_duplicate = 0;
   std::size_t rejected_dimension = 0;
   std::size_t clipped = 0;
+  /// Clipped updates that were forwarded shard aggregates — each one cost a
+  /// whole shard its exact int128 fold, not just one client's movement.
+  std::size_t clipped_aggregates = 0;
   bool quorum_met = true;
 };
 

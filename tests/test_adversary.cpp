@@ -1,0 +1,276 @@
+#include "fl/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/validator.hpp"
+#include "fl/weights.hpp"
+
+namespace evfl::fl {
+namespace {
+
+WeightUpdate make_update(int id, std::uint32_t round,
+                         std::vector<float> weights) {
+  WeightUpdate u;
+  u.client_id = id;
+  u.round = round;
+  u.sample_count = 10;
+  u.weights = std::move(weights);
+  return u;
+}
+
+double movement_norm(const WeightUpdate& u, const std::vector<float>& ref) {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < u.weights.size(); ++i) {
+    const double d =
+        static_cast<double>(u.weights[i]) - static_cast<double>(ref[i]);
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+TEST(AttackKind, ParseRoundTripsAndRejectsUnknown) {
+  for (const AttackKind k :
+       {AttackKind::kNone, AttackKind::kSignFlip, AttackKind::kAlie,
+        AttackKind::kLabelFlip, AttackKind::kBackdoor}) {
+    EXPECT_EQ(parse_attack_kind(to_string(k)), k);
+  }
+  EXPECT_THROW(parse_attack_kind("alie!"), Error);
+  EXPECT_THROW(parse_attack_kind(""), Error);
+}
+
+TEST(AdversarySuite, ConfigValidation) {
+  AdversaryConfig bad;
+  bad.fraction = 1.5;
+  EXPECT_THROW(AdversarySuite{bad}, Error);
+  bad = AdversaryConfig{};
+  bad.norm_budget = 0.0;
+  EXPECT_THROW(AdversarySuite{bad}, Error);
+  bad = AdversaryConfig{};
+  bad.trigger_lo = 2.0f;
+  bad.trigger_hi = 1.0f;
+  EXPECT_THROW(AdversarySuite{bad}, Error);
+}
+
+TEST(AdversarySuite, MembershipIsDeterministicAndSeedDependent) {
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kAlie;
+  cfg.fraction = 0.3;
+  cfg.seed = 7;
+  const AdversarySuite a(cfg);
+  const AdversarySuite b(cfg);
+  cfg.seed = 8;
+  const AdversarySuite c(cfg);
+  std::size_t differs = 0;
+  for (int id = 0; id < 200; ++id) {
+    EXPECT_EQ(a.is_attacker(id), b.is_attacker(id));
+    if (a.is_attacker(id) != c.is_attacker(id)) ++differs;
+  }
+  EXPECT_GT(differs, 0u);  // a different seed compromises a different set
+}
+
+TEST(AdversarySuite, ExplicitAttackerListWins) {
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kSignFlip;
+  cfg.fraction = 0.0;  // would select nobody by hash
+  cfg.attackers = {3, 7};
+  const AdversarySuite suite(cfg);
+  EXPECT_TRUE(suite.is_attacker(3));
+  EXPECT_TRUE(suite.is_attacker(7));
+  EXPECT_FALSE(suite.is_attacker(4));
+}
+
+TEST(AdversarySuite, RoundWindowGatesActivity) {
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kAlie;
+  cfg.attackers = {1};
+  cfg.round_begin = 3;
+  cfg.round_end = 5;
+  const AdversarySuite suite(cfg);
+  EXPECT_FALSE(suite.active(1, 2));
+  EXPECT_TRUE(suite.active(1, 3));
+  EXPECT_TRUE(suite.active(1, 5));
+  EXPECT_FALSE(suite.active(1, 6));
+  EXPECT_FALSE(suite.active(2, 4));  // non-member never active
+}
+
+TEST(AdversarySuite, PickAttackersIsExactAndDeterministic) {
+  std::vector<int> ids;
+  for (int i = 0; i < 40; ++i) ids.push_back(i);
+  const std::vector<int> a = AdversarySuite::pick_attackers(0.3, 99, ids);
+  const std::vector<int> b = AdversarySuite::pick_attackers(0.3, 99, ids);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 12u);  // floor(0.3 * 40), exactly
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+TEST(AdversarySuite, SignFlipReversesMovement) {
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kSignFlip;
+  cfg.attackers = {0};
+  cfg.sign_scale = 10.0;
+  const AdversarySuite suite(cfg);
+  const std::vector<float> ref = {1.0f, -2.0f};
+  WeightUpdate u = make_update(0, 0, {1.5f, -2.5f});  // movement (+0.5, -0.5)
+  EXPECT_TRUE(suite.poison_update(u, ref));
+  EXPECT_FLOAT_EQ(u.weights[0], 1.0f - 10.0f * 0.5f);
+  EXPECT_FLOAT_EQ(u.weights[1], -2.0f + 10.0f * 0.5f);
+
+  // Honest clients pass through untouched.
+  WeightUpdate honest = make_update(1, 0, {1.5f, -2.5f});
+  EXPECT_FALSE(suite.poison_update(honest, ref));
+  EXPECT_FLOAT_EQ(honest.weights[0], 1.5f);
+}
+
+TEST(AdversarySuite, AlieStaysExactlyWithinNormBudgetAndPassesValidator) {
+  // The defining property of the colluding attack: every poisoned update
+  // has movement norm == norm_budget, so a validator clipping at that norm
+  // admits it without touching a single weight.
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kAlie;
+  cfg.attackers = {0, 1, 2};
+  cfg.norm_budget = 1.0;
+  const AdversarySuite suite(cfg);
+  const std::vector<float> ref(64, 0.25f);
+
+  ValidatorConfig vcfg;
+  vcfg.max_update_norm = 1.0;
+  RoundGate gate(vcfg, 0, ref);
+
+  WeightUpdate first;
+  for (int id = 0; id < 3; ++id) {
+    WeightUpdate u = make_update(id, 0, std::vector<float>(64, 0.3f));
+    EXPECT_TRUE(suite.poison_update(u, ref));
+    EXPECT_NEAR(movement_norm(u, ref), 1.0, 1e-5);
+    const WeightUpdate before = u;
+    EXPECT_TRUE(gate.admit(u));
+    EXPECT_EQ(u.weights, before.weights);  // admitted *unclipped*
+    if (id == 0) first = u;
+    // Collusion without communication: every attacker ships the identical
+    // drift regardless of its honest training result.
+    EXPECT_EQ(u.weights, first.weights);
+  }
+  EXPECT_EQ(gate.audit().clipped, 0u);
+}
+
+TEST(AdversarySuite, LabelFlipReflectsWithinObservedRange) {
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kLabelFlip;
+  cfg.attackers = {5};
+  const AdversarySuite suite(cfg);
+  tensor::Tensor3 x(3, 2, 1);
+  tensor::Tensor3 y(3, 1, 1);
+  y(0, 0, 0) = 0.0f;
+  y(1, 0, 0) = 0.5f;
+  y(2, 0, 0) = 1.0f;
+  EXPECT_EQ(suite.poison_labels(5, 0, x, y), 3u);
+  EXPECT_FLOAT_EQ(y(0, 0, 0), 1.0f);  // min became max
+  EXPECT_FLOAT_EQ(y(1, 0, 0), 0.5f);  // midpoint is a fixed point
+  EXPECT_FLOAT_EQ(y(2, 0, 0), 0.0f);  // max became min
+
+  // Honest client: untouched.
+  tensor::Tensor3 y2(1, 1, 1);
+  y2(0, 0, 0) = 0.7f;
+  EXPECT_EQ(suite.poison_labels(6, 0, x, y2), 0u);
+  EXPECT_FLOAT_EQ(y2(0, 0, 0), 0.7f);
+}
+
+TEST(AdversarySuite, BackdoorRelabelsOnlyTriggeredSamples) {
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kBackdoor;
+  cfg.attackers = {1};
+  cfg.trigger_lo = 0.5f;
+  cfg.trigger_hi = 1.0f;
+  cfg.backdoor_value = -9.0f;
+  const AdversarySuite suite(cfg);
+  tensor::Tensor3 x(2, 2, 1);
+  // Sample 0 mean 0.25 (off-trigger), sample 1 mean 0.75 (in-trigger).
+  x(0, 0, 0) = 0.25f;
+  x(0, 1, 0) = 0.25f;
+  x(1, 0, 0) = 0.5f;
+  x(1, 1, 0) = 1.0f;
+  tensor::Tensor3 y(2, 1, 1);
+  y(0, 0, 0) = 0.3f;
+  y(1, 0, 0) = 0.8f;
+  EXPECT_EQ(suite.poison_labels(1, 0, x, y), 1u);
+  EXPECT_FLOAT_EQ(y(0, 0, 0), 0.3f);   // off-trigger label intact
+  EXPECT_FLOAT_EQ(y(1, 0, 0), -9.0f);  // triggered label rewritten
+}
+
+TEST(AdversarySuite, ModelAndDataHooksAreDisjoint) {
+  // poison_update is a no-op for data attacks; poison_labels for model
+  // attacks — so wiring both hooks unconditionally never double-poisons.
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kLabelFlip;
+  cfg.attackers = {0};
+  const AdversarySuite data_suite(cfg);
+  const std::vector<float> ref = {0.0f};
+  WeightUpdate u = make_update(0, 0, {1.0f});
+  EXPECT_FALSE(data_suite.poison_update(u, ref));
+
+  cfg.kind = AttackKind::kAlie;
+  const AdversarySuite model_suite(cfg);
+  tensor::Tensor3 x(1, 1, 1);
+  tensor::Tensor3 y(1, 1, 1);
+  y(0, 0, 0) = 0.4f;
+  EXPECT_EQ(model_suite.poison_labels(0, 0, x, y), 0u);
+  EXPECT_FLOAT_EQ(y(0, 0, 0), 0.4f);
+}
+
+TEST(AdversarySuite, ColludingAlieDefeatsMeanButNotRobustRules) {
+  // Pinned regression of the tentpole scenario in miniature: 3 of 10
+  // within-norm colluders drag the clipped FedAvg mean a macroscopic
+  // distance from the honest consensus, while trimmed mean and median stay
+  // on it.  (The full-pipeline R² version lives in bench_adversarial.)
+  AdversaryConfig acfg;
+  acfg.kind = AttackKind::kAlie;
+  acfg.fraction = 0.3;
+  acfg.seed = 21;
+  std::vector<int> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(i);
+  acfg.attackers = AdversarySuite::pick_attackers(acfg.fraction, acfg.seed, ids);
+  ASSERT_EQ(acfg.attackers.size(), 3u);
+  acfg.norm_budget = 1.0;
+  const AdversarySuite suite(acfg);
+
+  const std::vector<float> ref(16, 0.0f);
+  ValidatorConfig vcfg;
+  vcfg.max_update_norm = 1.0;
+  RoundGate gate(vcfg, 0, ref);
+  std::vector<WeightUpdate> admitted;
+  for (int id = 0; id < 10; ++id) {
+    // Honest movement: small, zero-mean-ish jitter around the broadcast.
+    std::vector<float> w(16, (id % 2 == 0) ? 0.01f : -0.01f);
+    WeightUpdate u = make_update(id, 0, std::move(w));
+    suite.poison_update(u, ref);
+    ASSERT_TRUE(gate.admit(u));
+    admitted.push_back(std::move(u));
+  }
+  EXPECT_EQ(gate.audit().clipped, 0u);  // the whole attack passed the gate
+
+  const std::vector<float> mean = fed_avg(admitted);
+  double mean_norm = 0.0;
+  for (const float v : mean) mean_norm += static_cast<double>(v) * v;
+  mean_norm = std::sqrt(mean_norm);
+  // 3/10 colluders with unit budget drift the mean by ~0.3.
+  EXPECT_GT(mean_norm, 0.2);
+
+  for (const AggregationRule rule : {AggregationRule::kTrimmedMean,
+                                     AggregationRule::kCoordinateMedian}) {
+    FedAvgConfig cfg;
+    cfg.rule = rule;
+    cfg.trim_fraction = 0.3;
+    const std::vector<float> robust = fed_avg(admitted, cfg, &ref);
+    double norm = 0.0;
+    for (const float v : robust) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    EXPECT_LT(norm, 0.05) << to_string(rule);
+  }
+}
+
+}  // namespace
+}  // namespace evfl::fl

@@ -200,6 +200,75 @@ TEST(Aggregator, ClippedForwardedAggregateStillFolds) {
   EXPECT_NEAR(root.weights()[0], 0.5f, 1e-5f);
 }
 
+TEST(Aggregator, RobustShardForwardMatchesFlatRobustReduction) {
+  // Tree-vs-flat for the robust rules, at shard level: an edge running a
+  // robust rule forwards exactly the reduction a flat robust aggregator
+  // computes over the same leaves — bit-identical through the dense wire.
+  std::vector<WeightUpdate> leaves = make_leaves(9, 4);
+  leaves[3].weights.assign(4, 500.0f);  // a Byzantine minority
+  leaves[7].weights.assign(4, -500.0f);
+  const std::vector<float> init(4, 0.25f);
+
+  for (const AggregationRule rule :
+       {AggregationRule::kTrimmedMean, AggregationRule::kCoordinateMedian,
+        AggregationRule::kNormBoundedMean, AggregationRule::kMultiKrum}) {
+    FedAvgConfig cfg;
+    cfg.rule = rule;
+    cfg.krum_assumed_byzantine = 2;
+
+    Aggregator flat(init, cfg);
+    for (const WeightUpdate& u : leaves) flat.offer(u);
+    flat.close_round();
+
+    Server root(init, cfg);
+    EdgeAggregator edge(-2, init, cfg);
+    edge.begin_round(root.broadcast_wire());
+    for (const WeightUpdate& u : leaves) edge.offer(u);
+    const std::vector<std::uint8_t>* fw = edge.forward_wire();
+    ASSERT_NE(fw, nullptr) << to_string(rule);
+    WeightUpdate up;
+    deserialize_update_into(*fw, up);
+    // A robust reduction has no exact linear sum to ship: it travels as a
+    // regular dense update tagged with its leaf count.
+    EXPECT_TRUE(up.agg_terms.empty()) << to_string(rule);
+    EXPECT_EQ(up.agg_contributors, 9u) << to_string(rule);
+    EXPECT_EQ(up.weights, flat.weights()) << to_string(rule);
+  }
+}
+
+TEST(Aggregator, RobustParentFoldsShardAggregatesInsteadOfRebuffering) {
+  // "Robust-per-shard, fold upstream": each shard's robust reduction has
+  // already defused its local minority, so the parent folds the shard means
+  // by weight instead of subjecting 2 forwarded values to a 2-row order
+  // statistic.  The composed result must sit in the honest hull even though
+  // every shard contained attackers.
+  const std::vector<float> init = {0.0f};
+  FedAvgConfig cfg;
+  cfg.rule = AggregationRule::kTrimmedMean;
+  cfg.trim_fraction = 0.34;
+
+  Server root(init, cfg);
+  std::vector<EdgeAggregator> edges;
+  for (int e = 0; e < 2; ++e) edges.emplace_back(-2 - e, init, cfg);
+  for (int e = 0; e < 2; ++e) {
+    edges[e].begin_round(root.broadcast_wire());
+    const float honest = e == 0 ? 1.0f : 3.0f;
+    edges[e].offer(make_update(e * 3 + 0, 10, {honest}));
+    edges[e].offer(make_update(e * 3 + 1, 10, {honest}));
+    edges[e].offer(make_update(e * 3 + 2, 10, {1000.0f}));  // 1/3 Byzantine
+    const std::vector<std::uint8_t>* fw = edges[e].forward_wire();
+    ASSERT_NE(fw, nullptr);
+    WeightUpdate up;
+    deserialize_update_into(*fw, up);
+    EXPECT_GT(up.agg_contributors, 0u);
+    root.offer(std::move(up));
+  }
+  root.close_round();
+  // Both shard reductions trimmed their outlier; the fold is the equal-
+  // weight mean of the honest shard values 1 and 3.
+  EXPECT_NEAR(root.weights()[0], 2.0f, 1e-5f);
+}
+
 TEST(Aggregator, AdoptRebasesRoundAndRejectsMismatchedDim) {
   Aggregator agg(std::vector<float>{1.0f, 1.0f});
   agg.adopt(7, {2.0f, 3.0f});

@@ -295,7 +295,7 @@ constexpr std::size_t kOffVersion = 4;
 constexpr std::size_t kOffKind = 6;
 constexpr std::size_t kOffCodec = 28;
 constexpr std::size_t kOffQuantBits = 29;
-constexpr std::size_t kOffReserved = 30;
+constexpr std::size_t kOffAggLeaves = 30;
 constexpr std::size_t kOffNnz = 40;
 
 std::vector<std::uint8_t> v2_delta_message() {
@@ -308,8 +308,15 @@ std::vector<std::uint8_t> v2_delta_message() {
 
 TEST(CodecWireV2, MalformedHeaderFieldsRejected) {
   {
-    auto b = v2_delta_message();
-    b[kOffReserved] = 1;  // reserved must be zero
+    // agg_leaves on an exact aggregate is a forgery: the authoritative
+    // contributor count rides in the kAggSum payload.
+    FedAccumulator acc;
+    acc.reset(4);
+    acc.add_update(random_weights(4, 113), 2);
+    std::vector<std::uint8_t> b;
+    serialize_aggregate_into(3, -2, 2, 0.5f, acc.contributors(),
+                             acc.total_weight(), acc.terms(), b);
+    b[kOffAggLeaves] = 1;
     EXPECT_THROW(deserialize_update(b), FormatError);
   }
   {
@@ -332,6 +339,30 @@ TEST(CodecWireV2, MalformedHeaderFieldsRejected) {
     b[b.size() - 1] ^= 0xFF;  // payload corruption must trip the CRC
     EXPECT_THROW(deserialize_update(b), FormatError);
   }
+}
+
+TEST(CodecWireV2, AggLeavesRoundTripsAcrossUpdateCodecs) {
+  // A forwarded aggregate *mean* (robust shard reduction, or exact mean
+  // through a lossy upstream) re-announces its leaf coverage so a robust
+  // parent folds it instead of re-buffering it as one leaf vote.
+  for (CodecKind k : {CodecKind::kDense, CodecKind::kDelta, CodecKind::kTopK,
+                      CodecKind::kTopKQuant}) {
+    WeightUpdate u = make_update(random_weights(16, 211), 3, -7);
+    u.agg_contributors = 12;
+    UpdateEncoder enc(codec_cfg(k, 0.5));
+    std::vector<std::uint8_t> bytes;
+    enc.encode(u, random_weights(16, 212), bytes);
+    EXPECT_EQ(deserialize_update(bytes).agg_contributors, 12u)
+        << to_string(k);
+  }
+  // The u16 field saturates; the exact count only matters on the kAggSum
+  // payload, which carries it at full width.
+  WeightUpdate u = make_update(random_weights(4, 213), 3, -7);
+  u.agg_contributors = 1'000'000;
+  UpdateEncoder enc(codec_cfg(CodecKind::kDelta));
+  std::vector<std::uint8_t> bytes;
+  enc.encode(u, random_weights(4, 214), bytes);
+  EXPECT_EQ(deserialize_update(bytes).agg_contributors, 0xFFFFu);
 }
 
 TEST(CodecWireV2, VersionConfusionRejected) {

@@ -56,6 +56,31 @@ TEST(CliOverrides, RejectsBadCodecKnobs) {
   EXPECT_THROW(apply(cfg, {"--quant-bits", "0"}), Error);
 }
 
+TEST(CliOverrides, AppliesAdversaryKnobs) {
+  ExperimentConfig cfg;
+  EXPECT_EQ(cfg.fedavg.rule, fl::AggregationRule::kMean);  // exact default
+  EXPECT_EQ(cfg.attack.kind, fl::AttackKind::kNone);
+  apply(cfg, {"--agg-rule", "trimmed_mean", "--attack-kind", "alie",
+              "--attack-frac", "0.3"});
+  EXPECT_EQ(cfg.fedavg.rule, fl::AggregationRule::kTrimmedMean);
+  EXPECT_EQ(cfg.attack.kind, fl::AttackKind::kAlie);
+  EXPECT_DOUBLE_EQ(cfg.attack.fraction, 0.3);
+}
+
+TEST(CliOverrides, RejectsBadAdversaryKnobs) {
+  // Validate-then-assign: a rejected value leaves the config untouched.
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--agg-rule", "krum"}), Error);
+  EXPECT_THROW(apply(cfg, {"--agg-rule", "MEAN"}), Error);
+  EXPECT_THROW(apply(cfg, {"--attack-kind", "alie2"}), Error);
+  EXPECT_THROW(apply(cfg, {"--attack-frac", "-0.1"}), Error);
+  EXPECT_THROW(apply(cfg, {"--attack-frac", "1.5"}), Error);
+  EXPECT_THROW(apply(cfg, {"--attack-frac", "0.3x"}), Error);
+  EXPECT_EQ(cfg.fedavg.rule, fl::AggregationRule::kMean);
+  EXPECT_EQ(cfg.attack.kind, fl::AttackKind::kNone);
+  EXPECT_DOUBLE_EQ(cfg.attack.fraction, 0.0);
+}
+
 TEST(CliOverrides, AppliesFleetKnobs) {
   ExperimentConfig cfg;
   EXPECT_EQ(cfg.fleet_clients, 0u);  // flat 3-zone federation by default

@@ -185,6 +185,162 @@ TEST(FedAvg, ToFixedHandlesNonFiniteAndCap) {
   EXPECT_EQ(to_fixed(1.0), static_cast<ExactTerm>(1) << 64);
 }
 
+TEST(AggregationRule, ParseRoundTripsAndRejectsUnknown) {
+  for (const AggregationRule r :
+       {AggregationRule::kMean, AggregationRule::kTrimmedMean,
+        AggregationRule::kCoordinateMedian, AggregationRule::kNormBoundedMean,
+        AggregationRule::kMultiKrum}) {
+    EXPECT_EQ(parse_aggregation_rule(to_string(r)), r);
+  }
+  EXPECT_THROW(parse_aggregation_rule("krum!"), Error);
+  EXPECT_THROW(parse_aggregation_rule(""), Error);
+}
+
+TEST(RobustRules, MeanRuleStaysBitIdenticalToStreamingPath) {
+  // kMean through the rule dispatch must be the exact int128 path, not a
+  // float re-implementation.
+  const std::vector<WeightUpdate> updates = {
+      make_update(0, 300, {0.125f, -2.5f}),
+      make_update(1, 100, {4.0f, 0.75f}),
+      make_update(2, 57, {-1.25f, 3.5f}),
+  };
+  FedAvgConfig cfg;
+  cfg.rule = AggregationRule::kMean;
+  EXPECT_EQ(fed_avg(updates, cfg), fed_avg(updates));
+}
+
+TEST(RobustRules, TrimmedMeanDiscardsExtremes) {
+  // One colluding pair of extreme values per side; trim 0.25 of 8 = 2 each
+  // side, so both poisoned rows vanish and the mean is over honest rows.
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 6; ++i) updates.push_back(make_update(i, 10, {1.0f}));
+  updates.push_back(make_update(6, 10, {1000.0f}));
+  updates.push_back(make_update(7, 10, {-1000.0f}));
+  FedAvgConfig cfg;
+  cfg.rule = AggregationRule::kTrimmedMean;
+  cfg.trim_fraction = 0.25;
+  const auto avg = fed_avg(updates, cfg);
+  EXPECT_NEAR(avg[0], 1.0f, 1e-6f);
+}
+
+TEST(RobustRules, CoordinateMedianResistsNearHalfCorruption) {
+  // 3 of 7 poisoned: the per-coordinate median still lands on an honest
+  // value.
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 4; ++i)
+    updates.push_back(make_update(i, 10, {2.0f, -1.0f}));
+  for (int i = 4; i < 7; ++i)
+    updates.push_back(make_update(i, 10, {1e6f, -1e6f}));
+  FedAvgConfig cfg;
+  cfg.rule = AggregationRule::kCoordinateMedian;
+  const auto avg = fed_avg(updates, cfg);
+  EXPECT_FLOAT_EQ(avg[0], 2.0f);
+  EXPECT_FLOAT_EQ(avg[1], -1.0f);
+}
+
+TEST(RobustRules, OrderStatisticRulesIgnoreSampleCountInflation) {
+  // An attacker claiming 10^6 samples must still get exactly one vote in
+  // rank-based rules — otherwise sample_count is a free amplifier.
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 4; ++i) updates.push_back(make_update(i, 10, {1.0f}));
+  updates.push_back(make_update(4, 1'000'000, {1000.0f}));
+  for (const AggregationRule rule : {AggregationRule::kTrimmedMean,
+                                     AggregationRule::kCoordinateMedian}) {
+    FedAvgConfig cfg;
+    cfg.rule = rule;
+    cfg.trim_fraction = 0.25;
+    const auto avg = fed_avg(updates, cfg);
+    EXPECT_NEAR(avg[0], 1.0f, 1e-6f) << to_string(rule);
+  }
+}
+
+TEST(RobustRules, NormBoundedMeanAdaptiveBoundCapsOutlier) {
+  // With norm_bound == 0 the bound is the median movement norm, so a huge
+  // movement is rescaled onto the honest scale instead of dominating.
+  const std::vector<float> reference = {0.0f, 0.0f};
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 4; ++i)
+    updates.push_back(make_update(i, 10, {0.1f, 0.0f}));
+  updates.push_back(make_update(4, 10, {1000.0f, 0.0f}));
+  FedAvgConfig cfg;
+  cfg.rule = AggregationRule::kNormBoundedMean;
+  const auto avg = fed_avg(updates, cfg, &reference);
+  // Outlier clamped to norm 0.1: mean <= (4*0.1 + 0.1)/5 = 0.1.
+  EXPECT_LE(avg[0], 0.1f + 1e-6f);
+  EXPECT_GT(avg[0], 0.0f);
+}
+
+TEST(RobustRules, MultiKrumExcludesColludingCluster) {
+  // 6 honest near 1.0, 3 colluders at 50.0: with f = 3 the colluders score
+  // worse (their n-f-2 = 4 nearest neighbours include honest rows far
+  // away) and none is selected.
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 6; ++i) {
+    updates.push_back(
+        make_update(i, 10, {1.0f + 0.01f * static_cast<float>(i)}));
+  }
+  for (int i = 6; i < 9; ++i) updates.push_back(make_update(i, 10, {50.0f}));
+  FedAvgConfig cfg;
+  cfg.rule = AggregationRule::kMultiKrum;
+  cfg.krum_assumed_byzantine = 3;
+  const auto avg = fed_avg(updates, cfg);
+  EXPECT_GT(avg[0], 0.9f);
+  EXPECT_LT(avg[0], 1.1f);
+}
+
+TEST(RobustRules, EveryRobustRuleHoldsUnderMinorityAttack) {
+  // The f < n/2 contract from the threat model: 4 of 10 colluders pulling
+  // toward +100 move every robust rule by at most the honest spread, while
+  // plain mean is dragged over 39.
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 6; ++i) {
+    updates.push_back(
+        make_update(i, 10, {0.5f + 0.02f * static_cast<float>(i)}));
+  }
+  for (int i = 6; i < 10; ++i) {
+    updates.push_back(make_update(i, 10, {100.0f}));
+  }
+  const std::vector<float> reference = {0.5f};
+  const float honest_mean = 0.55f;
+
+  FedAvgConfig mean_cfg;
+  const auto mean = fed_avg(updates, mean_cfg, &reference);
+  EXPECT_GT(mean[0], 39.0f);  // the attack works on plain FedAvg
+
+  for (const AggregationRule rule :
+       {AggregationRule::kTrimmedMean, AggregationRule::kCoordinateMedian,
+        AggregationRule::kNormBoundedMean, AggregationRule::kMultiKrum}) {
+    FedAvgConfig cfg;
+    cfg.rule = rule;
+    cfg.trim_fraction = 0.4;
+    // 4 attackers at n = 10 sits past Krum's n >= 2f+3 guarantee (f is
+    // clamped to 3), so the default m = n - f would admit one colluder;
+    // a deployment assuming 4 Byzantine picks m = 6 survivors explicitly.
+    cfg.krum_assumed_byzantine = 4;
+    cfg.krum_select = 6;
+    const auto avg = fed_avg(updates, cfg, &reference);
+    EXPECT_NEAR(avg[0], honest_mean, 0.2f) << to_string(rule);
+  }
+}
+
+TEST(RobustRules, DeterministicAcrossRepeats) {
+  std::vector<WeightUpdate> updates;
+  for (int i = 0; i < 9; ++i) {
+    updates.push_back(make_update(i, 10 + i, {0.1f * static_cast<float>(i),
+                                              1.0f - 0.05f * i}));
+  }
+  const std::vector<float> reference = {0.0f, 0.5f};
+  for (const AggregationRule rule :
+       {AggregationRule::kTrimmedMean, AggregationRule::kCoordinateMedian,
+        AggregationRule::kNormBoundedMean, AggregationRule::kMultiKrum}) {
+    FedAvgConfig cfg;
+    cfg.rule = rule;
+    const auto a = fed_avg(updates, cfg, &reference);
+    const auto b = fed_avg(updates, cfg, &reference);
+    EXPECT_EQ(a, b) << to_string(rule);
+  }
+}
+
 TEST(WeightsHelpers, AxpyAndDistance) {
   std::vector<float> a = {1.0f, 2.0f};
   axpy(a, 2.0, {0.5f, 0.5f});

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "fl/fedavg.hpp"
 
 namespace evfl::fl {
 namespace {
@@ -136,6 +137,35 @@ TEST(Validator, ChecksCanBeDisabled) {
       0, {0.0f}, audit);
   EXPECT_EQ(out.size(), 2u);
   EXPECT_EQ(audit.rejected(), 0u);
+}
+
+TEST(Validator, ClippedAggregateIsCountedNotSilentlyDowngraded) {
+  // Clipping a forwarded aggregate forfeits its exact int128 terms; that
+  // event must show up in the audit as clipped_aggregates, not vanish into
+  // the generic clip counter.
+  ValidatorConfig cfg;
+  cfg.max_update_norm = 1.0;
+  const std::vector<float> global = {0.0f, 0.0f};
+
+  RoundGate gate(cfg, 0, global);
+  WeightUpdate leaf = update(0, 0, {3.0f, 4.0f});
+  EXPECT_TRUE(gate.admit(leaf));  // leaf clip: generic counter only
+
+  WeightUpdate agg = update(-2, 0, {3.0f, 4.0f});
+  agg.agg_terms = {to_fixed(30.0), to_fixed(40.0)};
+  agg.agg_contributors = 5;
+  EXPECT_TRUE(gate.admit(agg));
+  EXPECT_TRUE(agg.agg_terms.empty());  // exactness forfeited...
+  EXPECT_EQ(gate.audit().clipped, 2u);
+  EXPECT_EQ(gate.audit().clipped_aggregates, 1u);  // ...and audited
+
+  // A within-norm aggregate keeps its terms and adds to neither counter.
+  WeightUpdate fine = update(-3, 0, {0.3f, 0.4f});
+  fine.agg_terms = {to_fixed(3.0), to_fixed(4.0)};
+  fine.agg_contributors = 5;
+  EXPECT_TRUE(gate.admit(fine));
+  EXPECT_FALSE(fine.agg_terms.empty());
+  EXPECT_EQ(gate.audit().clipped_aggregates, 1u);
 }
 
 TEST(Validator, RejectsBadConfig) {
