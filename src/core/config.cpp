@@ -122,6 +122,20 @@ void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv) {
                     "' (expected a fraction in (0, 1])");
       }
       cfg.sample_frac = frac;
+    } else if (key == "--serve-batch") {
+      const std::uint64_t batch = parse_unsigned(key, value);
+      if (batch < 1 || batch > 4096) {
+        throw Error("bad value for --serve-batch: '" + value +
+                    "' (expected 1..4096)");
+      }
+      cfg.serve_batch = batch;
+    } else if (key == "--serve-quant-bits") {
+      const std::uint64_t bits = parse_unsigned(key, value);
+      if (bits != 0 && bits != 8) {
+        throw Error("bad value for --serve-quant-bits: '" + value +
+                    "' (expected 0 for fp32 or 8 for int8)");
+      }
+      cfg.serve_quant_bits = static_cast<int>(bits);
     } else if (key == "--agg-rule") {
       cfg.fedavg.rule = fl::parse_aggregation_rule(value);
     } else if (key == "--attack-kind") {

@@ -45,6 +45,12 @@ struct ExperimentConfig {
   /// participates every round.
   double sample_frac = 1.0;
 
+  /// Serving-engine knobs (forecast::Engine, bench_serving): series scored
+  /// per engine batch, and snapshot weight storage — 0 keeps fp32, 8
+  /// freezes int8 block-quantized snapshots.
+  std::size_t serve_batch = 32;
+  int serve_quant_bits = 0;
+
   /// Worker-thread budget for the runtime execution context: 1 = serial
   /// (the default — bit-reproducible and what the tests assume), 0 = size
   /// to hardware_concurrency(), N = exactly N threads.  Parallel paths are
@@ -80,6 +86,7 @@ struct ExperimentConfig {
 ///   --cache-dir PATH  --trace-out FILE  --metrics-json FILE
 ///   --codec dense|delta|topk|topk_q  --topk-frac X  --quant-bits 4|8
 ///   --clients N  --edges N  --sample-frac X
+///   --serve-batch N (1..4096)  --serve-quant-bits 0|8 (0 = fp32 snapshots)
 ///   --agg-rule mean|trimmed_mean|median|norm_bounded|multi_krum
 ///   --attack-kind none|sign_flip|alie|label_flip|backdoor
 ///   --attack-frac X (fraction of clients compromised, [0, 1])

@@ -49,35 +49,9 @@ std::uint16_t saturate_leaves(std::uint64_t contributors) {
                                 : static_cast<std::uint16_t>(contributors);
 }
 
-/// Block-quantize `count` values from `src`: per-block fp32 scale
-/// (maxabs / qmax) into `scales`, rounded signed integers into `quants`.
-/// An all-zero block gets scale 0 and zero codes, so dequantization is
-/// exact there.
-void block_quantize(const float* src, std::size_t count, int bits,
-                    std::vector<float>& scales,
-                    std::vector<std::int8_t>& quants) {
-  const int qmax = wire_detail::quant_qmax(bits);
-  const std::size_t blocks = (count + kQuantBlock - 1) / kQuantBlock;
-  scales.resize(blocks);
-  quants.resize(count);
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t lo = b * kQuantBlock;
-    const std::size_t hi = std::min(lo + kQuantBlock, count);
-    float maxabs = 0.0f;
-    for (std::size_t i = lo; i < hi; ++i) {
-      maxabs = std::max(maxabs, std::fabs(src[i]));
-    }
-    const float scale = maxabs > 0.0f ? maxabs / static_cast<float>(qmax)
-                                      : 0.0f;
-    scales[b] = scale;
-    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
-    for (std::size_t i = lo; i < hi; ++i) {
-      const float q = std::nearbyint(src[i] * inv);
-      quants[i] = static_cast<std::int8_t>(
-          std::clamp(static_cast<int>(q), -qmax, qmax));
-    }
-  }
-}
+// Block quantization itself (per-block scale + codes) is shared with the
+// serving engine's weight freezing — nn::block_quantize / nn::dequantize in
+// nn/quant.hpp.  Only the wire packing lives here.
 
 /// Append scales + packed codes (two-per-byte, low nibble first, for 4-bit).
 void write_quantized(Writer& w, const std::vector<float>& scales,
@@ -97,10 +71,6 @@ void write_quantized(Writer& w, const std::vector<float>& scales,
             : 0u;
     w.put(static_cast<std::uint8_t>(hi | lo));
   }
-}
-
-float dequant(std::int8_t code, float scale) {
-  return static_cast<float>(code) * scale;
 }
 
 }  // namespace
@@ -240,7 +210,7 @@ void UpdateEncoder::encode(const WeightUpdate& update,
   w.put_bytes(reinterpret_cast<const std::uint8_t*>(index_.data()),
               k * sizeof(std::uint32_t));
   if (quantized) {
-    block_quantize(gathered_.data(), k, bits, scales_, quants_);
+    nn::block_quantize(gathered_.data(), k, bits, scales_, quants_);
     write_quantized(w, scales_, quants_, bits);
   } else {
     w.put_floats(gathered_.data(), k);
@@ -256,7 +226,7 @@ void UpdateEncoder::encode(const WeightUpdate& update,
     const std::size_t i = index_[j];
     residual_[i] =
         quantized
-            ? gathered_[j] - dequant(quants_[j], scales_[j / kQuantBlock])
+            ? gathered_[j] - nn::dequantize(quants_[j], scales_[j / kQuantBlock])
             : 0.0f;
   }
 }
@@ -280,7 +250,7 @@ void encode_global(std::uint32_t round, const std::vector<float>& weights,
   const std::size_t payload_pos = w.pos();
   static thread_local std::vector<float> scales;
   static thread_local std::vector<std::int8_t> quants;
-  block_quantize(weights.data(), dim, kBits, scales, quants);
+  nn::block_quantize(weights.data(), dim, kBits, scales, quants);
   write_quantized(w, scales, quants, kBits);
   w.patch_u32(crc_pos,
               crc32(out.data() + payload_pos, out.size() - payload_pos));

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "fl/weights.hpp"
+#include "nn/quant.hpp"
 
 namespace evfl::fl {
 
@@ -53,7 +54,8 @@ enum class CodecKind : std::uint8_t {
 };
 
 /// Values per quantization block; one fp32 scale is stored per block.
-inline constexpr std::size_t kQuantBlock = 256;
+/// (The grid itself lives in nn/quant.hpp, shared with the serving engine.)
+inline constexpr std::size_t kQuantBlock = nn::kQuantBlockSize;
 
 struct CodecConfig {
   CodecKind kind = CodecKind::kDense;

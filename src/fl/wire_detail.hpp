@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "nn/quant.hpp"
 
 namespace evfl::fl::wire_detail {
 
@@ -100,8 +101,9 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-/// Symmetric quantization grid: b bits store integers in [-qmax, qmax].
-inline int quant_qmax(int bits) { return (1 << (bits - 1)) - 1; }
+/// Symmetric quantization grid, shared with the serving engine's weight
+/// quantization (nn/quant.hpp): b bits store integers in [-qmax, qmax].
+using nn::quant_qmax;
 
 /// Wire bytes for `count` packed `bits`-wide values (4-bit values pack two
 /// per byte, low nibble first).

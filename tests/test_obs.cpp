@@ -81,6 +81,37 @@ TEST(Histogram, QuantilesOrderAndBracketTheData) {
   EXPECT_NEAR(p95, 0.95, 0.10);
 }
 
+TEST(Histogram, P50P99CorrectOnKnownUniformDistribution) {
+  // 10,000 evenly spaced samples over (0, 1]: the true q-quantile is q
+  // itself, so p50/p90/p99 are known in closed form.  Log-spaced buckets
+  // have ~7% resolution; assert 10% relative error.
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(i * 1e-4);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(h.quantile(0.50), 0.50, 0.05);
+  EXPECT_NEAR(h.quantile(0.90), 0.90, 0.09);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.099);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);  // exact: clamped to observed max
+  // q=0 interpolates inside the lowest occupied bucket; it must stay
+  // within bucket resolution of the true minimum.
+  EXPECT_GE(h.quantile(0.0), 1e-4);
+  EXPECT_NEAR(h.quantile(0.0), 1e-4, 1e-5);
+}
+
+TEST(Histogram, P99SeparatesTailFromBody) {
+  // A latency-shaped bimodal distribution: 98% fast (1 ms), 2% slow (1 s).
+  // p50 must sit on the body and p99 on the tail — three decades apart, so
+  // bucket resolution is not a factor in telling them apart.
+  Histogram h;
+  for (int i = 0; i < 980; ++i) h.record(1e-3);
+  for (int i = 0; i < 20; ++i) h.record(1.0);
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  EXPECT_NEAR(p50, 1e-3, 1e-4);
+  EXPECT_NEAR(p99, 1.0, 0.1);
+  EXPECT_GT(p99 / p50, 100.0);
+}
+
 TEST(Histogram, OutOfDomainValuesKeepExactMinMax) {
   Histogram h(1e-3, 1.0, 16);
   h.record(1e-9);   // below the lowest bucket
