@@ -8,6 +8,42 @@
 
 namespace evfl::anomaly {
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Inclusive linear-interpolated percentile of an already-sorted,
+/// all-finite range.
+float sorted_percentile(const float* values, std::size_t n, double pct) {
+  if (n == 1) return values[0];
+  const double rank = pct / 100.0 * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<float>(values[lo] + frac * (values[hi] - values[lo]));
+}
+
+float mad_threshold(std::vector<float>& sorted_scratch, double k) {
+  // `sorted_scratch` holds finite scores; sorted in place, then reused for
+  // the deviations so the whole computation stays within one buffer.
+  std::sort(sorted_scratch.begin(), sorted_scratch.end());
+  const float med =
+      sorted_percentile(sorted_scratch.data(), sorted_scratch.size(), 50.0);
+  for (float& v : sorted_scratch) v = std::abs(v - med);
+  std::sort(sorted_scratch.begin(), sorted_scratch.end());
+  const float mad =
+      sorted_percentile(sorted_scratch.data(), sorted_scratch.size(), 50.0);
+  // 1.4826 scales MAD to the std of a normal distribution.
+  return med + static_cast<float>(k) * 1.4826f * mad;
+}
+
+}  // namespace
+
 std::string to_string(ThresholdKind kind) {
   switch (kind) {
     case ThresholdKind::kPercentile: return "percentile";
@@ -17,39 +53,203 @@ std::string to_string(ThresholdKind kind) {
   return "?";
 }
 
-float percentile(std::vector<float> values, double pct) {
-  EVFL_REQUIRE(!values.empty(), "percentile of empty vector");
+std::size_t drop_nonfinite(std::vector<float>& values) {
+  const std::size_t before = values.size();
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](float v) { return !std::isfinite(v); }),
+               values.end());
+  return before - values.size();
+}
+
+float percentile(std::vector<float> values, double pct,
+                 std::size_t* nonfinite_dropped) {
   EVFL_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile out of [0,100]");
+  // NaN comparisons violate strict weak ordering: sorting them is UB and
+  // can silently scramble the finite entries too.  Inf sorts, but poisons
+  // the interpolation (Inf * 0 = NaN).  Drop both, with an accounted count.
+  const std::size_t dropped = drop_nonfinite(values);
+  if (nonfinite_dropped != nullptr) *nonfinite_dropped = dropped;
+  EVFL_REQUIRE(!values.empty(), "percentile of empty vector (after dropping " +
+                                    std::to_string(dropped) +
+                                    " non-finite values)");
   std::sort(values.begin(), values.end());
-  if (values.size() == 1) return values[0];
-  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return static_cast<float>(values[lo] +
-                            frac * (values[hi] - values[lo]));
+  return sorted_percentile(values.data(), values.size(), pct);
 }
 
 float median(std::vector<float> values) { return percentile(std::move(values), 50.0); }
 
 float compute_threshold(const std::vector<float>& train_scores,
-                        const ThresholdRule& rule) {
+                        const ThresholdRule& rule,
+                        std::size_t* nonfinite_dropped) {
   EVFL_REQUIRE(!train_scores.empty(), "threshold from empty scores");
+  std::vector<float> finite = train_scores;
+  const std::size_t dropped = drop_nonfinite(finite);
+  if (nonfinite_dropped != nullptr) *nonfinite_dropped = dropped;
+  EVFL_REQUIRE(!finite.empty(),
+               "threshold from scores with no finite entry (" +
+                   std::to_string(dropped) + " non-finite dropped)");
   switch (rule.kind) {
-    case ThresholdKind::kPercentile:
-      return percentile(train_scores, rule.param);
+    case ThresholdKind::kPercentile: {
+      std::sort(finite.begin(), finite.end());
+      return sorted_percentile(finite.data(), finite.size(), rule.param);
+    }
     case ThresholdKind::kMeanStd: {
-      const data::SeriesStats s = data::compute_stats(train_scores);
+      const data::SeriesStats s = data::compute_stats(finite);
       return s.mean + static_cast<float>(rule.param) * s.stddev;
     }
+    case ThresholdKind::kMad:
+      return mad_threshold(finite, rule.param);
+  }
+  EVFL_ASSERT(false, "unknown threshold kind");
+  return 0.0f;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalThreshold
+
+IncrementalThreshold::IncrementalThreshold(const ThresholdRule& rule)
+    : rule_(rule) {
+  if (rule_.kind == ThresholdKind::kPercentile) {
+    EVFL_REQUIRE(rule_.param >= 0.0 && rule_.param <= 100.0,
+                 "percentile out of [0,100]");
+    const double p = rule_.param / 100.0;
+    // Desired marker positions track {0, p/2, p, (1+p)/2, 1} quantiles.
+    dn_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+  } else if (rule_.kind == ThresholdKind::kMad) {
+    reservoir_.reserve(kReservoirCap);
+    mad_scratch_.reserve(kReservoirCap);
+  }
+}
+
+bool IncrementalThreshold::observe(float score) {
+  if (!std::isfinite(score)) {
+    ++nonfinite_dropped_;
+    return false;
+  }
+  ++count_;
+  switch (rule_.kind) {
+    case ThresholdKind::kPercentile:
+      observe_p2(score);
+      break;
+    case ThresholdKind::kMeanStd: {
+      const double delta = score - mean_;
+      mean_ += delta / static_cast<double>(count_);
+      m2_ += delta * (score - mean_);
+      break;
+    }
     case ThresholdKind::kMad: {
-      const float med = median(train_scores);
-      std::vector<float> dev;
-      dev.reserve(train_scores.size());
-      for (float v : train_scores) dev.push_back(std::abs(v - med));
-      const float mad = median(std::move(dev));
-      // 1.4826 scales MAD to the std of a normal distribution.
-      return med + static_cast<float>(rule.param) * 1.4826f * mad;
+      mad_dirty_ = true;
+      if (reservoir_.size() < kReservoirCap) {
+        reservoir_.push_back(score);
+      } else {
+        // Algorithm R with a hash-derived draw: item i replaces a uniform
+        // reservoir slot with probability cap/i — deterministic in the
+        // observation sequence, independent of wall clock.
+        const std::uint64_t h =
+            splitmix64(static_cast<std::uint64_t>(count_) ^ 0x9E37ull);
+        const std::uint64_t j = h % static_cast<std::uint64_t>(count_);
+        if (j < kReservoirCap) reservoir_[static_cast<std::size_t>(j)] = score;
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+void IncrementalThreshold::observe_p2(float score) {
+  const double x = score;
+  if (count_ <= 5) {
+    // Warmup: the first five observations become the initial markers.
+    q_[count_ - 1] = x;
+    if (count_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        n_[i] = static_cast<double>(i);
+        np_[i] = dn_[i] * 4.0;
+      }
+    }
+    return;
+  }
+
+  // Locate the cell and bump the extreme markers.
+  std::size_t k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x < q_[1]) {
+    k = 0;
+  } else if (x < q_[2]) {
+    k = 1;
+  } else if (x < q_[3]) {
+    k = 2;
+  } else if (x <= q_[4]) {
+    k = 3;
+  } else {
+    q_[4] = x;
+    k = 3;
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) np_[i] += dn_[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic (P²) height prediction.
+      const double np1 = n_[i + 1], nm1 = n_[i - 1], ni = n_[i];
+      double qn =
+          q_[i] + sign / (np1 - nm1) *
+                      ((ni - nm1 + sign) * (q_[i + 1] - q_[i]) / (np1 - ni) +
+                       (np1 - ni - sign) * (q_[i] - q_[i - 1]) / (ni - nm1));
+      if (qn <= q_[i - 1] || qn >= q_[i + 1]) {
+        // Parabola left the bracket: fall back to linear adjustment.
+        const std::size_t nb = sign > 0.0 ? i + 1 : i - 1;
+        qn = q_[i] + sign * (q_[nb] - q_[i]) / (n_[nb] - ni);
+      }
+      q_[i] = qn;
+      n_[i] += sign;
+    }
+  }
+}
+
+float IncrementalThreshold::percentile_value() const {
+  if (count_ < 5) {
+    // Exact small-sample percentile over the observed prefix (markers hold
+    // the raw values until the fifth observation sorts them).
+    std::array<double, 5> sorted{};
+    std::copy(q_.begin(), q_.begin() + count_, sorted.begin());
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    if (count_ == 1) return static_cast<float>(sorted[0]);
+    const double rank =
+        rule_.param / 100.0 * static_cast<double>(count_ - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<float>(sorted[lo] + frac * (sorted[hi] - sorted[lo]));
+  }
+  return static_cast<float>(q_[2]);
+}
+
+float IncrementalThreshold::value() const {
+  EVFL_REQUIRE(count_ > 0, "IncrementalThreshold::value before any score");
+  switch (rule_.kind) {
+    case ThresholdKind::kPercentile:
+      return percentile_value();
+    case ThresholdKind::kMeanStd: {
+      // Population variance, matching data::compute_stats.
+      const double var = m2_ / static_cast<double>(count_);
+      return static_cast<float>(mean_ +
+                                rule_.param * std::sqrt(std::max(0.0, var)));
+    }
+    case ThresholdKind::kMad: {
+      if (mad_dirty_) {
+        mad_scratch_.assign(reservoir_.begin(), reservoir_.end());
+        mad_cached_ = mad_threshold(mad_scratch_, rule_.param);
+        mad_dirty_ = false;
+      }
+      return mad_cached_;
     }
   }
   EVFL_ASSERT(false, "unknown threshold kind");

@@ -4,8 +4,21 @@
 // reconstruction MSE.  The MSD (mean + k·std) and MAD (median absolute
 // deviation) rules from its cited prior work [4] are provided as ablation
 // alternatives (bench_ablation_threshold).
+//
+// Two evaluation modes share the ThresholdRule description:
+//   compute_threshold    — batch: one pass over a score vector (train-time).
+//   IncrementalThreshold — streaming: O(1)/O(R) per-score state updates so a
+//                          long-running detector adapts its cutoff without
+//                          rescanning history (evfl::stream).
+//
+// Both modes reject non-finite scores with a counted drop: a NaN entering
+// std::sort is undefined behaviour and silently corrupts the order (and any
+// mean/percentile built on it), and scores from a just-initialized or
+// poisoned model do produce NaN/Inf.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,13 +43,84 @@ struct ThresholdRule {
   double param = 99.5;
 };
 
-/// Compute the scalar threshold from training scores under the rule.
-float compute_threshold(const std::vector<float>& train_scores,
-                        const ThresholdRule& rule);
+/// Remove non-finite entries in place (order of the finite entries is
+/// preserved); returns how many were dropped.
+std::size_t drop_nonfinite(std::vector<float>& values);
 
-/// Linear-interpolated percentile (inclusive method, like numpy default).
-float percentile(std::vector<float> values, double pct);
+/// Compute the scalar threshold from training scores under the rule.
+/// Non-finite scores are dropped first (reported through
+/// `nonfinite_dropped` when non-null); throws if no finite score remains.
+float compute_threshold(const std::vector<float>& train_scores,
+                        const ThresholdRule& rule,
+                        std::size_t* nonfinite_dropped = nullptr);
+
+/// Linear-interpolated percentile (inclusive method, like numpy default)
+/// over the finite entries of `values`; non-finite entries are dropped
+/// (counted into `nonfinite_dropped` when non-null) and an all-non-finite
+/// input throws.
+float percentile(std::vector<float> values, double pct,
+                 std::size_t* nonfinite_dropped = nullptr);
 
 float median(std::vector<float> values);
+
+/// Streaming threshold state behind a ThresholdRule — the incremental
+/// counterpart of compute_threshold for continuous ingestion:
+///
+///   kPercentile — P² quantile estimator (Jain & Chlamtac 1985): five
+///                 markers tracking {0, p/2, p, (1+p)/2, 1} quantile
+///                 positions with parabolic height adjustment.  O(1) per
+///                 observation, exact for the first five.
+///   kMeanStd    — Welford mean/variance recurrence; matches
+///                 data::compute_stats (population stddev) in the limit.
+///   kMad        — deterministic reservoir sample (splitmix-hashed
+///                 Algorithm R, fixed capacity) with an exact
+///                 median + k·1.4826·MAD recompute over the reservoir,
+///                 cached between observations.
+///
+/// Non-finite observations are rejected and counted, never folded into
+/// state.  All storage is fixed at construction — observe() never
+/// allocates, which is what the streaming zero-alloc ingest contract
+/// (bench_stream --check-allocs) relies on.
+class IncrementalThreshold {
+ public:
+  explicit IncrementalThreshold(const ThresholdRule& rule = {});
+
+  /// Fold one score in.  Returns false (and counts the drop) for NaN/Inf.
+  bool observe(float score);
+
+  /// Current threshold estimate; requires at least one accepted score.
+  float value() const;
+
+  /// Accepted (finite) observations so far.
+  std::size_t count() const { return count_; }
+  std::uint64_t nonfinite_dropped() const { return nonfinite_dropped_; }
+  const ThresholdRule& rule() const { return rule_; }
+
+ private:
+  static constexpr std::size_t kReservoirCap = 256;
+
+  float percentile_value() const;
+  void observe_p2(float score);
+
+  ThresholdRule rule_;
+  std::size_t count_ = 0;
+  std::uint64_t nonfinite_dropped_ = 0;
+
+  // kPercentile (P²): marker heights, integer positions, desired positions.
+  std::array<double, 5> q_{};
+  std::array<double, 5> n_{};
+  std::array<double, 5> np_{};
+  std::array<double, 5> dn_{};
+
+  // kMeanStd (Welford).
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+
+  // kMad: fixed-capacity deterministic reservoir + reusable sort scratch.
+  std::vector<float> reservoir_;
+  mutable std::vector<float> mad_scratch_;
+  mutable float mad_cached_ = 0.0f;
+  mutable bool mad_dirty_ = true;
+};
 
 }  // namespace evfl::anomaly

@@ -293,4 +293,18 @@ metrics::DetectionMetrics detection_metrics(const ClientData& client) {
                                      client.filter_result.flags);
 }
 
+stream::StreamConfig make_stream_config(const ExperimentConfig& cfg,
+                                        std::size_t zones) {
+  EVFL_REQUIRE(zones >= 1, "make_stream_config needs at least one zone");
+  stream::StreamConfig sc;
+  sc.max_zones = zones;
+  sc.threshold = cfg.filter.threshold;
+  sc.queue_max = cfg.stream_queue_max;
+  // Shrink watermark at a quarter of the bound (>= 1): bursts borrow up to
+  // the max, steady state keeps a small resident ring.
+  sc.queue_shrink = std::max<std::size_t>(1, cfg.stream_queue_max / 4);
+  sc.flush_batch = cfg.stream_flush;
+  return sc;
+}
+
 }  // namespace evfl::core

@@ -13,6 +13,7 @@
 #include "data/window.hpp"
 #include "metrics/classification.hpp"
 #include "runtime/run_context.hpp"
+#include "stream/pipeline.hpp"
 
 namespace evfl::core {
 
@@ -73,5 +74,13 @@ data::MinMaxScaler fit_shared_scaler(const std::vector<ClientData>& clients,
 
 /// Detection quality of the fitted filter on the attacked series.
 metrics::DetectionMetrics detection_metrics(const ClientData& client);
+
+/// Map the experiment's --stream knobs onto a StreamPipeline configuration
+/// for `zones` ingestion zones: the detection threshold rule is shared with
+/// the batch filter, the queue bound comes from --stream-queue-max (shrink
+/// watermark at a quarter of it), and --stream-flush sets the auto-flush
+/// batch.  Used by the streaming drivers and bench_stream.
+stream::StreamConfig make_stream_config(const ExperimentConfig& cfg,
+                                        std::size_t zones);
 
 }  // namespace evfl::core

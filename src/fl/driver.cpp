@@ -393,6 +393,11 @@ FederatedRunResult SyncDriver::run(std::size_t rounds) {
   result.final_weights = server_->weights();
   result.network = net_->stats();
   result.total_seconds = seconds_since(t0);
+  // The TraceWriter only flushes on its own buffering cadence and at
+  // destruction; a caller that inspects the trace file right after run()
+  // (or aborts before the writer's destructor) would miss the last rounds'
+  // spans without an explicit teardown flush.
+  if (trace != nullptr) trace->flush();
   return result;
 }
 
@@ -548,6 +553,10 @@ FederatedRunResult ThreadedDriver::run(std::size_t rounds,
   result.final_weights = server_->weights();
   result.network = net_->stats();
   result.total_seconds = seconds_since(t0);
+  // The kShutdownRound teardown ends mid-round from the workers' point of
+  // view: without an explicit flush the spans they emitted during the last
+  // round can sit in the writer's buffer when the caller reads the file.
+  if (trace != nullptr) trace->flush();
   return result;
 }
 

@@ -640,10 +640,17 @@ std::uint32_t Engine::acquire_slot() {
 
 void Engine::score(const tensor::Tensor3& x, float* out,
                    const runtime::RunContext* ctx) {
+  score_prefix(x, x.batch(), out, ctx);
+}
+
+void Engine::score_prefix(const tensor::Tensor3& x, std::size_t rows,
+                          float* out, const runtime::RunContext* ctx) {
   EVFL_REQUIRE(version_.load(std::memory_order_acquire) > 0,
                "Engine::score before any publish");
-  const std::size_t batch = x.batch();
+  const std::size_t batch = rows;
   EVFL_REQUIRE(batch > 0, "Engine::score: empty batch");
+  EVFL_REQUIRE(batch <= x.batch(),
+               "Engine::score_prefix: rows exceed the staging tensor");
   EVFL_REQUIRE(batch <= cfg_.max_batch,
                "Engine::score: batch " + std::to_string(batch) +
                    " exceeds max_batch " + std::to_string(cfg_.max_batch));

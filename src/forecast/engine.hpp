@@ -131,6 +131,16 @@ class Engine {
   void score(const tensor::Tensor3& x, std::vector<float>& out,
              const runtime::RunContext* ctx = nullptr);
 
+  /// Score only the first `rows` samples of `x` (rows <= x.batch()),
+  /// leaving the rest untouched — the rolling-window serving shape: a
+  /// streaming caller keeps one warm max_batch staging tensor and fills
+  /// however many zone windows became ready this flush, so scoring a
+  /// partial batch must not require reshaping (and reallocating) the
+  /// staging buffer.  Tier selection sees `rows` as the batch size, so a
+  /// one-row prefix runs the exact fp32 tier just like a one-row tensor.
+  void score_prefix(const tensor::Tensor3& x, std::size_t rows, float* out,
+                    const runtime::RunContext* ctx = nullptr);
+
   const ForecasterConfig& model_config() const { return model_; }
   const EngineConfig& config() const { return cfg_; }
 

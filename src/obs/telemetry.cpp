@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -185,6 +186,15 @@ void Registry::write_json(std::ostream& os) const {
     h->write_json(os);
   }
   os << "}}";
+}
+
+void Registry::write_json_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  EVFL_REQUIRE(out.is_open(), "Registry::write_json_file: cannot open " + path);
+  write_json(out);
+  out << "\n";
+  out.flush();
+  EVFL_REQUIRE(out.good(), "Registry::write_json_file: write failed: " + path);
 }
 
 }  // namespace evfl::obs

@@ -101,6 +101,10 @@ class Registry {
   /// `{"counters":{...},"gauges":{...},"histograms":{...}}`
   void write_json(std::ostream& os) const;
 
+  /// write_json to `path` (truncating) with a trailing newline; throws
+  /// evfl::Error when the file cannot be opened or written.
+  void write_json_file(const std::string& path) const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -1,0 +1,371 @@
+#include "stream/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evfl::stream {
+
+StreamPipeline::StreamPipeline(forecast::Engine& engine,
+                               const StreamConfig& cfg, obs::Registry* registry,
+                               obs::TraceWriter* trace)
+    : engine_(engine),
+      cfg_(cfg),
+      lookback_(engine.model_config().sequence_length),
+      queue_(cfg.queue_max, std::min(cfg.queue_shrink, cfg.queue_max)),
+      trace_(trace) {
+  EVFL_REQUIRE(cfg_.max_zones >= 1, "StreamPipeline needs max_zones >= 1");
+  EVFL_REQUIRE(cfg_.flush_batch >= 1, "StreamPipeline needs flush_batch >= 1");
+  EVFL_REQUIRE(engine_.model_config().input_features == 1,
+               "StreamPipeline ingests univariate series");
+  // Rounds stage at most one sample per zone, and single-row rounds pad to
+  // two rows so every score runs the wide tier (see header).
+  const std::size_t batch = std::max<std::size_t>(2, cfg_.max_zones);
+  EVFL_REQUIRE(engine_.config().max_batch >= batch,
+               "StreamPipeline needs engine max_batch >= max(2, max_zones)");
+  staging_ = tensor::Tensor3(batch, lookback_, 1);
+  scores_.assign(batch, 0.0f);
+  row_zone_.assign(batch, 0);
+  row_sample_.assign(batch, Pending{});
+  row_scaled_.assign(batch, 0.0f);
+  // Edge-repair scratch: only the trailing point is ever under repair, so
+  // the flags and the one-segment list are fixed at construction.
+  repair_vals_.assign(lookback_ + 1, 0.0f);
+  repair_flags_.assign(lookback_ + 1, 0);
+  repair_flags_[lookback_] = 1;
+  repair_segs_.assign(1, anomaly::Segment{lookback_, lookback_});
+  repair_cfg_.method = anomaly::ImputationMethod::kLinear;
+  zones_.reserve(cfg_.max_zones);
+  if (registry != nullptr) {
+    queue_depth_gauge_ = &registry->gauge("stream.queue_depth");
+    dropped_gauge_ = &registry->gauge("stream.events_dropped");
+    samples_counter_ = &registry->counter("stream.samples_total");
+    events_counter_ = &registry->counter("stream.events_total");
+    not_ready_counter_ = &registry->counter("stream.not_ready_total");
+    gaps_counter_ = &registry->counter("stream.gaps_total");
+    flush_hist_ = &registry->histogram("stream.flush_seconds");
+  }
+}
+
+std::uint32_t StreamPipeline::add_zone(const data::MinMaxScaler& scaler) {
+  EVFL_REQUIRE(zones_.size() < cfg_.max_zones,
+               "StreamPipeline: max_zones exceeded");
+  EVFL_REQUIRE(scaler.fitted(), "StreamPipeline::add_zone: unfitted scaler");
+  zones_.emplace_back();
+  Zone& z = zones_.back();
+  z.scaler = scaler;
+  z.ring.assign(lookback_, 0.0f);
+  z.estimator = anomaly::IncrementalThreshold(cfg_.threshold);
+  // Worst case every pending sample belongs to one zone; reserving the full
+  // auto-flush batch keeps ingest() allocation-free after this point.
+  z.queue.reserve(cfg_.flush_batch);
+  return static_cast<std::uint32_t>(zones_.size() - 1);
+}
+
+const StreamPipeline::Zone& StreamPipeline::zone_at(std::uint32_t zone) const {
+  EVFL_REQUIRE(zone < zones_.size(), "StreamPipeline: unknown zone");
+  return zones_[zone];
+}
+
+void StreamPipeline::seed_threshold(std::uint32_t zone,
+                                    const std::vector<float>& scores) {
+  EVFL_REQUIRE(zone < zones_.size(), "StreamPipeline: unknown zone");
+  Zone& z = zones_[zone];
+  EVFL_REQUIRE(!z.frozen, "seed_threshold on a frozen zone");
+  for (float s : scores) z.estimator.observe(s);
+  stats_.nonfinite_scores += z.estimator.nonfinite_dropped();
+  if (z.estimator.count() > 0) z.threshold = z.estimator.value();
+}
+
+void StreamPipeline::freeze_threshold(std::uint32_t zone, float threshold) {
+  EVFL_REQUIRE(std::isfinite(threshold),
+               "freeze_threshold needs a finite threshold");
+  EVFL_REQUIRE(zone < zones_.size(), "StreamPipeline: unknown zone");
+  Zone& z = zones_[zone];
+  z.threshold = threshold;
+  z.frozen = true;
+}
+
+void StreamPipeline::ingest(std::uint32_t zone, std::uint64_t t, float value) {
+  EVFL_REQUIRE(zone < zones_.size(), "StreamPipeline::ingest: unknown zone");
+  zones_[zone].queue.push_back(Pending{t, value});
+  ++pending_total_;
+  ++stats_.samples_total;
+  if (pending_total_ >= cfg_.flush_batch) flush(run_ctx_);
+}
+
+void StreamPipeline::reset_window(Zone& z) {
+  z.head = 0;
+  z.filled = 0;
+}
+
+void StreamPipeline::push_window(Zone& z, float scaled) {
+  if (z.filled == lookback_) {
+    z.ring[z.head] = scaled;
+    z.head = z.head + 1 == lookback_ ? 0 : z.head + 1;
+  } else {
+    z.ring[(z.head + z.filled) % lookback_] = scaled;
+    ++z.filled;
+  }
+}
+
+void StreamPipeline::stage_window(const Zone& z, std::size_t row) {
+  float* dst = staging_.data() + row * lookback_;
+  for (std::size_t i = 0; i < lookback_; ++i) {
+    std::size_t j = z.head + i;
+    if (j >= lookback_) j -= lookback_;
+    dst[i] = z.ring[j];
+  }
+}
+
+float StreamPipeline::edge_repair(const Zone& z) {
+  for (std::size_t i = 0; i < lookback_; ++i) {
+    std::size_t j = z.head + i;
+    if (j >= lookback_) j -= lookback_;
+    repair_vals_[i] = z.ring[j];
+  }
+  // The trailing slot is the point under repair; kLinear never reads it
+  // (no right anchor at the live edge -> hold the nearest trustworthy
+  // left neighbour, exactly the paper's rule truncated to the past).
+  repair_vals_[lookback_] = 0.0f;
+  anomaly::impute_segments(repair_vals_, repair_segs_, repair_flags_,
+                           repair_cfg_);
+  return repair_vals_[lookback_];
+}
+
+std::size_t StreamPipeline::flush(const runtime::RunContext* ctx) {
+  if (pending_total_ == 0) return 0;
+  obs::TraceSpan span(trace_, "stream.flush", "stream");
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t processed = 0;
+
+  while (pending_total_ > 0) {
+    // One round: the oldest unprocessed sample of every zone that has one.
+    // Intra-zone order is preserved round to round (repairing sample t
+    // changes the window sample t+1 is scored against); cross-zone
+    // batching is where the engine win comes from.
+    std::size_t rows = 0;
+    for (std::uint32_t zi = 0; zi < zones_.size(); ++zi) {
+      Zone& z = zones_[zi];
+      if (z.cursor >= z.queue.size()) continue;
+      const Pending p = z.queue[z.cursor++];
+      --pending_total_;
+      ++processed;
+
+      if (z.has_last && p.t != z.last_t + 1) {
+        // Churn: restart or dropped samples — the window no longer holds
+        // this sample's actual history, so it must refill from scratch.
+        reset_window(z);
+        ++stats_.gaps_total;
+      }
+      z.last_t = p.t;
+      z.has_last = true;
+
+      const float scaled = z.scaler.transform_one(p.raw);
+      const bool finite_in = std::isfinite(scaled);
+      if (!finite_in) ++stats_.nonfinite_inputs;
+
+      if (z.filled < lookback_) {
+        // Not ready: fewer than lookback in-order samples since the zone
+        // started or last gapped.  Never scored — zero-padding here would
+        // fabricate history for the LSTM.
+        ++stats_.not_ready_total;
+        if (finite_in) {
+          push_window(z, scaled);
+        } else if (cfg_.repair_inputs && z.filled > 0) {
+          push_window(z, edge_repair(z));
+          ++stats_.repaired_total;
+        } else {
+          // Nothing trustworthy to extend the partial window with.
+          reset_window(z);
+        }
+        continue;
+      }
+
+      stage_window(z, rows);
+      row_zone_[rows] = zi;
+      row_sample_[rows] = p;
+      row_scaled_[rows] = scaled;
+      ++rows;
+    }
+    if (rows == 0) continue;
+
+    // Pad single-row rounds so the engine always takes the wide tier (see
+    // header: tier uniformity is what makes frozen-threshold streaming
+    // bit-identical to batch_scores()).
+    std::size_t score_rows = rows;
+    if (rows == 1) {
+      staging_.copy_sample_into(0, staging_, 1);
+      score_rows = 2;
+    }
+    engine_.score_prefix(staging_, score_rows, scores_.data(), ctx);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      Zone& z = zones_[row_zone_[r]];
+      const Pending p = row_sample_[r];
+      const float scaled = row_scaled_[r];
+      const float err = scores_[r] - scaled;
+      const float score = err * err;
+      ++stats_.scored_total;
+
+      const bool finite_score = std::isfinite(score);
+      if (!finite_score) ++stats_.nonfinite_scores;
+      // NaN threshold (unarmed zone) and NaN score both compare false:
+      // nothing is flagged until a threshold exists and the score is real.
+      const float thr = z.threshold;
+      const bool flagged = finite_score && score > thr;
+
+      float stored = scaled;
+      bool repaired = false;
+      if ((flagged || !std::isfinite(scaled)) && cfg_.repair_inputs) {
+        stored = edge_repair(z);
+        repaired = true;
+        ++stats_.repaired_total;
+      }
+
+      if (flagged) {
+        AnomalyEvent ev;
+        ev.zone = row_zone_[r];
+        ev.t = p.t;
+        ev.value = p.raw;
+        ev.score = score;
+        ev.threshold = thr;
+        ev.repaired = repaired ? z.scaler.inverse_one(stored) : p.raw;
+        queue_.push(ev);
+        ++stats_.events_total;
+      }
+
+      // Adapt after the decision: the flag always reflects the threshold
+      // as of the previous sample, matching what a deployed detector knew.
+      // Flagged scores fold in winsorized — clamped at twice the threshold
+      // that flagged them.  Unclamped, a handful of attack-sized outliers
+      // drags the P² markers (and so the threshold) far above later
+      // attacks; clamped at the threshold itself (or excluded), the
+      // threshold could never rise, and any persistent mass above it —
+      // e.g. scores inflated by the detector's own repairs — would flag
+      // forever.  The 2x headroom lets sustained moderate exceedance walk
+      // the threshold up until the flag rate matches the rule's tail
+      // again, while an anomaly burst still contributes a bounded amount.
+      // Until the zone arms (threshold NaN) nothing is flagged, so raw
+      // scores adapt freely.
+      if (cfg_.adapt_thresholds && !z.frozen) {
+        const float folded = flagged ? std::min(score, 2.0f * thr) : score;
+        if (z.estimator.observe(folded)) z.threshold = z.estimator.value();
+      }
+
+      if (std::isfinite(stored)) {
+        push_window(z, stored);
+      } else {
+        // Non-finite sample with repair disabled: the window would be
+        // poisoned for the next lookback scores — drop to not-ready.
+        reset_window(z);
+      }
+    }
+  }
+
+  for (Zone& z : zones_) {
+    z.queue.clear();  // capacity retained — steady-state allocation-free
+    z.cursor = 0;
+  }
+  ++stats_.flushes_total;
+  stats_.events_dropped = queue_.dropped();
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (flush_hist_ != nullptr) flush_hist_->record(elapsed.count());
+  publish_telemetry();
+  span.annotate("samples", static_cast<std::uint64_t>(processed));
+  span.annotate("queue_depth", static_cast<std::uint64_t>(queue_.size()));
+  return processed;
+}
+
+void StreamPipeline::publish_telemetry() {
+  if (samples_counter_ != nullptr) {
+    samples_counter_->add(
+        static_cast<double>(stats_.samples_total - published_.samples_total));
+    events_counter_->add(
+        static_cast<double>(stats_.events_total - published_.events_total));
+    not_ready_counter_->add(static_cast<double>(stats_.not_ready_total -
+                                                published_.not_ready_total));
+    gaps_counter_->add(
+        static_cast<double>(stats_.gaps_total - published_.gaps_total));
+    published_ = stats_;
+  }
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+    dropped_gauge_->set(static_cast<double>(queue_.dropped()));
+  }
+}
+
+std::size_t StreamPipeline::drain(std::vector<AnomalyEvent>& out) {
+  const std::size_t n = queue_.drain(out);
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->set(0.0);
+    dropped_gauge_->set(static_cast<double>(queue_.dropped()));
+  }
+  return n;
+}
+
+StreamStats StreamPipeline::stats() const {
+  StreamStats s = stats_;
+  s.events_dropped = queue_.dropped();
+  return s;
+}
+
+bool StreamPipeline::ready(std::uint32_t zone) const {
+  return zone_at(zone).filled == lookback_;
+}
+
+float StreamPipeline::threshold(std::uint32_t zone) const {
+  return zone_at(zone).threshold;
+}
+
+const anomaly::IncrementalThreshold& StreamPipeline::estimator(
+    std::uint32_t zone) const {
+  return zone_at(zone).estimator;
+}
+
+std::vector<float> batch_scores(forecast::Engine& engine,
+                                const std::vector<float>& series,
+                                const runtime::RunContext* ctx) {
+  const forecast::ForecasterConfig& mc = engine.model_config();
+  EVFL_REQUIRE(mc.input_features == 1, "batch_scores: univariate series only");
+  const std::size_t lookback = mc.sequence_length;
+  EVFL_REQUIRE(series.size() > lookback,
+               "batch_scores: series no longer than the lookback");
+  const std::size_t max_batch = engine.config().max_batch;
+  EVFL_REQUIRE(max_batch >= 2, "batch_scores: engine max_batch must be >= 2");
+
+  const std::size_t n = series.size() - lookback;
+  tensor::Tensor3 x(std::max<std::size_t>(2, std::min(n, max_batch)), lookback,
+                    1);
+  std::vector<float> forecasts(x.batch(), 0.0f);
+  std::vector<float> out(n, 0.0f);
+
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t rows = std::min(n - done, max_batch);
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* dst = x.data() + r * lookback;
+      const float* src = series.data() + done + r;
+      std::copy(src, src + lookback, dst);
+    }
+    // Same wide-tier rule as the stream: never score a 1-row batch.
+    std::size_t score_rows = rows;
+    if (rows == 1) {
+      x.copy_sample_into(0, x, 1);
+      score_rows = 2;
+    }
+    engine.score_prefix(x, score_rows, forecasts.data(), ctx);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float err = forecasts[r] - series[done + r + lookback];
+      out[done + r] = err * err;
+    }
+    done += rows;
+  }
+  return out;
+}
+
+}  // namespace evfl::stream

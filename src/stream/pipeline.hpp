@@ -1,0 +1,251 @@
+// evfl::stream — continuous-ingestion anomaly detection (DESIGN.md §14).
+//
+// The batch pipeline (core/pipeline) detects anomalies after the fact: it
+// windows a finished series, scores every window, computes one threshold
+// from the whole score vector, and repairs flagged segments with full
+// lookahead.  A deployed detector sees none of that — samples arrive one
+// at a time per zone, thresholds have to adapt without rescanning history,
+// and repair can only use the past.  StreamPipeline is that online
+// counterpart, built from the same parts:
+//
+//   - per-zone sliding windows (ring of the last `lookback` scaled values)
+//     feed the batched forecast::Engine (DESIGN.md §13); ingest() only
+//     enqueues, flush() scores all pending samples in cross-zone batches,
+//     one sample per zone per engine round (intra-zone order matters:
+//     repairing sample t changes the window sample t+1 is scored against);
+//   - a zone whose window holds fewer than `lookback` samples — at zone
+//     start and after every churn gap — is NOT scored ("not ready", a
+//     counted outcome).  Zero-padding the window instead would hand the
+//     LSTM a fabricated history and fire spurious anomalies at every zone
+//     (re)start;
+//   - thresholds are anomaly::IncrementalThreshold state per zone (P²
+//     quantile / Welford / reservoir-MAD behind the same ThresholdRule as
+//     the batch rule), seedable from calibration scores and freezable for
+//     strict batch equivalence;
+//   - online repair applies the paper's linear interpolation at the live
+//     window edge via anomaly::impute_segments: with no future anchor the
+//     repair holds the nearest trustworthy left neighbour, and the
+//     repaired value — not the anomalous raw one — extends the window;
+//   - anomaly events leave through a BoundedQueue with drop-oldest
+//     back-pressure and shrink-on-drain (queue.hpp), so a stalled consumer
+//     costs bounded memory and a counted drop, never an unbounded buffer.
+//
+// Determinism: the engine's exact tier applies only to fp32 batches of
+// exactly 1, so a round that happens to have one ready zone would score on
+// a different tier than a multi-zone round and batch scoring.  The stream
+// therefore pads 1-row rounds to 2 rows (row 0 duplicated, second output
+// ignored) so every streamed score is a wide-tier score, and batch_scores()
+// applies the same rule — a frozen-threshold stream replay of a series is
+// bit-identical to the batch detector (tests/test_stream.cpp pins this).
+//
+// Threading: ingest()/flush()/add_zone()/stats() belong to one producer
+// thread; drain() and queue_dropped() may run concurrently from consumer
+// threads (the queue carries its own lock).  After warmup, ingest() and
+// flush() perform no heap allocations on the clean path (bench_stream
+// --check-allocs pins the steady state; repairing a flagged sample may
+// allocate transiently inside the shared imputation routine).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "anomaly/imputation.hpp"
+#include "anomaly/threshold.hpp"
+#include "data/scaler.hpp"
+#include "forecast/engine.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "runtime/run_context.hpp"
+#include "stream/queue.hpp"
+#include "tensor/tensor3.hpp"
+
+namespace evfl::stream {
+
+struct StreamConfig {
+  /// Upper bound on add_zone() calls; sizes the staging tensor (the engine
+  /// must accept batches of max(2, max_zones)).
+  std::size_t max_zones = 16;
+  /// Threshold rule every zone's incremental estimator runs.
+  anomaly::ThresholdRule threshold{};
+  /// Fold each finite score into the zone's estimator after the flag
+  /// decision (the decision always uses the pre-observation threshold).
+  /// Flagged scores fold in winsorized — clamped at twice the threshold
+  /// that flagged them — so genuine drift can still raise the threshold
+  /// but an anomaly burst cannot drag the null-distribution estimate up
+  /// past later attacks.  Frozen zones never adapt regardless.
+  bool adapt_thresholds = true;
+  /// Repair flagged (and non-finite) samples at the window edge before
+  /// they extend the window.  Disable for strict batch equivalence.
+  bool repair_inputs = true;
+  /// Event queue hard bound (drop-oldest beyond it) and post-drain storage
+  /// watermark.
+  std::size_t queue_max = 4096;
+  std::size_t queue_shrink = 1024;
+  /// ingest() auto-flushes once this many samples are pending.
+  std::size_t flush_batch = 256;
+};
+
+/// One flagged sample.  `value`/`repaired` are in physical units
+/// (scaler-inverted); `score`/`threshold` are in scaled-MSE space.
+/// `repaired == value` when repair is disabled.
+struct AnomalyEvent {
+  std::uint32_t zone = 0;
+  std::uint64_t t = 0;
+  float value = 0.0f;
+  float score = 0.0f;
+  float threshold = 0.0f;
+  float repaired = 0.0f;
+};
+
+/// Monotonic pipeline counters (snapshot; see stats()).
+struct StreamStats {
+  std::uint64_t samples_total = 0;    // ingested
+  std::uint64_t scored_total = 0;     // staged through the engine
+  std::uint64_t not_ready_total = 0;  // skipped: window shorter than lookback
+  std::uint64_t gaps_total = 0;       // timestamp discontinuities (window resets)
+  std::uint64_t events_total = 0;     // flagged anomalies pushed
+  std::uint64_t events_dropped = 0;   // lost to queue back-pressure
+  std::uint64_t repaired_total = 0;   // samples replaced at the window edge
+  std::uint64_t nonfinite_inputs = 0; // NaN/Inf raw samples
+  std::uint64_t nonfinite_scores = 0; // scores rejected before thresholding
+  std::uint64_t flushes_total = 0;
+};
+
+class StreamPipeline {
+ public:
+  /// The engine must outlive the pipeline and accept batches of
+  /// max(2, cfg.max_zones).  `registry` (optional) receives
+  /// stream.queue_depth / stream.events_dropped gauges,
+  /// stream.samples_total / events_total / not_ready_total / gaps_total
+  /// counters and a stream.flush_seconds histogram; `trace` (optional)
+  /// gets one span per flush.  Both must outlive the pipeline.
+  StreamPipeline(forecast::Engine& engine, const StreamConfig& cfg,
+                 obs::Registry* registry = nullptr,
+                 obs::TraceWriter* trace = nullptr);
+
+  StreamPipeline(const StreamPipeline&) = delete;
+  StreamPipeline& operator=(const StreamPipeline&) = delete;
+
+  /// Register a zone with its fitted scaler; returns the zone id ingest()
+  /// expects.  Zones start empty (not ready) with no threshold: until
+  /// seeded/frozen or enough scores adapt one in, nothing is flagged.
+  std::uint32_t add_zone(const data::MinMaxScaler& scaler);
+
+  /// Fold calibration scores (e.g. a clean prefix scored by batch_scores)
+  /// into the zone's estimator and arm the threshold.
+  void seed_threshold(std::uint32_t zone, const std::vector<float>& scores);
+
+  /// Pin the zone's threshold to a fixed value; it never adapts afterwards
+  /// (the strict batch-equivalence mode).
+  void freeze_threshold(std::uint32_t zone, float threshold);
+
+  /// Enqueue one sample.  `t` is the zone's sample clock: any step other
+  /// than last_t + 1 is churn (gap or restart) and resets the zone's
+  /// window to not-ready at processing time.  Auto-flushes once
+  /// cfg.flush_batch samples are pending (using the context from
+  /// set_run_context, serial by default).
+  void ingest(std::uint32_t zone, std::uint64_t t, float value);
+
+  /// Score every pending sample in cross-zone engine rounds; returns how
+  /// many samples were processed (scored + not-ready).
+  std::size_t flush(const runtime::RunContext* ctx = nullptr);
+
+  /// Context auto-flushes score with (not owned; may be nullptr).
+  void set_run_context(const runtime::RunContext* ctx) { run_ctx_ = ctx; }
+
+  /// Move every queued event into `out` (arrival order); thread-safe
+  /// against the producer.  Returns the number appended.
+  std::size_t drain(std::vector<AnomalyEvent>& out);
+
+  StreamStats stats() const;
+
+  std::size_t zones() const { return zones_.size(); }
+  std::size_t pending() const { return pending_total_; }
+  /// Window holds a full lookback (the next in-order sample gets scored).
+  bool ready(std::uint32_t zone) const;
+  /// Current effective threshold; NaN while the zone is unarmed.
+  float threshold(std::uint32_t zone) const;
+  const anomaly::IncrementalThreshold& estimator(std::uint32_t zone) const;
+  std::size_t lookback() const { return lookback_; }
+  std::uint64_t queue_dropped() const { return queue_.dropped(); }
+
+ private:
+  struct Pending {
+    std::uint64_t t = 0;
+    float raw = 0.0f;
+  };
+
+  struct Zone {
+    data::MinMaxScaler scaler;
+    std::vector<float> ring;  // lookback scaled values, ring order
+    std::size_t head = 0;     // slot of the oldest value
+    std::size_t filled = 0;   // not ready until filled == lookback
+    std::uint64_t last_t = 0;
+    bool has_last = false;
+    anomaly::IncrementalThreshold estimator;
+    float threshold = std::numeric_limits<float>::quiet_NaN();
+    bool frozen = false;
+    std::vector<Pending> queue;  // unprocessed samples, ingest order
+    std::size_t cursor = 0;      // next unprocessed index
+  };
+
+  const Zone& zone_at(std::uint32_t zone) const;
+  void reset_window(Zone& z);
+  void push_window(Zone& z, float scaled);
+  /// Copy the zone's ring, oldest first, into staging row `row`.
+  void stage_window(const Zone& z, std::size_t row);
+  /// Paper-style linear repair at the live edge: the zone's window plus
+  /// the new point, trailing point flagged, no right anchor -> hold the
+  /// newest trustworthy value.  Returns the repaired scaled value.
+  float edge_repair(const Zone& z);
+  void publish_telemetry();
+
+  forecast::Engine& engine_;
+  StreamConfig cfg_;
+  std::size_t lookback_;
+
+  std::vector<Zone> zones_;
+  std::size_t pending_total_ = 0;
+  const runtime::RunContext* run_ctx_ = nullptr;
+
+  // Warm flush-round scratch: staging tensor, engine output, and the
+  // per-round record of which zone/sample each staged row belongs to.
+  tensor::Tensor3 staging_;
+  std::vector<float> scores_;
+  std::vector<std::uint32_t> row_zone_;
+  std::vector<Pending> row_sample_;
+  std::vector<float> row_scaled_;
+
+  // Warm edge-repair scratch (flags and the one-segment list are constant:
+  // only the trailing point is ever under repair).
+  std::vector<float> repair_vals_;
+  std::vector<std::uint8_t> repair_flags_;
+  std::vector<anomaly::Segment> repair_segs_;
+  anomaly::ImputationConfig repair_cfg_;
+
+  BoundedQueue<AnomalyEvent> queue_;
+  StreamStats stats_;
+  StreamStats published_;  // counter values already added to the registry
+
+  obs::TraceWriter* trace_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* dropped_gauge_ = nullptr;
+  obs::Counter* samples_counter_ = nullptr;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Counter* not_ready_counter_ = nullptr;
+  obs::Counter* gaps_counter_ = nullptr;
+  obs::Histogram* flush_hist_ = nullptr;
+};
+
+/// Score every complete window of an already-scaled series the way the
+/// stream does: out[i] = (forecast(window starting at i) - series[i +
+/// lookback])², batched through the engine with the same pad-to-2 rule, so
+/// every score is a wide-tier score.  A frozen-threshold StreamPipeline
+/// replay of `series` flags exactly the samples whose batch_scores() entry
+/// exceeds the threshold.  Returns series.size() - lookback scores.
+std::vector<float> batch_scores(forecast::Engine& engine,
+                                const std::vector<float>& series,
+                                const runtime::RunContext* ctx = nullptr);
+
+}  // namespace evfl::stream

@@ -6,9 +6,13 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "fl/driver.hpp"
+#include "nn/dense.hpp"
 #include "obs/round_telemetry.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "runtime/run_context.hpp"
+#include "tensor/rng.hpp"
 
 namespace evfl::obs {
 namespace {
@@ -157,6 +161,26 @@ TEST(Registry, ReturnsStableInstruments) {
   EXPECT_NE(json.find("\"latency\""), std::string::npos);
 }
 
+TEST(Registry, WriteJsonFileRoundTrips) {
+  Registry reg;
+  reg.counter("stream.samples_total").add(42.0);
+  reg.gauge("stream.queue_depth").set(7.0);
+  const std::string path = "test_registry_dump.json";
+  reg.write_json_file(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"stream.samples_total\": 42"), std::string::npos);
+  EXPECT_NE(all.find("\"stream.queue_depth\": 7"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Registry, WriteJsonFileThrowsOnBadPath) {
+  Registry reg;
+  EXPECT_THROW(reg.write_json_file("/nonexistent_dir_xyz/reg.json"), Error);
+}
+
 // ---- TraceWriter / TraceSpan ------------------------------------------------
 
 /// Minimal structural JSON check: one object per line, balanced braces,
@@ -245,6 +269,79 @@ TEST(TraceSpan, NullWriterIsInert) {
   span.end();  // must not crash
   TraceSpan defaulted;
   defaulted.end();
+}
+
+/// Tiny two-client linear federation for the driver-flush regressions.
+std::vector<std::unique_ptr<fl::Client>> flush_test_clients() {
+  fl::ModelFactory factory = [](tensor::Rng& rng) {
+    nn::Sequential m;
+    m.emplace<nn::Dense>(1, nn::Activation::kLinear, rng, 1);
+    return m;
+  };
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  tensor::Rng root(11);
+  for (int c = 0; c < 2; ++c) {
+    tensor::Tensor3 x(8, 1, 1), y(8, 1, 1);
+    tensor::Rng data_rng = root.split();
+    for (std::size_t i = 0; i < 8; ++i) {
+      const float xi = data_rng.uniform(-1.0f, 1.0f);
+      x(i, 0, 0) = xi;
+      y(i, 0, 0) = 2.0f * xi;
+    }
+    fl::ClientConfig cfg;
+    cfg.epochs_per_round = 1;
+    clients.push_back(
+        std::make_unique<fl::Client>(c, x, y, factory, cfg, root.split()));
+  }
+  return clients;
+}
+
+/// Regression: the drivers emit spans through the RunContext's TraceWriter
+/// but used to leave the last rounds' spans in the writer's buffer at
+/// teardown — a caller inspecting the file right after run() (while the
+/// writer is still alive, so no destructor flush has happened) saw a
+/// truncated or empty trace.  run() must flush the writer before returning.
+TEST(TraceWriter, SyncDriverFlushesSpansAtTeardown) {
+  const std::string path = "test_trace_sync_teardown.jsonl";
+  TraceWriter writer(path);
+  runtime::RunContext ctx;
+  ctx.trace = &writer;
+
+  auto clients = flush_test_clients();
+  fl::Server server({0.0f, 0.0f});
+  fl::InMemoryNetwork net;
+  fl::SyncDriver driver(server, clients, net, &ctx);
+  driver.run(2);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"fl.round\""), std::string::npos);
+  EXPECT_NE(all.find("\"fl.client_train\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, ThreadedDriverFlushesSpansAtTeardown) {
+  // The threaded teardown ends mid-round for the workers (kShutdownRound
+  // broadcast), the shape that used to lose their buffered spans.
+  const std::string path = "test_trace_threaded_teardown.jsonl";
+  TraceWriter writer(path);
+  runtime::RunContext ctx;
+  ctx.trace = &writer;
+
+  auto clients = flush_test_clients();
+  fl::Server server({0.0f, 0.0f});
+  fl::InMemoryNetwork net;
+  fl::ThreadedDriver driver(server, clients, net, nullptr, &ctx);
+  driver.run(1);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"fl.round\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(TraceSpan, MoveTransfersOwnership) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace evfl::anomaly {
@@ -107,6 +111,151 @@ TEST(Threshold, Names) {
   EXPECT_EQ(to_string(ThresholdKind::kPercentile), "percentile");
   EXPECT_EQ(to_string(ThresholdKind::kMeanStd), "mean+k*std");
   EXPECT_EQ(to_string(ThresholdKind::kMad), "mad");
+}
+
+// ---- Non-finite score handling ---------------------------------------------
+// Regression: scores from a just-initialized or poisoned model can be
+// NaN/Inf, and a NaN reaching std::sort is undefined behaviour (NaN
+// comparisons break strict weak ordering) — the finite entries end up
+// scrambled too.  Both evaluation modes must drop non-finite scores with an
+// accounted count, never sort or average them.
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST(Percentile, NonFiniteDroppedWithCount) {
+  std::size_t dropped = 0;
+  EXPECT_FLOAT_EQ(percentile({kNan, 5, 1, kInf, 3, 2, -kInf, 4}, 50.0,
+                             &dropped),
+                  3.0f);
+  EXPECT_EQ(dropped, 3u);
+  // The median over the finite entries, not over a NaN-scrambled order.
+  EXPECT_FLOAT_EQ(percentile({1, 2, kNan, 3}, 100.0), 3.0f);
+}
+
+TEST(Percentile, AllNonFiniteThrows) {
+  EXPECT_THROW(percentile({kNan, kInf, -kInf}, 50.0), Error);
+}
+
+TEST(Threshold, NonFiniteDroppedUnderEveryRule) {
+  const std::vector<float> clean = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<float> dirty = clean;
+  dirty.insert(dirty.begin() + 3, kNan);
+  dirty.push_back(kInf);
+  for (ThresholdKind kind :
+       {ThresholdKind::kPercentile, ThresholdKind::kMeanStd,
+        ThresholdKind::kMad}) {
+    const ThresholdRule rule{kind, kind == ThresholdKind::kPercentile ? 90.0
+                                                                      : 2.0};
+    std::size_t dropped = 0;
+    const float got = compute_threshold(dirty, rule, &dropped);
+    EXPECT_EQ(dropped, 2u) << to_string(kind);
+    EXPECT_FLOAT_EQ(got, compute_threshold(clean, rule)) << to_string(kind);
+    EXPECT_TRUE(std::isfinite(got)) << to_string(kind);
+  }
+}
+
+TEST(Threshold, AllNonFiniteScoresThrow) {
+  EXPECT_THROW(compute_threshold({kNan, kNan}, ThresholdRule{}), Error);
+}
+
+// ---- IncrementalThreshold ---------------------------------------------------
+
+/// Deterministic uniform [0, 1) stream for convergence checks.
+float uniform01(std::uint64_t i) {
+  std::uint64_t x = i + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<float>(x >> 11) * 0x1.0p-53f;
+}
+
+TEST(IncrementalThreshold, ExactForSmallSamples) {
+  // Below the five-marker warmup the estimator must be the exact
+  // interpolated percentile of the observed prefix.
+  IncrementalThreshold est({ThresholdKind::kPercentile, 75.0});
+  std::vector<float> seen;
+  for (float v : {0.4f, 0.9f, 0.1f, 0.6f}) {
+    est.observe(v);
+    seen.push_back(v);
+    EXPECT_FLOAT_EQ(est.value(), percentile(seen, 75.0));
+  }
+  EXPECT_EQ(est.count(), 4u);
+}
+
+TEST(IncrementalThreshold, P2ConvergesToExactPercentile) {
+  for (double pct : {95.0, 99.5}) {
+    IncrementalThreshold est({ThresholdKind::kPercentile, pct});
+    std::vector<float> all;
+    for (std::uint64_t i = 0; i < 4000; ++i) {
+      const float v = uniform01(i);
+      est.observe(v);
+      all.push_back(v);
+    }
+    const float exact = percentile(all, pct);
+    EXPECT_NEAR(est.value(), exact, 0.02f) << "pct=" << pct;
+  }
+}
+
+TEST(IncrementalThreshold, WelfordMatchesBatchMeanStd) {
+  const ThresholdRule rule{ThresholdKind::kMeanStd, 3.0};
+  IncrementalThreshold est(rule);
+  std::vector<float> all;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const float v = uniform01(i) * 4.0f - 1.0f;
+    est.observe(v);
+    all.push_back(v);
+  }
+  // Welford in double vs the batch float pass: same population-stddev
+  // definition, so they agree to float accumulation error.
+  EXPECT_NEAR(est.value(), compute_threshold(all, rule), 2e-3f);
+}
+
+TEST(IncrementalThreshold, MadMatchesBatchUnderReservoirCap) {
+  // Fewer observations than the reservoir capacity: the reservoir holds
+  // every score, so the incremental MAD is the batch MAD exactly.
+  const ThresholdRule rule{ThresholdKind::kMad, 3.0};
+  IncrementalThreshold est(rule);
+  std::vector<float> all;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const float v = uniform01(i);
+    est.observe(v);
+    all.push_back(v);
+  }
+  EXPECT_FLOAT_EQ(est.value(), compute_threshold(all, rule));
+}
+
+TEST(IncrementalThreshold, MadRobustAtScaleWithBoundedMemory) {
+  // Past the cap the reservoir subsamples; the estimate stays close to the
+  // batch value and, like the batch rule, shrugs off an outlier burst.
+  const ThresholdRule rule{ThresholdKind::kMad, 3.0};
+  IncrementalThreshold est(rule);
+  std::vector<float> all;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const float v = i % 100 == 99 ? 1000.0f : uniform01(i);
+    est.observe(v);
+    all.push_back(v);
+  }
+  EXPECT_NEAR(est.value(), compute_threshold(all, rule), 0.15f);
+}
+
+TEST(IncrementalThreshold, RejectsNonFiniteWithCount) {
+  IncrementalThreshold est({ThresholdKind::kMeanStd, 2.0});
+  EXPECT_TRUE(est.observe(1.0f));
+  EXPECT_FALSE(est.observe(kNan));
+  EXPECT_FALSE(est.observe(kInf));
+  EXPECT_TRUE(est.observe(3.0f));
+  EXPECT_EQ(est.count(), 2u);
+  EXPECT_EQ(est.nonfinite_dropped(), 2u);
+  // mean 2, population std 1 -> 2 + 2*1; the NaN/Inf never entered.
+  EXPECT_NEAR(est.value(), 4.0f, 1e-5f);
+}
+
+TEST(IncrementalThreshold, ValueBeforeAnyScoreThrows) {
+  IncrementalThreshold est;
+  EXPECT_THROW(est.value(), Error);
+  EXPECT_FALSE(est.observe(kNan));
+  EXPECT_THROW(est.value(), Error);  // a dropped score does not arm it
 }
 
 }  // namespace
