@@ -1,30 +1,42 @@
-// Streaming-detection soak bench (DESIGN.md §14): drives a StreamPipeline
-// over 8 zones and >=10k samples of diurnal traffic with injected attack
-// bursts and churn gaps, and measures the three properties the streaming
+// Streaming-detection soak bench (DESIGN.md §14–15): drives the streaming
+// runtimes over 8 zones and >=10k samples of diurnal traffic with injected
+// attack bursts and churn gaps, and measures the properties the streaming
 // layer promises:
 //
 //   1. frozen-threshold equivalence — a stream replay with frozen
 //      thresholds and repair off flags the bit-identical anomaly set the
-//      batch detector (stream::batch_scores + compute_threshold) flags;
+//      batch detector (stream::batch_scores + compute_threshold) flags,
+//      on BOTH runtimes (StreamPipeline and a 4-shard ShardedPipeline);
 //   2. detection parity — the adaptive soak (seeded thresholds, online
 //      repair, churn, back-pressure) keeps recall on the labelled attack
-//      samples within 0.02 of the batch detector;
+//      samples within 0.02 of the batch detector, and every point of the
+//      shard sweep (drift probe armed) holds the same bound;
 //   3. zero steady-state allocations — after warmup, a clean ingest batch
-//      (ingest + auto-flush, nothing flagged) never touches the heap.
+//      (ingest + flush, nothing flagged) never touches the heap, on both
+//      runtimes (the sharded gate covers rings, staging and fan-in);
+//   4. shard scaling — a 1/2/4/8-shard sweep under multi-producer load
+//      records samples/s into BENCH_stream.json; the >=3x-at-8-shards
+//      gate is enforced only on hosts with >= 8 hardware threads
+//      (elsewhere the sweep is trend data: a 1-core runner cannot
+//      materialize parallel speedup, deterministic gates still apply).
 //
-// The alloc count and the equivalence bit are the deterministic gates the
-// perf-smoke CI job pins; throughput and flush latency are trend-watched
-// via BENCH_stream.json (shared runners make timings noisy).
+// The alloc counts, the equivalence bits and the recall-parity bounds are
+// the deterministic gates the perf-smoke CI job pins; throughput and flush
+// latency are trend-watched via BENCH_stream.json (shared runners make
+// timings noisy).
 //
 //   bench_stream                 # full soak: trains briefly, prints
-//                                # throughput/recall, writes JSON,
-//                                # exit 1 on equivalence/recall failure
+//                                # throughput/recall + shard sweep, writes
+//                                # JSON, exit 1 on any gate failure
 //   bench_stream --check-allocs  # short run; exit 1 if a steady-state
-//                                # ingest batch allocates or the frozen
-//                                # replay diverges from batch
+//                                # ingest batch allocates (either runtime)
+//                                # or a frozen replay diverges from batch
 //
-// Honors --stream-queue-max / --stream-flush / --seed / --threads (the
-// alloc gate always measures the serial path).
+// Honors --stream-queue-max / --stream-flush / --stream-shards /
+// --stream-drift-z / --seed / --threads (the alloc gates always measure
+// the serial path; --stream-shards only overrides the sharded alloc gate's
+// shard count, the sweep always covers 1/2/4/8).
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -35,6 +47,7 @@
 #include <new>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -50,7 +63,10 @@
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/run_context.hpp"
+#include "runtime/thread_pool.hpp"
 #include "stream/pipeline.hpp"
+#include "stream/sharded.hpp"
 #include "tensor/rng.hpp"
 
 // ---- global allocation counter ---------------------------------------------
@@ -132,6 +148,38 @@ struct ZoneData {
 
 void print_u64(const char* name, std::uint64_t v) {
   std::printf("  %-22s %llu\n", name, static_cast<unsigned long long>(v));
+}
+
+/// Count divergences between a streamed event list and the batch
+/// detector's anomaly set: every event's score must be bit-identical to
+/// the batch score at the same (zone, t), and set membership must match
+/// in both directions.  `batch_flagged` receives the batch anomaly count.
+std::size_t equivalence_mismatches(
+    const std::vector<ZoneData>& zones, std::size_t lookback,
+    const std::vector<stream::AnomalyEvent>& events,
+    std::size_t& batch_flagged) {
+  std::size_t mismatches = 0;
+  batch_flagged = 0;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> streamed;
+  for (const stream::AnomalyEvent& ev : events) {
+    const ZoneData& zd = zones[ev.zone];
+    const std::size_t idx = static_cast<std::size_t>(ev.t) - lookback;
+    if (idx >= zd.scores.size() || ev.score != zd.scores[idx]) {
+      ++mismatches;  // score not bit-identical to the batch score
+    }
+    streamed.emplace(ev.zone, ev.t);
+  }
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    const ZoneData& zd = zones[z];
+    for (std::size_t i = 0; i < zd.scores.size(); ++i) {
+      const bool flagged = zd.scores[i] > zd.threshold;
+      batch_flagged += flagged;
+      const bool in_stream = streamed.count(
+          {static_cast<std::uint32_t>(z), i + lookback}) != 0;
+      if (flagged != in_stream) ++mismatches;
+    }
+  }
+  return mismatches;
 }
 
 }  // namespace
@@ -250,26 +298,8 @@ int main(int argc, char** argv) {
     std::vector<stream::AnomalyEvent> events;
     pipe.drain(events);
     equiv_events = events.size();
-
-    std::set<std::pair<std::uint32_t, std::uint64_t>> streamed;
-    for (const stream::AnomalyEvent& ev : events) {
-      const ZoneData& zd = zones[ev.zone];
-      const std::size_t idx = static_cast<std::size_t>(ev.t) - lookback;
-      if (idx >= zd.scores.size() || ev.score != zd.scores[idx]) {
-        ++equiv_mismatches;  // score not bit-identical to the batch score
-      }
-      streamed.emplace(ev.zone, ev.t);
-    }
-    for (std::size_t z = 0; z < kZones; ++z) {
-      const ZoneData& zd = zones[z];
-      for (std::size_t i = 0; i < zd.scores.size(); ++i) {
-        const bool flagged = zd.scores[i] > zd.threshold;
-        batch_flagged += flagged;
-        const bool in_stream = streamed.count(
-            {static_cast<std::uint32_t>(z), i + lookback}) != 0;
-        if (flagged != in_stream) ++equiv_mismatches;
-      }
-    }
+    equiv_mismatches =
+        equivalence_mismatches(zones, lookback, events, batch_flagged);
   }
   const bool equivalent = equiv_mismatches == 0 &&
                           equiv_events == batch_flagged;
@@ -277,6 +307,50 @@ int main(int argc, char** argv) {
               "%zu mismatches)\n",
               equivalent ? "bit-identical" : "DIVERGED", equiv_events,
               batch_flagged, equiv_mismatches);
+
+  // --- 1b. sharded frozen equivalence --------------------------------------
+  // The same frozen replay through a multi-shard ShardedPipeline with an
+  // off-cadence flush: the fan-in batches differently (one merged engine
+  // call per round, single pad-to-2 at the merged batch), yet the
+  // determinism contract (DESIGN.md §15) says the anomaly set must still
+  // be bit-identical to the batch detector.
+  std::size_t sharded_mismatches = 0;
+  std::size_t sharded_events = 0;
+  std::size_t sharded_batch_flagged = 0;
+  {
+    stream::ShardedConfig scfg = core::make_sharded_config(cfg, kZones);
+    scfg.shards = 4;
+    scfg.stream.repair_inputs = false;
+    scfg.stream.adapt_thresholds = false;
+    scfg.stream.queue_max = hours * kZones;
+    scfg.stream.queue_shrink = 1024;
+    scfg.ring_max = hours * kZones;
+    scfg.ring_shrink = 1024;
+    stream::ShardedPipeline pipe(engine, scfg);
+    for (std::size_t z = 0; z < kZones; ++z) {
+      pipe.add_zone(zones[z].scaler);
+      pipe.freeze_threshold(static_cast<std::uint32_t>(z),
+                            zones[z].threshold);
+    }
+    for (std::size_t t = 0; t < hours; ++t) {
+      for (std::size_t z = 0; z < kZones; ++z) {
+        pipe.ingest(static_cast<std::uint32_t>(z), t, zones[z].series[t]);
+      }
+      if (t % 97 == 96) pipe.flush();  // off-cadence: rounds vary in width
+    }
+    pipe.flush();
+    std::vector<stream::AnomalyEvent> events;
+    pipe.drain(events);
+    sharded_events = events.size();
+    sharded_mismatches = equivalence_mismatches(zones, lookback, events,
+                                                sharded_batch_flagged);
+  }
+  const bool sharded_equivalent = sharded_mismatches == 0 &&
+                                  sharded_events == sharded_batch_flagged;
+  std::printf("sharded frozen equivalence (4 shards): %s (%zu events, "
+              "%zu mismatches)\n",
+              sharded_equivalent ? "bit-identical" : "DIVERGED",
+              sharded_events, sharded_mismatches);
 
   // --- 3. steady-state allocations -----------------------------------------
   // Clean continuation traffic, thresholds pinned far above any clean
@@ -327,11 +401,65 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(flushes));
   }
 
+  // --- 3b. sharded steady-state allocations --------------------------------
+  // Same clean-traffic contract for the sharded runtime on its serial
+  // path: after warmup (windows full, rings/queues at their steady
+  // footprint), one ingest batch — ring pushes, drains, fan-in staging,
+  // one merged score call, scatter — must not touch the heap.
+  double sharded_allocs_per_batch = 0.0;
+  double sharded_bytes_per_batch = 0.0;
+  {
+    stream::ShardedConfig scfg = core::make_sharded_config(cfg, kZones);
+    if (scfg.shards == 1) scfg.shards = 4;  // exercise real fan-in
+    stream::ShardedPipeline pipe(engine, scfg);
+    for (std::size_t z = 0; z < kZones; ++z) {
+      pipe.add_zone(zones[z].scaler);
+      pipe.freeze_threshold(static_cast<std::uint32_t>(z), 1e30f);
+    }
+    const std::size_t batch_ticks =
+        (scfg.stream.flush_batch + kZones - 1) / kZones;
+    std::size_t tick = 0;
+    const auto run_batches = [&](std::size_t n) {
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t k = 0; k < batch_ticks; ++k, ++tick) {
+          for (std::size_t z = 0; z < kZones; ++z) {
+            pipe.ingest(static_cast<std::uint32_t>(z), tick,
+                        clean_value(z, tick, lookback));
+          }
+        }
+        pipe.flush();  // serial path — the gate's subject
+      }
+    };
+    std::vector<stream::AnomalyEvent> sink;
+    run_batches((lookback + 8 + batch_ticks - 1) / batch_ticks + 4);
+    pipe.drain(sink);
+
+    const std::size_t meas_batches = 12;
+    const std::uint64_t a0 = g_alloc_count.load();
+    const std::uint64_t b0 = g_alloc_bytes.load();
+    run_batches(meas_batches);
+    const std::uint64_t a1 = g_alloc_count.load();
+    const std::uint64_t b1 = g_alloc_bytes.load();
+    sharded_allocs_per_batch =
+        static_cast<double>(a1 - a0) / meas_batches;
+    sharded_bytes_per_batch = static_cast<double>(b1 - b0) / meas_batches;
+    std::printf("sharded steady state (%zu shards): %.1f allocs / %.0f "
+                "bytes per ingest batch (%zu batches measured)\n",
+                scfg.shards, sharded_allocs_per_batch,
+                sharded_bytes_per_batch, meas_batches);
+  }
+
   if (check_allocs) {
     bool fail = false;
     if (allocs_per_batch > 0.0) {
       std::printf("FAIL: steady-state ingest allocates (%.1f/batch)\n",
                   allocs_per_batch);
+      fail = true;
+    }
+    if (sharded_allocs_per_batch > 0.0) {
+      std::printf("FAIL: sharded steady-state ingest allocates "
+                  "(%.1f/batch)\n",
+                  sharded_allocs_per_batch);
       fail = true;
     }
     if (!equivalent) {
@@ -340,9 +468,15 @@ int main(int argc, char** argv) {
                   equiv_mismatches);
       fail = true;
     }
+    if (!sharded_equivalent) {
+      std::printf("FAIL: sharded frozen-threshold replay diverged from the "
+                  "batch detector (%zu mismatches)\n",
+                  sharded_mismatches);
+      fail = true;
+    }
     if (!fail) {
-      std::printf("OK: ingest is allocation-free and frozen replay matches "
-                  "batch\n");
+      std::printf("OK: both runtimes are allocation-free at steady state "
+                  "and frozen replays match batch\n");
     }
     return fail ? 1 : 0;
   }
@@ -451,6 +585,129 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(labelled), recall_stream,
               recall_batch, recall_delta);
 
+  // --- 4. shard sweep: multi-producer throughput + recall parity -----------
+  // Each shard count replays the same adaptive soak through a
+  // ShardedPipeline: two producer threads (each owning a disjoint half of
+  // the zones, so per-zone sample order stays deterministic) ingest
+  // concurrently while a control thread drives flushes against a pool
+  // sized to min(shards, hardware).  Rings are sized lossless so recall is
+  // comparable, and the drift probe is armed so the parity gate also
+  // covers the re-seed path.  The >=3x-at-8-shards gate only binds on
+  // hosts with >= 8 hardware threads; elsewhere samples/s is trend data.
+  struct SweepPoint {
+    std::size_t shards = 0;
+    double samples_per_sec = 0.0;
+    double secs = 0.0;
+    double recall = 0.0;
+    double recall_delta = 0.0;
+    std::uint64_t ingest_dropped = 0;
+    std::uint64_t reseeds = 0;
+    std::uint64_t events = 0;
+  };
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t shard_count : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}, std::size_t{8}}) {
+    stream::ShardedConfig scfg = core::make_sharded_config(cfg, kZones);
+    scfg.shards = shard_count;
+    scfg.ring_max = hours * kZones;  // lossless: parity needs every sample
+    scfg.ring_shrink = 1024;
+    if (scfg.stream.drift_z <= 0.0) scfg.stream.drift_z = 8.0;
+    stream::ShardedPipeline spipe(engine, scfg);
+    for (std::size_t z = 0; z < kZones; ++z) {
+      spipe.add_zone(zones[z].scaler);
+      spipe.seed_threshold(static_cast<std::uint32_t>(z),
+                           zones[z].calib_scores);
+    }
+    runtime::ThreadPool pool(std::max<std::size_t>(
+        1, std::min<std::size_t>(shard_count,
+                                 hw_threads == 0 ? 1 : hw_threads)));
+    runtime::RunContext ctx;
+    ctx.pool = &pool;
+
+    std::vector<stream::AnomalyEvent> sevents;
+    sevents.reserve(hours);
+    std::atomic<bool> producers_done{false};
+    const metrics::WallTimer sweep_timer;
+    std::thread control([&] {
+      while (!producers_done.load(std::memory_order_acquire)) {
+        spipe.flush(&ctx);
+        spipe.drain(sevents);
+        std::this_thread::yield();
+      }
+      spipe.flush(&ctx);  // final flush: rings are quiescent now
+    });
+    constexpr std::size_t kProducers = 2;
+    std::atomic<std::uint64_t> pushed{0};
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        std::uint64_t mine = 0;
+        for (std::size_t t = 0; t < hours; ++t) {
+          for (std::size_t z = p; z < kZones; z += kProducers) {
+            if (in_outage(z, t)) continue;
+            spipe.ingest(static_cast<std::uint32_t>(z), t,
+                         zones[z].series[t]);
+            ++mine;
+          }
+        }
+        pushed.fetch_add(mine, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& th : producers) th.join();
+    producers_done.store(true, std::memory_order_release);
+    control.join();
+    const double sweep_secs = sweep_timer.seconds();
+    spipe.drain(sevents);
+    const stream::StreamStats sst = spipe.stats();
+
+    std::set<std::pair<std::uint32_t, std::uint64_t>> sflag;
+    for (const stream::AnomalyEvent& ev : sevents) {
+      sflag.emplace(ev.zone, ev.t);
+    }
+    std::uint64_t hit = 0;
+    for (std::size_t z = 0; z < kZones; ++z) {
+      for (std::size_t t = lookback; t < hours; ++t) {
+        if (zones[z].label[t] == 0 || scored[z][t] == 0) continue;
+        hit += sflag.count({static_cast<std::uint32_t>(z), t}) != 0;
+      }
+    }
+    SweepPoint pt;
+    pt.shards = shard_count;
+    pt.secs = sweep_secs;
+    pt.samples_per_sec =
+        sweep_secs > 0.0
+            ? static_cast<double>(pushed.load()) / sweep_secs
+            : 0.0;
+    pt.recall = labelled > 0 ? static_cast<double>(hit) / labelled : 0.0;
+    pt.recall_delta = std::abs(pt.recall - recall_batch);
+    pt.ingest_dropped = sst.ingest_dropped;
+    pt.reseeds = sst.reseeds_total;
+    pt.events = sst.events_total;
+    sweep.push_back(pt);
+  }
+  const double speedup_8v1 =
+      (!sweep.empty() && sweep.front().samples_per_sec > 0.0)
+          ? sweep.back().samples_per_sec / sweep.front().samples_per_sec
+          : 0.0;
+  const bool shard_gate_enforced = hw_threads >= 8;
+  std::printf("=== shard sweep (2 producers, drift armed, hw threads %u) "
+              "===\n",
+              hw_threads);
+  for (const SweepPoint& pt : sweep) {
+    std::printf("  shards %zu: %9.0f samples/s (%.3f s), recall %.4f "
+                "(delta %.4f), reseeds %llu, dropped %llu, events %llu\n",
+                pt.shards, pt.samples_per_sec, pt.secs, pt.recall,
+                pt.recall_delta,
+                static_cast<unsigned long long>(pt.reseeds),
+                static_cast<unsigned long long>(pt.ingest_dropped),
+                static_cast<unsigned long long>(pt.events));
+  }
+  std::printf("  speedup 8 vs 1 shard: %.2fx (%s)\n", speedup_8v1,
+              shard_gate_enforced
+                  ? "gated >= 3x"
+                  : "trend only: host has < 8 hardware threads");
+
   {
     std::ofstream json("BENCH_stream.json");
     json << "{\n  \"config\": {\"zones\": " << kZones
@@ -465,9 +722,17 @@ int main(int argc, char** argv) {
          << "  \"flush_p99_ms\": " << flush_p99_ms << ",\n"
          << "  \"allocs_per_ingest_batch\": " << allocs_per_batch << ",\n"
          << "  \"bytes_per_ingest_batch\": " << bytes_per_batch << ",\n"
+         << "  \"sharded_allocs_per_ingest_batch\": "
+         << sharded_allocs_per_batch << ",\n"
+         << "  \"sharded_bytes_per_ingest_batch\": "
+         << sharded_bytes_per_batch << ",\n"
          << "  \"frozen_equivalent\": " << (equivalent ? "true" : "false")
          << ",\n"
          << "  \"equivalence_mismatches\": " << equiv_mismatches << ",\n"
+         << "  \"sharded_frozen_equivalent\": "
+         << (sharded_equivalent ? "true" : "false") << ",\n"
+         << "  \"sharded_equivalence_mismatches\": " << sharded_mismatches
+         << ",\n"
          << "  \"stats\": {\"samples_total\": " << st.samples_total
          << ", \"scored_total\": " << st.scored_total
          << ", \"not_ready_total\": " << st.not_ready_total
@@ -479,7 +744,24 @@ int main(int argc, char** argv) {
          << "  \"labelled_scored_attacks\": " << labelled << ",\n"
          << "  \"recall_stream\": " << recall_stream << ",\n"
          << "  \"recall_batch\": " << recall_batch << ",\n"
-         << "  \"recall_delta\": " << recall_delta << "\n}\n";
+         << "  \"recall_delta\": " << recall_delta << ",\n"
+         << "  \"hardware_concurrency\": " << hw_threads << ",\n"
+         << "  \"shard_speedup_8v1\": " << speedup_8v1 << ",\n"
+         << "  \"shard_gate_enforced\": "
+         << (shard_gate_enforced ? "true" : "false") << ",\n"
+         << "  \"shard_sweep\": [";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& pt = sweep[i];
+      json << (i == 0 ? "" : ",") << "\n    {\"shards\": " << pt.shards
+           << ", \"samples_per_sec\": " << pt.samples_per_sec
+           << ", \"seconds\": " << pt.secs
+           << ", \"recall\": " << pt.recall
+           << ", \"recall_delta\": " << pt.recall_delta
+           << ", \"ingest_dropped\": " << pt.ingest_dropped
+           << ", \"reseeds\": " << pt.reseeds
+           << ", \"events\": " << pt.events << "}";
+    }
+    json << "\n  ]\n}\n";
   }
   std::printf("wrote BENCH_stream.json\n");
 
@@ -493,10 +775,41 @@ int main(int argc, char** argv) {
                 "detector\n");
     fail = true;
   }
+  if (!sharded_equivalent) {
+    std::printf("FAIL: sharded frozen-threshold replay diverged from the "
+                "batch detector\n");
+    fail = true;
+  }
   if (recall_delta > 0.02) {
     std::printf("FAIL: streaming recall %.4f strays more than 0.02 from "
                 "batch recall %.4f\n",
                 recall_stream, recall_batch);
+    fail = true;
+  }
+  if (sharded_allocs_per_batch > 0.0) {
+    std::printf("FAIL: sharded steady-state ingest allocates (%.1f/batch)\n",
+                sharded_allocs_per_batch);
+    fail = true;
+  }
+  for (const SweepPoint& pt : sweep) {
+    if (pt.recall_delta > 0.02) {
+      std::printf("FAIL: %zu-shard recall %.4f strays more than 0.02 from "
+                  "batch recall %.4f\n",
+                  pt.shards, pt.recall, recall_batch);
+      fail = true;
+    }
+    if (pt.ingest_dropped != 0) {
+      std::printf("FAIL: %zu-shard sweep dropped %llu samples from "
+                  "lossless-sized rings\n",
+                  pt.shards,
+                  static_cast<unsigned long long>(pt.ingest_dropped));
+      fail = true;
+    }
+  }
+  if (shard_gate_enforced && speedup_8v1 < 3.0) {
+    std::printf("FAIL: 8-shard speedup %.2fx below the 3x gate on a "
+                "%u-thread host\n",
+                speedup_8v1, hw_threads);
     fail = true;
   }
   return fail ? 1 : 0;

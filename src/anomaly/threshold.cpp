@@ -121,6 +121,18 @@ IncrementalThreshold::IncrementalThreshold(const ThresholdRule& rule)
   }
 }
 
+void IncrementalThreshold::reset() {
+  count_ = 0;
+  q_.fill(0.0);
+  n_.fill(0.0);
+  np_.fill(0.0);
+  mean_ = 0.0;
+  m2_ = 0.0;
+  reservoir_.clear();  // capacity retained: reset never allocates
+  mad_cached_ = 0.0f;
+  mad_dirty_ = true;
+}
+
 bool IncrementalThreshold::observe(float score) {
   if (!std::isfinite(score)) {
     ++nonfinite_dropped_;
@@ -254,6 +266,74 @@ float IncrementalThreshold::value() const {
   }
   EVFL_ASSERT(false, "unknown threshold kind");
   return 0.0f;
+}
+
+// ---------------------------------------------------------------------------
+// DriftProbe
+
+DriftProbe::DriftProbe(double z_bound, std::size_t window)
+    : z_bound_(z_bound), window_(window) {
+  EVFL_REQUIRE(z_bound > 0.0, "DriftProbe needs z_bound > 0");
+  EVFL_REQUIRE(window >= 8, "DriftProbe needs window >= 8");
+  ring_.assign(window_, 0.0f);
+}
+
+bool DriftProbe::observe(float score) {
+  if (!enabled() || !std::isfinite(score)) return false;
+  if (filled_ == window_) {
+    // The evicted score graduates into the baseline before the new one
+    // takes its slot, keeping baseline and window disjoint.
+    const double evicted = ring_[head_];
+    ++base_count_;
+    const double delta = evicted - base_mean_;
+    base_mean_ += delta / static_cast<double>(base_count_);
+    base_m2_ += delta * (evicted - base_mean_);
+    ring_[head_] = score;
+    head_ = head_ + 1 == window_ ? 0 : head_ + 1;
+  } else {
+    ring_[(head_ + filled_) % window_] = score;
+    ++filled_;
+  }
+  // A baseline at least one window deep keeps the standard error honest;
+  // earlier trips would fire off a handful of graduated scores.
+  if (filled_ < window_ || base_count_ < window_) return false;
+
+  double recent = 0.0;
+  for (float v : ring_) recent += v;
+  recent /= static_cast<double>(window_);
+  const double base_var = base_m2_ / static_cast<double>(base_count_);
+  // Standard error of a window mean under the baseline distribution; the
+  // epsilon keeps a constant (zero-variance) baseline from tripping on
+  // float noise.
+  const double se =
+      std::sqrt(std::max(base_var, 0.0) / static_cast<double>(window_)) +
+      1e-12;
+  return std::abs(recent - base_mean_) / se > z_bound_;
+}
+
+void DriftProbe::reseed(IncrementalThreshold& estimator) {
+  EVFL_REQUIRE(filled_ == window_, "DriftProbe::reseed before a full window");
+  estimator.reset();
+  // Oldest-first replay keeps the estimator's state a pure function of the
+  // zone's score sequence (the shard-invariance contract).
+  base_count_ = 0;
+  base_mean_ = 0.0;
+  base_m2_ = 0.0;
+  for (std::size_t i = 0; i < window_; ++i) {
+    std::size_t j = head_ + i;
+    if (j >= window_) j -= window_;
+    const double s = ring_[j];
+    estimator.observe(ring_[j]);
+    // The window wholesale becomes the new baseline: post-drift scores are
+    // the new normal, and the empty window gives a one-window cooldown.
+    ++base_count_;
+    const double delta = s - base_mean_;
+    base_mean_ += delta / static_cast<double>(base_count_);
+    base_m2_ += delta * (s - base_mean_);
+  }
+  head_ = 0;
+  filled_ = 0;
+  ++reseeds_;
 }
 
 }  // namespace evfl::anomaly

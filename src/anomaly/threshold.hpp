@@ -88,6 +88,12 @@ class IncrementalThreshold {
   /// Fold one score in.  Returns false (and counts the drop) for NaN/Inf.
   bool observe(float score);
 
+  /// Forget every observation while keeping the rule and all storage
+  /// (reservoir/scratch capacity survives, so a drift-triggered re-seed in
+  /// a streaming zone never allocates).  The non-finite drop counter is
+  /// cumulative across resets — it audits inputs, not estimator state.
+  void reset();
+
   /// Current threshold estimate; requires at least one accepted score.
   float value() const;
 
@@ -121,6 +127,63 @@ class IncrementalThreshold {
   mutable std::vector<float> mad_scratch_;
   mutable float mad_cached_ = 0.0f;
   mutable bool mad_dirty_ = true;
+};
+
+/// Drift probe for streaming thresholds (DESIGN.md §15): detects a
+/// sustained shift of the score distribution that winsorized adaptation
+/// would take thousands of samples to track, and hands the caller the
+/// evidence to re-seed its IncrementalThreshold from.
+///
+/// Mechanics: scores enter a fixed trailing window (the re-seed
+/// reservoir); scores that age out of the window graduate into a Welford
+/// baseline, so baseline and window never overlap — the first `window`
+/// post-shift samples are compared against a pre-shift baseline.  observe()
+/// trips when the window mean sits more than `z_bound` standard errors
+/// (baseline σ / √window) from the baseline mean.  After reseed() the
+/// window graduates wholesale into a fresh baseline, giving a built-in
+/// cooldown of one full window between trips.
+///
+/// All storage is fixed at construction; observe() and reseed() never
+/// allocate (the streaming zero-alloc contract).  A default-constructed
+/// probe is disabled: observe() accepts scores but never trips.
+class DriftProbe {
+ public:
+  DriftProbe() = default;
+  /// `z_bound` > 0 arms the probe; `window` is the trailing-window length
+  /// (and the re-seed sample count).
+  DriftProbe(double z_bound, std::size_t window);
+
+  bool enabled() const { return z_bound_ > 0.0; }
+
+  /// Fold one finite score; returns true when the window mean has drifted
+  /// past the z-bound and the caller should reseed().  Non-finite scores
+  /// are ignored (the caller's estimator already dropped them).
+  bool observe(float score);
+
+  /// Rebuild `estimator` from the trailing window (reset + oldest-first
+  /// replay), then graduate the window into a fresh baseline and clear it.
+  /// Call only after observe() returned true (requires a full window).
+  void reseed(IncrementalThreshold& estimator);
+
+  /// Windows replayed into an estimator so far (monotonic).
+  std::uint64_t reseeds() const { return reseeds_; }
+  std::size_t window() const { return window_; }
+  double z_bound() const { return z_bound_; }
+
+ private:
+  double z_bound_ = 0.0;
+  std::size_t window_ = 0;
+
+  std::vector<float> ring_;  // trailing window, ring order
+  std::size_t head_ = 0;     // slot of the oldest score
+  std::size_t filled_ = 0;
+
+  // Welford baseline over scores older than the window.
+  std::size_t base_count_ = 0;
+  double base_mean_ = 0.0;
+  double base_m2_ = 0.0;
+
+  std::uint64_t reseeds_ = 0;
 };
 
 }  // namespace evfl::anomaly

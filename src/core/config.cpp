@@ -152,6 +152,20 @@ void apply_cli_overrides(ExperimentConfig& cfg, int argc, char** argv) {
                     "' (expected >= 1)");
       }
       cfg.stream_flush = n;
+    } else if (key == "--stream-shards") {
+      const std::uint64_t n = parse_unsigned(key, value);
+      if (n < 1 || n > 256) {
+        throw Error("bad value for --stream-shards: '" + value +
+                    "' (expected 1..256)");
+      }
+      cfg.stream_shards = n;
+    } else if (key == "--stream-drift-z") {
+      const double z = parse_double(key, value);
+      if (!(z >= 0.0)) {
+        throw Error("bad value for --stream-drift-z: '" + value +
+                    "' (expected >= 0; 0 disables the drift probe)");
+      }
+      cfg.stream_drift_z = z;
     } else if (key == "--agg-rule") {
       cfg.fedavg.rule = fl::parse_aggregation_rule(value);
     } else if (key == "--attack-kind") {
@@ -203,7 +217,9 @@ std::string describe(const ExperimentConfig& cfg) {
   }
   if (cfg.stream) {
     os << " stream=1 stream-queue-max=" << cfg.stream_queue_max
-       << " stream-flush=" << cfg.stream_flush;
+       << " stream-flush=" << cfg.stream_flush
+       << " stream-shards=" << cfg.stream_shards
+       << " stream-drift-z=" << cfg.stream_drift_z;
   }
   return os.str();
 }

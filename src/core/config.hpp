@@ -51,13 +51,19 @@ struct ExperimentConfig {
   std::size_t serve_batch = 32;
   int serve_quant_bits = 0;
 
-  /// Streaming online detection (stream::StreamPipeline, bench_stream):
-  /// `stream` turns the mode on for drivers that support it; the other two
-  /// knobs bound the event queue (drop-oldest past the max) and the
-  /// pending-sample count that triggers an automatic flush.
+  /// Streaming online detection (stream::StreamPipeline /
+  /// stream::ShardedPipeline, bench_stream): `stream` turns the mode on for
+  /// drivers that support it; queue-max/flush bound the event queue
+  /// (drop-oldest past the max) and the pending-sample count that triggers
+  /// an automatic flush.  `stream_shards` > 1 selects the sharded runtime
+  /// (zones hash-partitioned across that many worker partitions);
+  /// `stream_drift_z` > 0 arms per-zone drift-triggered threshold
+  /// re-seeding at that z-bound (0 = probe off).
   bool stream = false;
   std::size_t stream_queue_max = 4096;
   std::size_t stream_flush = 256;
+  std::size_t stream_shards = 1;
+  double stream_drift_z = 0.0;
 
   /// Worker-thread budget for the runtime execution context: 1 = serial
   /// (the default — bit-reproducible and what the tests assume), 0 = size
@@ -96,6 +102,7 @@ struct ExperimentConfig {
 ///   --clients N  --edges N  --sample-frac X
 ///   --serve-batch N (1..4096)  --serve-quant-bits 0|8 (0 = fp32 snapshots)
 ///   --stream 0|1  --stream-queue-max N (1..1048576)  --stream-flush N (>=1)
+///   --stream-shards N (1..256)  --stream-drift-z X (>= 0, 0 = probe off)
 ///   --agg-rule mean|trimmed_mean|median|norm_bounded|multi_krum
 ///   --attack-kind none|sign_flip|alie|label_flip|backdoor
 ///   --attack-frac X (fraction of clients compromised, [0, 1])

@@ -304,6 +304,20 @@ stream::StreamConfig make_stream_config(const ExperimentConfig& cfg,
   // the max, steady state keeps a small resident ring.
   sc.queue_shrink = std::max<std::size_t>(1, cfg.stream_queue_max / 4);
   sc.flush_batch = cfg.stream_flush;
+  sc.drift_z = cfg.stream_drift_z;
+  return sc;
+}
+
+stream::ShardedConfig make_sharded_config(const ExperimentConfig& cfg,
+                                          std::size_t zones) {
+  stream::ShardedConfig sc;
+  sc.shards = cfg.stream_shards;
+  sc.stream = make_stream_config(cfg, zones);
+  // Ring bound mirrors the event-queue knob (both are "how much burst the
+  // runtime absorbs before counted drops"), clamped to the MpscRing floor;
+  // watermark at a quarter of it like the event queue.
+  sc.ring_max = std::max<std::size_t>(8, cfg.stream_queue_max);
+  sc.ring_shrink = std::max<std::size_t>(8, sc.ring_max / 4);
   return sc;
 }
 

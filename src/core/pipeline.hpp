@@ -14,6 +14,7 @@
 #include "metrics/classification.hpp"
 #include "runtime/run_context.hpp"
 #include "stream/pipeline.hpp"
+#include "stream/sharded.hpp"
 
 namespace evfl::core {
 
@@ -82,5 +83,12 @@ metrics::DetectionMetrics detection_metrics(const ClientData& client);
 /// batch.  Used by the streaming drivers and bench_stream.
 stream::StreamConfig make_stream_config(const ExperimentConfig& cfg,
                                         std::size_t zones);
+
+/// Same mapping for the sharded runtime: shard count from --stream-shards,
+/// per-zone semantics from make_stream_config (including --stream-drift-z),
+/// per-shard ingest-ring bound mirroring --stream-queue-max (floor 8,
+/// watermark at a quarter).  Used by bench_stream's shard sweep.
+stream::ShardedConfig make_sharded_config(const ExperimentConfig& cfg,
+                                          std::size_t zones);
 
 }  // namespace evfl::core

@@ -13,6 +13,7 @@ StreamPipeline::StreamPipeline(forecast::Engine& engine,
                                obs::TraceWriter* trace)
     : engine_(engine),
       cfg_(cfg),
+      policy_{cfg.adapt_thresholds, cfg.repair_inputs},
       lookback_(engine.model_config().sequence_length),
       queue_(cfg.queue_max, std::min(cfg.queue_shrink, cfg.queue_max)),
       trace_(trace) {
@@ -28,15 +29,10 @@ StreamPipeline::StreamPipeline(forecast::Engine& engine,
   staging_ = tensor::Tensor3(batch, lookback_, 1);
   scores_.assign(batch, 0.0f);
   row_zone_.assign(batch, 0);
-  row_sample_.assign(batch, Pending{});
+  row_sample_.assign(batch, detail::PendingSample{});
   row_scaled_.assign(batch, 0.0f);
-  // Edge-repair scratch: only the trailing point is ever under repair, so
-  // the flags and the one-segment list are fixed at construction.
-  repair_vals_.assign(lookback_ + 1, 0.0f);
-  repair_flags_.assign(lookback_ + 1, 0);
-  repair_flags_[lookback_] = 1;
-  repair_segs_.assign(1, anomaly::Segment{lookback_, lookback_});
-  repair_cfg_.method = anomaly::ImputationMethod::kLinear;
+  round_events_.reserve(batch);
+  repair_.init(lookback_);
   zones_.reserve(cfg_.max_zones);
   if (registry != nullptr) {
     queue_depth_gauge_ = &registry->gauge("stream.queue_depth");
@@ -45,6 +41,7 @@ StreamPipeline::StreamPipeline(forecast::Engine& engine,
     events_counter_ = &registry->counter("stream.events_total");
     not_ready_counter_ = &registry->counter("stream.not_ready_total");
     gaps_counter_ = &registry->counter("stream.gaps_total");
+    reseeds_counter_ = &registry->counter("stream.reseeds_total");
     flush_hist_ = &registry->histogram("stream.flush_seconds");
   }
 }
@@ -52,19 +49,15 @@ StreamPipeline::StreamPipeline(forecast::Engine& engine,
 std::uint32_t StreamPipeline::add_zone(const data::MinMaxScaler& scaler) {
   EVFL_REQUIRE(zones_.size() < cfg_.max_zones,
                "StreamPipeline: max_zones exceeded");
-  EVFL_REQUIRE(scaler.fitted(), "StreamPipeline::add_zone: unfitted scaler");
   zones_.emplace_back();
-  Zone& z = zones_.back();
-  z.scaler = scaler;
-  z.ring.assign(lookback_, 0.0f);
-  z.estimator = anomaly::IncrementalThreshold(cfg_.threshold);
   // Worst case every pending sample belongs to one zone; reserving the full
   // auto-flush batch keeps ingest() allocation-free after this point.
-  z.queue.reserve(cfg_.flush_batch);
+  zones_.back().init(scaler, lookback_, cfg_.threshold, cfg_.drift_z,
+                     cfg_.drift_window, cfg_.flush_batch);
   return static_cast<std::uint32_t>(zones_.size() - 1);
 }
 
-const StreamPipeline::Zone& StreamPipeline::zone_at(std::uint32_t zone) const {
+const detail::ZoneState& StreamPipeline::zone_at(std::uint32_t zone) const {
   EVFL_REQUIRE(zone < zones_.size(), "StreamPipeline: unknown zone");
   return zones_[zone];
 }
@@ -72,7 +65,7 @@ const StreamPipeline::Zone& StreamPipeline::zone_at(std::uint32_t zone) const {
 void StreamPipeline::seed_threshold(std::uint32_t zone,
                                     const std::vector<float>& scores) {
   EVFL_REQUIRE(zone < zones_.size(), "StreamPipeline: unknown zone");
-  Zone& z = zones_[zone];
+  detail::ZoneState& z = zones_[zone];
   EVFL_REQUIRE(!z.frozen, "seed_threshold on a frozen zone");
   for (float s : scores) z.estimator.observe(s);
   stats_.nonfinite_scores += z.estimator.nonfinite_dropped();
@@ -83,56 +76,17 @@ void StreamPipeline::freeze_threshold(std::uint32_t zone, float threshold) {
   EVFL_REQUIRE(std::isfinite(threshold),
                "freeze_threshold needs a finite threshold");
   EVFL_REQUIRE(zone < zones_.size(), "StreamPipeline: unknown zone");
-  Zone& z = zones_[zone];
+  detail::ZoneState& z = zones_[zone];
   z.threshold = threshold;
   z.frozen = true;
 }
 
 void StreamPipeline::ingest(std::uint32_t zone, std::uint64_t t, float value) {
   EVFL_REQUIRE(zone < zones_.size(), "StreamPipeline::ingest: unknown zone");
-  zones_[zone].queue.push_back(Pending{t, value});
+  zones_[zone].queue.push_back(detail::PendingSample{t, value});
   ++pending_total_;
   ++stats_.samples_total;
   if (pending_total_ >= cfg_.flush_batch) flush(run_ctx_);
-}
-
-void StreamPipeline::reset_window(Zone& z) {
-  z.head = 0;
-  z.filled = 0;
-}
-
-void StreamPipeline::push_window(Zone& z, float scaled) {
-  if (z.filled == lookback_) {
-    z.ring[z.head] = scaled;
-    z.head = z.head + 1 == lookback_ ? 0 : z.head + 1;
-  } else {
-    z.ring[(z.head + z.filled) % lookback_] = scaled;
-    ++z.filled;
-  }
-}
-
-void StreamPipeline::stage_window(const Zone& z, std::size_t row) {
-  float* dst = staging_.data() + row * lookback_;
-  for (std::size_t i = 0; i < lookback_; ++i) {
-    std::size_t j = z.head + i;
-    if (j >= lookback_) j -= lookback_;
-    dst[i] = z.ring[j];
-  }
-}
-
-float StreamPipeline::edge_repair(const Zone& z) {
-  for (std::size_t i = 0; i < lookback_; ++i) {
-    std::size_t j = z.head + i;
-    if (j >= lookback_) j -= lookback_;
-    repair_vals_[i] = z.ring[j];
-  }
-  // The trailing slot is the point under repair; kLinear never reads it
-  // (no right anchor at the live edge -> hold the nearest trustworthy
-  // left neighbour, exactly the paper's rule truncated to the past).
-  repair_vals_[lookback_] = 0.0f;
-  anomaly::impute_segments(repair_vals_, repair_segs_, repair_flags_,
-                           repair_cfg_);
-  return repair_vals_[lookback_];
 }
 
 std::size_t StreamPipeline::flush(const runtime::RunContext* ctx) {
@@ -148,43 +102,18 @@ std::size_t StreamPipeline::flush(const runtime::RunContext* ctx) {
     // batching is where the engine win comes from.
     std::size_t rows = 0;
     for (std::uint32_t zi = 0; zi < zones_.size(); ++zi) {
-      Zone& z = zones_[zi];
+      detail::ZoneState& z = zones_[zi];
       if (z.cursor >= z.queue.size()) continue;
-      const Pending p = z.queue[z.cursor++];
+      const detail::PendingSample p = z.queue[z.cursor++];
       --pending_total_;
       ++processed;
 
-      if (z.has_last && p.t != z.last_t + 1) {
-        // Churn: restart or dropped samples — the window no longer holds
-        // this sample's actual history, so it must refill from scratch.
-        reset_window(z);
-        ++stats_.gaps_total;
-      }
-      z.last_t = p.t;
-      z.has_last = true;
-
-      const float scaled = z.scaler.transform_one(p.raw);
-      const bool finite_in = std::isfinite(scaled);
-      if (!finite_in) ++stats_.nonfinite_inputs;
-
-      if (z.filled < lookback_) {
-        // Not ready: fewer than lookback in-order samples since the zone
-        // started or last gapped.  Never scored — zero-padding here would
-        // fabricate history for the LSTM.
-        ++stats_.not_ready_total;
-        if (finite_in) {
-          push_window(z, scaled);
-        } else if (cfg_.repair_inputs && z.filled > 0) {
-          push_window(z, edge_repair(z));
-          ++stats_.repaired_total;
-        } else {
-          // Nothing trustworthy to extend the partial window with.
-          reset_window(z);
-        }
+      float scaled = 0.0f;
+      if (!detail::prepare_sample(z, p, lookback_, policy_, repair_, stats_,
+                                  scaled)) {
         continue;
       }
-
-      stage_window(z, rows);
+      z.stage_window(staging_.data() + rows * lookback_, lookback_);
       row_zone_[rows] = zi;
       row_sample_[rows] = p;
       row_scaled_[rows] = scaled;
@@ -202,70 +131,17 @@ std::size_t StreamPipeline::flush(const runtime::RunContext* ctx) {
     }
     engine_.score_prefix(staging_, score_rows, scores_.data(), ctx);
 
+    round_events_.clear();
     for (std::size_t r = 0; r < rows; ++r) {
-      Zone& z = zones_[row_zone_[r]];
-      const Pending p = row_sample_[r];
-      const float scaled = row_scaled_[r];
-      const float err = scores_[r] - scaled;
-      const float score = err * err;
-      ++stats_.scored_total;
-
-      const bool finite_score = std::isfinite(score);
-      if (!finite_score) ++stats_.nonfinite_scores;
-      // NaN threshold (unarmed zone) and NaN score both compare false:
-      // nothing is flagged until a threshold exists and the score is real.
-      const float thr = z.threshold;
-      const bool flagged = finite_score && score > thr;
-
-      float stored = scaled;
-      bool repaired = false;
-      if ((flagged || !std::isfinite(scaled)) && cfg_.repair_inputs) {
-        stored = edge_repair(z);
-        repaired = true;
-        ++stats_.repaired_total;
-      }
-
-      if (flagged) {
-        AnomalyEvent ev;
-        ev.zone = row_zone_[r];
-        ev.t = p.t;
-        ev.value = p.raw;
-        ev.score = score;
-        ev.threshold = thr;
-        ev.repaired = repaired ? z.scaler.inverse_one(stored) : p.raw;
-        queue_.push(ev);
-        ++stats_.events_total;
-      }
-
-      // Adapt after the decision: the flag always reflects the threshold
-      // as of the previous sample, matching what a deployed detector knew.
-      // Flagged scores fold in winsorized — clamped at twice the threshold
-      // that flagged them.  Unclamped, a handful of attack-sized outliers
-      // drags the P² markers (and so the threshold) far above later
-      // attacks; clamped at the threshold itself (or excluded), the
-      // threshold could never rise, and any persistent mass above it —
-      // e.g. scores inflated by the detector's own repairs — would flag
-      // forever.  The 2x headroom lets sustained moderate exceedance walk
-      // the threshold up until the flag rate matches the rule's tail
-      // again, while an anomaly burst still contributes a bounded amount.
-      // Until the zone arms (threshold NaN) nothing is flagged, so raw
-      // scores adapt freely.
-      if (cfg_.adapt_thresholds && !z.frozen) {
-        const float folded = flagged ? std::min(score, 2.0f * thr) : score;
-        if (z.estimator.observe(folded)) z.threshold = z.estimator.value();
-      }
-
-      if (std::isfinite(stored)) {
-        push_window(z, stored);
-      } else {
-        // Non-finite sample with repair disabled: the window would be
-        // poisoned for the next lookback scores — drop to not-ready.
-        reset_window(z);
-      }
+      detail::apply_forecast(zones_[row_zone_[r]], row_zone_[r],
+                             row_sample_[r], row_scaled_[r], scores_[r],
+                             lookback_, policy_, repair_, stats_,
+                             round_events_);
     }
+    for (const AnomalyEvent& ev : round_events_) queue_.push(ev);
   }
 
-  for (Zone& z : zones_) {
+  for (detail::ZoneState& z : zones_) {
     z.queue.clear();  // capacity retained — steady-state allocation-free
     z.cursor = 0;
   }
@@ -291,6 +167,8 @@ void StreamPipeline::publish_telemetry() {
                                                 published_.not_ready_total));
     gaps_counter_->add(
         static_cast<double>(stats_.gaps_total - published_.gaps_total));
+    reseeds_counter_->add(
+        static_cast<double>(stats_.reseeds_total - published_.reseeds_total));
     published_ = stats_;
   }
   if (queue_depth_gauge_ != nullptr) {

@@ -21,7 +21,10 @@
 //   - thresholds are anomaly::IncrementalThreshold state per zone (P²
 //     quantile / Welford / reservoir-MAD behind the same ThresholdRule as
 //     the batch rule), seedable from calibration scores and freezable for
-//     strict batch equivalence;
+//     strict batch equivalence; an optional anomaly::DriftProbe per zone
+//     re-seeds the estimator from its trailing window when the score
+//     distribution shifts faster than winsorized adaptation tracks
+//     (DESIGN.md §15);
 //   - online repair applies the paper's linear interpolation at the live
 //     window edge via anomaly::impute_segments: with no future anchor the
 //     repair holds the nearest trustworthy left neighbour, and the
@@ -29,6 +32,10 @@
 //   - anomaly events leave through a BoundedQueue with drop-oldest
 //     back-pressure and shrink-on-drain (queue.hpp), so a stalled consumer
 //     costs bounded memory and a counted drop, never an unbounded buffer.
+//
+// The per-zone state machine itself (window fill/churn, repair, decision,
+// adaptation, drift) lives in stream/zone_state.hpp, shared verbatim with
+// the sharded multi-core runtime (stream/sharded.hpp).
 //
 // Determinism: the engine's exact tier applies only to fp32 batches of
 // exactly 1, so a round that happens to have one ready zone would score on
@@ -47,10 +54,8 @@
 #pragma once
 
 #include <cstdint>
-#include <limits>
 #include <vector>
 
-#include "anomaly/imputation.hpp"
 #include "anomaly/threshold.hpp"
 #include "data/scaler.hpp"
 #include "forecast/engine.hpp"
@@ -58,6 +63,7 @@
 #include "obs/trace.hpp"
 #include "runtime/run_context.hpp"
 #include "stream/queue.hpp"
+#include "stream/zone_state.hpp"
 #include "tensor/tensor3.hpp"
 
 namespace evfl::stream {
@@ -78,6 +84,14 @@ struct StreamConfig {
   /// Repair flagged (and non-finite) samples at the window edge before
   /// they extend the window.  Disable for strict batch equivalence.
   bool repair_inputs = true;
+  /// Drift-triggered threshold re-seeding (anomaly::DriftProbe): when the
+  /// mean of the last `drift_window` folded scores sits more than
+  /// `drift_z` standard errors from the pre-window baseline, the zone's
+  /// estimator is rebuilt from that window instead of adapting one P²
+  /// step at a time.  0 disables the probe (the PR 9 behavior).  Frozen
+  /// zones never re-seed.
+  double drift_z = 0.0;
+  std::size_t drift_window = 64;
   /// Event queue hard bound (drop-oldest beyond it) and post-drain storage
   /// watermark.
   std::size_t queue_max = 4096;
@@ -86,40 +100,14 @@ struct StreamConfig {
   std::size_t flush_batch = 256;
 };
 
-/// One flagged sample.  `value`/`repaired` are in physical units
-/// (scaler-inverted); `score`/`threshold` are in scaled-MSE space.
-/// `repaired == value` when repair is disabled.
-struct AnomalyEvent {
-  std::uint32_t zone = 0;
-  std::uint64_t t = 0;
-  float value = 0.0f;
-  float score = 0.0f;
-  float threshold = 0.0f;
-  float repaired = 0.0f;
-};
-
-/// Monotonic pipeline counters (snapshot; see stats()).
-struct StreamStats {
-  std::uint64_t samples_total = 0;    // ingested
-  std::uint64_t scored_total = 0;     // staged through the engine
-  std::uint64_t not_ready_total = 0;  // skipped: window shorter than lookback
-  std::uint64_t gaps_total = 0;       // timestamp discontinuities (window resets)
-  std::uint64_t events_total = 0;     // flagged anomalies pushed
-  std::uint64_t events_dropped = 0;   // lost to queue back-pressure
-  std::uint64_t repaired_total = 0;   // samples replaced at the window edge
-  std::uint64_t nonfinite_inputs = 0; // NaN/Inf raw samples
-  std::uint64_t nonfinite_scores = 0; // scores rejected before thresholding
-  std::uint64_t flushes_total = 0;
-};
-
 class StreamPipeline {
  public:
   /// The engine must outlive the pipeline and accept batches of
   /// max(2, cfg.max_zones).  `registry` (optional) receives
   /// stream.queue_depth / stream.events_dropped gauges,
-  /// stream.samples_total / events_total / not_ready_total / gaps_total
-  /// counters and a stream.flush_seconds histogram; `trace` (optional)
-  /// gets one span per flush.  Both must outlive the pipeline.
+  /// stream.samples_total / events_total / not_ready_total / gaps_total /
+  /// reseeds_total counters and a stream.flush_seconds histogram; `trace`
+  /// (optional) gets one span per flush.  Both must outlive the pipeline.
   StreamPipeline(forecast::Engine& engine, const StreamConfig& cfg,
                  obs::Registry* registry = nullptr,
                  obs::TraceWriter* trace = nullptr);
@@ -136,8 +124,8 @@ class StreamPipeline {
   /// into the zone's estimator and arm the threshold.
   void seed_threshold(std::uint32_t zone, const std::vector<float>& scores);
 
-  /// Pin the zone's threshold to a fixed value; it never adapts afterwards
-  /// (the strict batch-equivalence mode).
+  /// Pin the zone's threshold to a fixed value; it never adapts (or
+  /// re-seeds) afterwards (the strict batch-equivalence mode).
   void freeze_threshold(std::uint32_t zone, float threshold);
 
   /// Enqueue one sample.  `t` is the zone's sample clock: any step other
@@ -171,58 +159,29 @@ class StreamPipeline {
   std::uint64_t queue_dropped() const { return queue_.dropped(); }
 
  private:
-  struct Pending {
-    std::uint64_t t = 0;
-    float raw = 0.0f;
-  };
-
-  struct Zone {
-    data::MinMaxScaler scaler;
-    std::vector<float> ring;  // lookback scaled values, ring order
-    std::size_t head = 0;     // slot of the oldest value
-    std::size_t filled = 0;   // not ready until filled == lookback
-    std::uint64_t last_t = 0;
-    bool has_last = false;
-    anomaly::IncrementalThreshold estimator;
-    float threshold = std::numeric_limits<float>::quiet_NaN();
-    bool frozen = false;
-    std::vector<Pending> queue;  // unprocessed samples, ingest order
-    std::size_t cursor = 0;      // next unprocessed index
-  };
-
-  const Zone& zone_at(std::uint32_t zone) const;
-  void reset_window(Zone& z);
-  void push_window(Zone& z, float scaled);
-  /// Copy the zone's ring, oldest first, into staging row `row`.
-  void stage_window(const Zone& z, std::size_t row);
-  /// Paper-style linear repair at the live edge: the zone's window plus
-  /// the new point, trailing point flagged, no right anchor -> hold the
-  /// newest trustworthy value.  Returns the repaired scaled value.
-  float edge_repair(const Zone& z);
+  const detail::ZoneState& zone_at(std::uint32_t zone) const;
   void publish_telemetry();
 
   forecast::Engine& engine_;
   StreamConfig cfg_;
+  detail::ZonePolicy policy_;
   std::size_t lookback_;
 
-  std::vector<Zone> zones_;
+  std::vector<detail::ZoneState> zones_;
   std::size_t pending_total_ = 0;
   const runtime::RunContext* run_ctx_ = nullptr;
 
-  // Warm flush-round scratch: staging tensor, engine output, and the
-  // per-round record of which zone/sample each staged row belongs to.
+  // Warm flush-round scratch: staging tensor, engine output, the
+  // per-round record of which zone/sample each staged row belongs to,
+  // and the per-round event staging the bounded queue is fed from.
   tensor::Tensor3 staging_;
   std::vector<float> scores_;
   std::vector<std::uint32_t> row_zone_;
-  std::vector<Pending> row_sample_;
+  std::vector<detail::PendingSample> row_sample_;
   std::vector<float> row_scaled_;
+  std::vector<AnomalyEvent> round_events_;
 
-  // Warm edge-repair scratch (flags and the one-segment list are constant:
-  // only the trailing point is ever under repair).
-  std::vector<float> repair_vals_;
-  std::vector<std::uint8_t> repair_flags_;
-  std::vector<anomaly::Segment> repair_segs_;
-  anomaly::ImputationConfig repair_cfg_;
+  detail::RepairScratch repair_;
 
   BoundedQueue<AnomalyEvent> queue_;
   StreamStats stats_;
@@ -235,6 +194,7 @@ class StreamPipeline {
   obs::Counter* events_counter_ = nullptr;
   obs::Counter* not_ready_counter_ = nullptr;
   obs::Counter* gaps_counter_ = nullptr;
+  obs::Counter* reseeds_counter_ = nullptr;
   obs::Histogram* flush_hist_ = nullptr;
 };
 

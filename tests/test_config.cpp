@@ -113,6 +113,36 @@ TEST(CliOverrides, RejectsBadFleetKnobs) {
   EXPECT_DOUBLE_EQ(cfg.sample_frac, 1.0);
 }
 
+TEST(CliOverrides, AppliesStreamKnobs) {
+  ExperimentConfig cfg;
+  EXPECT_EQ(cfg.stream_shards, 1u);        // sharding off by default
+  EXPECT_DOUBLE_EQ(cfg.stream_drift_z, 0.0);  // drift probe off by default
+  apply(cfg, {"--stream", "1", "--stream-queue-max", "512", "--stream-flush",
+              "64", "--stream-shards", "8", "--stream-drift-z", "4.5"});
+  EXPECT_TRUE(cfg.stream);
+  EXPECT_EQ(cfg.stream_queue_max, 512u);
+  EXPECT_EQ(cfg.stream_flush, 64u);
+  EXPECT_EQ(cfg.stream_shards, 8u);
+  EXPECT_DOUBLE_EQ(cfg.stream_drift_z, 4.5);
+}
+
+TEST(CliOverrides, RejectsBadStreamKnobs) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(apply(cfg, {"--stream-shards", "0"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-shards", "257"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-shards", "4x"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-shards", "-2"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-shards", "2.5"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-drift-z", "-1"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-drift-z", "nanx"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-drift-z", "3.0z"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-queue-max", "0"}), Error);
+  EXPECT_THROW(apply(cfg, {"--stream-flush", "0"}), Error);
+  // Validate-then-assign: a rejected value leaves the config untouched.
+  EXPECT_EQ(cfg.stream_shards, 1u);
+  EXPECT_DOUBLE_EQ(cfg.stream_drift_z, 0.0);
+}
+
 TEST(CliOverrides, RejectsTrailingGarbageOnIntegers) {
   // Regression: std::stoul accepted "8x" as 8 — a typo'd unit suffix ran
   // the experiment with a silently different configuration.

@@ -559,5 +559,92 @@ TEST(StreamPipeline, ConcurrentDrainSoak) {
   EXPECT_EQ(st.scored_total, 2 * n - 5 * lookback);
 }
 
+// ---- Drift-triggered threshold re-seeding -----------------------------------
+
+/// Replay clean-then-shifted data through one adaptive zone and report how
+/// it behaved after the sustained level shift.
+struct DriftRunResult {
+  std::uint64_t reseeds = 0;
+  std::size_t tail_events = 0;  // flagged in the late post-shift region
+  bool spike_flagged = false;   // the genuine anomaly after recovery
+};
+
+DriftRunResult run_drift_scenario(double drift_z) {
+  EngineFixture fx;
+  const std::size_t n_base = 300;   // stationary level
+  const std::size_t n_shift = 400;  // sustained +0.5 level shift
+  const std::size_t tail_start = 200;  // post-shift sample where we start
+                                       // counting residual false alarms
+
+  StreamConfig cfg;
+  cfg.max_zones = 1;
+  cfg.repair_inputs = false;  // keep score dynamics purely input-driven
+  cfg.drift_z = drift_z;
+  cfg.drift_window = 64;
+  cfg.flush_batch = 16;
+  StreamPipeline pipe(fx.engine, cfg);
+  pipe.add_zone(identity_scaler());
+
+  const std::vector<float> base = make_series(n_base + n_shift + 1, 23);
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < n_base; ++i, ++t) pipe.ingest(0, t, base[t]);
+  // The regime change: every subsequent sample rides 0.5 higher, so
+  // forecast errors (and scores) stay inflated indefinitely — exactly the
+  // shape winsorized adaptation crawls through and a re-seed jumps through.
+  const std::uint64_t spike_t = t + n_shift;
+  for (std::size_t i = 0; i < n_shift; ++i, ++t) {
+    pipe.ingest(0, t, base[t] + 0.5f);
+  }
+  pipe.ingest(0, t, base[t] + 2.5f);  // genuine anomaly on the new level
+  pipe.flush();
+
+  std::vector<AnomalyEvent> events;
+  pipe.drain(events);
+  DriftRunResult r;
+  r.reseeds = pipe.stats().reseeds_total;
+  for (const AnomalyEvent& ev : events) {
+    if (ev.t == spike_t) r.spike_flagged = true;
+    if (ev.t >= n_base + tail_start && ev.t < spike_t) ++r.tail_events;
+  }
+  return r;
+}
+
+TEST(StreamDrift, ReseedRecoversFasterAfterLevelShiftWithoutRecallLoss) {
+  const DriftRunResult off = run_drift_scenario(0.0);
+  const DriftRunResult on = run_drift_scenario(4.0);
+
+  // The probe is off by default and never fires when disarmed.
+  EXPECT_EQ(off.reseeds, 0u);
+  // Armed, the sustained shift must trigger at least one re-seed.
+  EXPECT_GE(on.reseeds, 1u);
+
+  // Recovery: by the tail of the shifted region the re-seeded threshold
+  // has converged to the new score level, while pure winsorized
+  // adaptation is still walking its P2 markers up — strictly fewer
+  // residual false alarms with the probe armed.
+  EXPECT_LT(on.tail_events, off.tail_events);
+
+  // No recall loss: a genuine anomaly on the new level is still flagged.
+  EXPECT_TRUE(on.spike_flagged);
+}
+
+TEST(StreamDrift, FrozenZoneNeverReseeds) {
+  EngineFixture fx;
+  StreamConfig cfg;
+  cfg.max_zones = 1;
+  cfg.drift_z = 1.0;  // hair trigger
+  cfg.drift_window = 8;
+  StreamPipeline pipe(fx.engine, cfg);
+  pipe.add_zone(identity_scaler());
+  pipe.freeze_threshold(0, 0.5f);
+
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    pipe.ingest(0, t, t < 100 ? 0.2f : 0.9f);  // blatant level shift
+  }
+  pipe.flush();
+  EXPECT_EQ(pipe.stats().reseeds_total, 0u);
+  EXPECT_EQ(pipe.threshold(0), 0.5f);  // frozen means frozen
+}
+
 }  // namespace
 }  // namespace evfl::stream

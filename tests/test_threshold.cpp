@@ -258,5 +258,151 @@ TEST(IncrementalThreshold, ValueBeforeAnyScoreThrows) {
   EXPECT_THROW(est.value(), Error);  // a dropped score does not arm it
 }
 
+TEST(IncrementalThreshold, ResetForgetsObservationsKeepsRule) {
+  IncrementalThreshold est({ThresholdKind::kMeanStd, 2.0});
+  for (int i = 1; i <= 10; ++i) est.observe(static_cast<float>(i));
+  EXPECT_FALSE(est.observe(kNan));
+  ASSERT_GT(est.count(), 0u);
+
+  est.reset();
+  EXPECT_EQ(est.count(), 0u);
+  EXPECT_THROW(est.value(), Error);  // fully disarmed, not stale
+  EXPECT_EQ(est.rule().kind, ThresholdKind::kMeanStd);
+  // The drop counter audits inputs, not estimator state: it survives.
+  EXPECT_EQ(est.nonfinite_dropped(), 1u);
+
+  // Re-seeding after reset sees ONLY the new scores.
+  EXPECT_TRUE(est.observe(1.0f));
+  EXPECT_TRUE(est.observe(3.0f));
+  EXPECT_NEAR(est.value(), 4.0f, 1e-5f);  // mean 2 + 2 * std 1
+}
+
+TEST(IncrementalThreshold, ResetMatchesFreshEstimatorUnderEveryRule) {
+  for (ThresholdKind kind :
+       {ThresholdKind::kPercentile, ThresholdKind::kMeanStd,
+        ThresholdKind::kMad}) {
+    const ThresholdRule rule{kind, kind == ThresholdKind::kPercentile ? 90.0
+                                                                      : 2.0};
+    IncrementalThreshold recycled(rule);
+    for (int i = 0; i < 500; ++i) {
+      recycled.observe(static_cast<float>((i * 37) % 100));
+    }
+    recycled.reset();
+    IncrementalThreshold fresh(rule);
+    for (int i = 0; i < 64; ++i) {
+      const float s = 1.0f + 0.01f * static_cast<float>(i % 7);
+      recycled.observe(s);
+      fresh.observe(s);
+    }
+    EXPECT_EQ(recycled.value(), fresh.value()) << to_string(kind);
+  }
+}
+
+// ---- DriftProbe -------------------------------------------------------------
+
+TEST(DriftProbe, DisabledProbeNeverTrips) {
+  DriftProbe probe;
+  EXPECT_FALSE(probe.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(probe.observe(i < 50 ? 1.0f : 100.0f));
+  }
+}
+
+TEST(DriftProbe, Validation) {
+  EXPECT_THROW(DriftProbe(0.0, 64), Error);
+  EXPECT_THROW(DriftProbe(-1.0, 64), Error);
+  EXPECT_THROW(DriftProbe(4.0, 4), Error);  // window floor is 8
+}
+
+TEST(DriftProbe, StationaryScoresStayQuiet) {
+  DriftProbe probe(5.0, 16);
+  // Deterministic noisy-but-stationary scores around 1.0.
+  for (int i = 0; i < 400; ++i) {
+    const float s =
+        1.0f + 0.1f * std::sin(0.7f * static_cast<float>(i)) +
+        0.05f * static_cast<float>((i * 2654435761u >> 24) & 0xFF) / 255.0f;
+    EXPECT_FALSE(probe.observe(s)) << "i=" << i;
+  }
+  EXPECT_EQ(probe.reseeds(), 0u);
+}
+
+TEST(DriftProbe, SustainedShiftTripsAndReseedRebuildsEstimator) {
+  constexpr std::size_t kWindow = 16;
+  DriftProbe probe(4.0, kWindow);
+  IncrementalThreshold est({ThresholdKind::kMeanStd, 2.0});
+
+  // Baseline: enough history for the window AND a full graduated baseline.
+  for (int i = 0; i < 100; ++i) {
+    const float s = 1.0f + 0.1f * std::sin(0.5f * static_cast<float>(i));
+    est.observe(s);
+    ASSERT_FALSE(probe.observe(s)) << "baseline i=" << i;
+  }
+  const float before = est.value();
+
+  // Sustained shift: scores jump 5x.  The probe must trip once the window
+  // has seen enough post-shift mass — within one window of the shift
+  // (mean-shift this large saturates the z-bound well before that).
+  bool tripped = false;
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    const float s = 5.0f + 0.1f * std::sin(0.5f * static_cast<float>(i));
+    est.observe(s);
+    if (probe.observe(s)) {
+      tripped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tripped);
+
+  probe.reseed(est);
+  EXPECT_EQ(probe.reseeds(), 1u);
+  // The estimator was rebuilt from the trailing window only: its count is
+  // exactly the window, not 100+ samples of pre-shift history.
+  EXPECT_EQ(est.count(), kWindow);
+  EXPECT_GT(est.value(), before);
+
+  // The first trip fires while the window still holds mostly pre-shift
+  // scores, so the re-seeded baseline may lag the new level; each further
+  // window either re-trips (re-seeding onto progressively newer history)
+  // or goes quiet.  Convergence, not single-shot: within a handful of
+  // windows the baseline IS the new level and the probe settles.
+  std::size_t quiet_streak = 0;
+  for (std::size_t i = 0; i < 8 * kWindow && quiet_streak < 2 * kWindow;
+       ++i) {
+    const float s = 5.0f + 0.1f * std::sin(0.5f * static_cast<float>(i));
+    est.observe(s);
+    if (probe.observe(s)) {
+      probe.reseed(est);
+      quiet_streak = 0;
+    } else {
+      ++quiet_streak;
+    }
+  }
+  EXPECT_GE(quiet_streak, 2 * kWindow);  // settled at the new level
+  EXPECT_LE(probe.reseeds(), 4u);        // geometric, not thrashing
+  EXPECT_GT(est.value(), 4.0f);  // the settled state reflects the new level
+}
+
+TEST(DriftProbe, ReseedNeverAllocatesBeyondConstruction) {
+  // The contract test proper lives in bench_stream --check-allocs; here we
+  // at least pin that reseed() works repeatedly on the same storage.
+  DriftProbe probe(3.0, 8);
+  IncrementalThreshold est({ThresholdKind::kMad, 3.0});
+  float level = 1.0f;
+  std::uint64_t reseeds = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (int i = 0; i < 64; ++i) {
+      const float s = level + 0.01f * static_cast<float>(i % 5);
+      est.observe(s);
+      if (probe.observe(s)) {
+        probe.reseed(est);
+        ++reseeds;
+      }
+    }
+    level *= 8.0f;
+  }
+  EXPECT_EQ(probe.reseeds(), reseeds);
+  EXPECT_GE(reseeds, 2u);  // every level jump after the first should trip
+}
+
 }  // namespace
 }  // namespace evfl::anomaly
